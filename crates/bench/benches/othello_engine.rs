@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the Othello substrate: move generation, disc
+//! flipping, static evaluation, and a shallow full search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gametree::GamePosition;
+use othello::{configs, evaluate, Board};
+use search_serial::{alphabeta, OrderPolicy};
+use std::hint::black_box;
+
+fn bench_movegen(c: &mut Criterion) {
+    let b1 = Board::initial();
+    let b2 = configs::o2().board;
+    c.bench_function("othello_legal_moves_initial", |b| {
+        b.iter(|| black_box(black_box(&b1).legal_moves()))
+    });
+    c.bench_function("othello_legal_moves_midgame", |b| {
+        b.iter(|| black_box(black_box(&b2).legal_moves()))
+    });
+}
+
+fn bench_flips_and_play(c: &mut Criterion) {
+    let board = configs::o2().board;
+    let sq = board.legal_moves().trailing_zeros() as u8;
+    c.bench_function("othello_flips", |b| {
+        b.iter(|| black_box(black_box(&board).flips(black_box(sq))))
+    });
+    c.bench_function("othello_play", |b| {
+        b.iter(|| black_box(black_box(&board).play(black_box(sq))))
+    });
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let board = configs::o3().board;
+    c.bench_function("othello_evaluate", |b| {
+        b.iter(|| black_box(evaluate(black_box(&board))))
+    });
+}
+
+fn bench_shallow_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("othello_search");
+    g.sample_size(10);
+    let pos = configs::o1();
+    g.bench_function("alphabeta_4ply_sorted", |b| {
+        b.iter(|| black_box(alphabeta(black_box(&pos), 4, OrderPolicy::OTHELLO)))
+    });
+    g.finish();
+}
+
+fn bench_perft(c: &mut Criterion) {
+    fn perft(p: &othello::OthelloPos, depth: u32) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let moves = p.moves();
+        if moves.is_empty() {
+            return 1;
+        }
+        moves.iter().map(|m| perft(&p.play(m), depth - 1)).sum()
+    }
+    let mut g = c.benchmark_group("othello_perft");
+    g.sample_size(10);
+    let init = othello::OthelloPos::initial();
+    g.bench_function("perft_5", |b| b.iter(|| black_box(perft(black_box(&init), 5))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_movegen,
+    bench_flips_and_play,
+    bench_evaluate,
+    bench_shallow_search,
+    bench_perft
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the parallel back-ends: the deterministic
+//! simulation's own overhead across processor counts, and the real-thread
+//! back-end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_parallel::{run_er_sim, run_er_threads, ErParallelConfig};
+use gametree::random::RandomTreeSpec;
+use std::hint::black_box;
+
+fn bench_sim_by_processors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("er_sim_d4_h8");
+    g.sample_size(15);
+    let root = RandomTreeSpec::new(1, 4, 8).root();
+    let cfg = ErParallelConfig::random_tree(5);
+    for k in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(run_er_sim(black_box(&root), 8, k, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("er_threads_d4_h7");
+    g.sample_size(10);
+    let root = RandomTreeSpec::new(1, 4, 7).root();
+    let cfg = ErParallelConfig::random_tree(4);
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(run_er_threads(black_box(&root), 7, t, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_serial_depth_granularity(c: &mut Criterion) {
+    // How the serial-depth parameter changes the simulation cost (more
+    // scaffolding = more events).
+    let mut g = c.benchmark_group("er_sim_serial_depth");
+    g.sample_size(15);
+    let root = RandomTreeSpec::new(3, 4, 8).root();
+    for sd in [3u32, 5, 7] {
+        let cfg = ErParallelConfig::random_tree(sd);
+        g.bench_with_input(BenchmarkId::from_parameter(sd), &sd, |b, _| {
+            b.iter(|| black_box(run_er_sim(black_box(&root), 8, 8, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_by_processors,
+    bench_threads,
+    bench_serial_depth_granularity
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the serial search algorithms: wall-clock
+//! complements to the tick-based experiment harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gametree::ordered::OrderedTreeSpec;
+use gametree::random::RandomTreeSpec;
+use search_serial::{alphabeta, alphabeta_nodeep, er_search, negmax, ErConfig, OrderPolicy};
+use std::hint::black_box;
+
+fn bench_random_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("random_tree_d4_h7");
+    g.sample_size(20);
+    let root = RandomTreeSpec::new(1, 4, 7).root();
+    g.bench_function("negmax", |b| {
+        b.iter(|| black_box(negmax(black_box(&root), 7)))
+    });
+    g.bench_function("alphabeta", |b| {
+        b.iter(|| black_box(alphabeta(black_box(&root), 7, OrderPolicy::NATURAL)))
+    });
+    g.bench_function("alphabeta_nodeep", |b| {
+        b.iter(|| black_box(alphabeta_nodeep(black_box(&root), 7, OrderPolicy::NATURAL)))
+    });
+    g.bench_function("serial_er", |b| {
+        b.iter(|| black_box(er_search(black_box(&root), 7, ErConfig::NATURAL)))
+    });
+    g.finish();
+}
+
+fn bench_ordering_effect(c: &mut Criterion) {
+    // Alpha-beta's dependence on move ordering (paper §2.2): best-first
+    // trees search only the minimal tree.
+    let mut g = c.benchmark_group("alphabeta_by_ordering");
+    g.sample_size(20);
+    for (label, noise) in [("best_first", 0i32), ("strong", 120), ("weak", 2000)] {
+        let root = OrderedTreeSpec {
+            seed: 3,
+            degree: 4,
+            height: 8,
+            step: 100,
+            noise,
+        }
+        .root();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &root, |b, root| {
+            b.iter(|| black_box(alphabeta(black_box(root), 8, OrderPolicy::NATURAL)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_er_vs_alphabeta_depth_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("depth_sweep_d4");
+    g.sample_size(15);
+    for depth in [5u32, 6, 7] {
+        let root = RandomTreeSpec::new(2, 4, depth).root();
+        g.bench_with_input(BenchmarkId::new("alphabeta", depth), &depth, |b, &d| {
+            b.iter(|| black_box(alphabeta(black_box(&root), d, OrderPolicy::NATURAL)))
+        });
+        g.bench_with_input(BenchmarkId::new("serial_er", depth), &depth, |b, &d| {
+            b.iter(|| black_box(er_search(black_box(&root), d, ErConfig::NATURAL)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_random_tree,
+    bench_ordering_effect,
+    bench_er_vs_alphabeta_depth_sweep
+);
+criterion_main!(benches);

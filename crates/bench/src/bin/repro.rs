@@ -1,0 +1,397 @@
+//! Regenerates every table and figure of the paper's evaluation (§7).
+//!
+//! ```text
+//! repro table3      Table 3: the six benchmark trees
+//! repro fig10       Figure 10: ER efficiency, Othello trees
+//! repro fig11       Figure 11: ER efficiency, random trees
+//! repro fig12       Figure 12: nodes generated, Othello trees
+//! repro fig13       Figure 13: nodes generated, random trees
+//! repro baselines   §4/§8: ER vs MWF / aspiration / tree-splitting /
+//!                   pv-splitting, plus Akl's MWF plateau
+//! repro ablation    §5: contribution of each speculation mechanism
+//! repro all         everything above
+//! ```
+//!
+//! Results are printed as tables and written as JSON under `results/`.
+
+use std::fs;
+use std::io::Write as _;
+
+use er_bench::experiments::{
+    ablation_curves, baseline_curves, er_curve, mwf_plateau, ordering_rows, overhead_rows,
+    serial_reference, sweep_rows, ErCurve, PROCESSOR_COUNTS,
+};
+use er_bench::trees::{degree_label, othello_trees, random_trees};
+use problem_heap::CostModel;
+
+fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    fs::create_dir_all("results").expect("create results/");
+    let path = format!("results/{name}.json");
+    let mut f = fs::File::create(&path).expect("create json");
+    let s = serde_json::to_string_pretty(value).expect("serialize");
+    f.write_all(s.as_bytes()).expect("write json");
+    println!("  -> {path}");
+}
+
+fn table3() {
+    println!("\n=== Table 3: benchmark trees ===");
+    println!(
+        "{:<5} {:<8} {:<8} {:<13} {:<12}",
+        "Name", "Type", "Degree", "Search depth", "Serial depth"
+    );
+    for t in random_trees() {
+        println!(
+            "{:<5} {:<8} {:<8} {:<13} {:<12}",
+            t.name,
+            "Random",
+            degree_label(&t),
+            format!("{} ply", t.depth),
+            t.serial_depth
+        );
+    }
+    for t in othello_trees() {
+        println!(
+            "{:<5} {:<8} {:<8} {:<13} {:<12}",
+            t.name,
+            "Othello",
+            degree_label(&t),
+            format!("{} ply", t.depth),
+            t.serial_depth
+        );
+    }
+    let cost = CostModel::default();
+    println!("\nSerial reference costs (ticks; best = fastest serial algorithm):");
+    println!(
+        "{:<5} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "Name", "ab nodes", "ab ticks", "er nodes", "er ticks", "value"
+    );
+    let mut rows = Vec::new();
+    for t in random_trees() {
+        let s = serial_reference(&t, &cost);
+        println!(
+            "{:<5} {:>12} {:>12} {:>12} {:>12} {:>8}",
+            t.name, s.alphabeta.nodes, s.alphabeta.ticks, s.er.nodes, s.er.ticks, s.er.value
+        );
+        rows.push((t.name.to_string(), s));
+    }
+    for t in othello_trees() {
+        let s = serial_reference(&t, &cost);
+        println!(
+            "{:<5} {:>12} {:>12} {:>12} {:>12} {:>8}",
+            t.name, s.alphabeta.nodes, s.alphabeta.ticks, s.er.nodes, s.er.ticks, s.er.value
+        );
+        rows.push((t.name.to_string(), s));
+    }
+    save_json("table3", &rows);
+}
+
+fn print_efficiency_figure(title: &str, curves: &[ErCurve]) {
+    println!("\n=== {title} ===");
+    print!("{:<6}", "procs");
+    for c in curves {
+        print!("{:>9}", c.tree);
+    }
+    println!();
+    for (i, &k) in PROCESSOR_COUNTS.iter().enumerate() {
+        print!("{:<6}", k);
+        for c in curves {
+            print!("{:>9.3}", c.points[i].efficiency);
+        }
+        println!();
+    }
+    println!("serial alpha-beta reference line (efficiency of serial alpha-beta):");
+    for c in curves {
+        println!("  {}: {:.3}", c.tree, c.alphabeta_efficiency);
+    }
+    println!("speedup at 16 processors:");
+    for c in curves {
+        let p16 = c.points.last().unwrap();
+        println!(
+            "  {}: speedup {:.2}, efficiency {:.2}",
+            c.tree, p16.speedup, p16.efficiency
+        );
+    }
+}
+
+fn print_nodes_figure(title: &str, curves: &[ErCurve]) {
+    println!("\n=== {title} ===");
+    print!("{:<10}", "procs");
+    for c in curves {
+        print!("{:>12}", c.tree);
+    }
+    println!();
+    print!("{:<10}", "ab(serial)");
+    for c in curves {
+        print!("{:>12}", c.serial.alphabeta.nodes);
+    }
+    println!();
+    print!("{:<10}", "er(serial)");
+    for c in curves {
+        print!("{:>12}", c.serial.er.nodes);
+    }
+    println!();
+    for (i, &k) in PROCESSOR_COUNTS.iter().enumerate() {
+        print!("{:<10}", k);
+        for c in curves {
+            print!("{:>12}", c.points[i].nodes);
+        }
+        println!();
+    }
+}
+
+fn fig(which: u32) {
+    let cost = CostModel::default();
+    match which {
+        10 | 12 => {
+            let curves: Vec<ErCurve> = othello_trees()
+                .iter()
+                .map(|t| er_curve(t, &cost))
+                .collect();
+            if which == 10 {
+                print_efficiency_figure("Figure 10: efficiency of ER, Othello trees", &curves);
+                save_json("fig10", &curves);
+            } else {
+                print_nodes_figure("Figure 12: nodes generated, Othello trees", &curves);
+                save_json("fig12", &curves);
+            }
+        }
+        11 | 13 => {
+            let curves: Vec<ErCurve> = random_trees()
+                .iter()
+                .map(|t| er_curve(t, &cost))
+                .collect();
+            if which == 11 {
+                print_efficiency_figure("Figure 11: efficiency of ER, random trees", &curves);
+                save_json("fig11", &curves);
+            } else {
+                print_nodes_figure("Figure 13: nodes generated, random trees", &curves);
+                save_json("fig13", &curves);
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn baselines() {
+    let cost = CostModel::default();
+    println!("\n=== Baseline comparison (paper §4; §8 future work) ===");
+    let mut all = Vec::new();
+    for t in random_trees() {
+        let curves = baseline_curves(&t, &cost);
+        println!("\n{} — speedup vs fastest serial:", t.name);
+        print!("{:<12}", "procs");
+        for &k in &PROCESSOR_COUNTS {
+            print!("{:>7}", k);
+        }
+        println!();
+        for c in &curves {
+            print!("{:<12}", c.algorithm);
+            for p in &c.points {
+                print!("{:>7.2}", p.speedup);
+            }
+            println!();
+        }
+        all.extend(curves);
+    }
+    // One Othello tree keeps the runtime modest while showing the
+    // strongly-ordered-tree behaviour of pv-splitting and aspiration.
+    let t = &othello_trees()[0];
+    let curves = baseline_curves(t, &cost);
+    println!("\n{} — speedup vs fastest serial:", t.name);
+    print!("{:<12}", "procs");
+    for &k in &PROCESSOR_COUNTS {
+        print!("{:>7}", k);
+    }
+    println!();
+    for c in &curves {
+        print!("{:<12}", c.algorithm);
+        for p in &c.points {
+            print!("{:>7.2}", p.speedup);
+        }
+        println!();
+    }
+    all.extend(curves);
+    // And Fishburn's own workload: a checkers tree (§4.3).
+    let t = er_bench::trees::checkers_tree();
+    let curves = baseline_curves(&t, &cost);
+    println!("\n{} (checkers) — speedup vs fastest serial:", t.name);
+    print!("{:<12}", "procs");
+    for &k in &PROCESSOR_COUNTS {
+        print!("{:>7}", k);
+    }
+    println!();
+    for c in &curves {
+        print!("{:<12}", c.algorithm);
+        for p in &c.points {
+            print!("{:>7.2}", p.speedup);
+        }
+        println!();
+    }
+    all.extend(curves);
+    save_json("baselines", &all);
+
+    println!("\nMWF on Akl-style wide 4-ply trees (speedup plateau, §4.2):");
+    let plateau = mwf_plateau(&cost);
+    for p in &plateau {
+        print!("degree {:>3}:", p.degree);
+        for (k, s) in &p.points {
+            print!("  {k}p:{s:.2}");
+        }
+        println!();
+    }
+    save_json("mwf_plateau", &plateau);
+}
+
+fn ablation() {
+    let cost = CostModel::default();
+    println!("\n=== Speculation ablation (paper §5 mechanisms) ===");
+    let mut all = Vec::new();
+    let r1 = &random_trees()[0];
+    let o1 = &othello_trees()[0];
+    let runs = [ablation_curves(r1, &cost), ablation_curves(o1, &cost)];
+    for curves in runs {
+        println!("\n{} — speedup (nodes):", curves[0].tree);
+        print!("{:<24}", "config");
+        for k in [1, 4, 8, 16] {
+            print!("{:>18}", format!("k={k}"));
+        }
+        println!();
+        for c in &curves {
+            print!("{:<24}", c.config);
+            for p in &c.points {
+                print!("{:>18}", format!("{:.2} ({})", p.speedup, p.nodes));
+            }
+            println!();
+        }
+        all.extend(curves);
+    }
+    save_json("ablation", &all);
+}
+
+fn overhead() {
+    let cost = problem_heap::CostModel::default();
+    println!("\n=== Work classification (paper §3: mandatory vs speculative) ===");
+    println!("(parallel ER forced fully in-tree; mandatory = serial alpha-beta's node set)");
+    let mut all = Vec::new();
+    let random = er_bench::trees::random_trees();
+    let othello = er_bench::trees::othello_trees();
+    println!(
+        "{:<5} {:>6} {:>10} {:>10} {:>12} {:>10} {:>8}",
+        "tree", "procs", "mandatory", "examined", "speculative", "skipped", "spec%"
+    );
+    for rows in [overhead_rows(&random[0], &cost), overhead_rows(&othello[0], &cost)] {
+        for r in &rows {
+            println!(
+                "{:<5} {:>6} {:>10} {:>10} {:>12} {:>10} {:>7.1}%",
+                r.tree,
+                r.processors,
+                r.mandatory,
+                r.examined,
+                r.speculative,
+                r.mandatory_skipped,
+                100.0 * r.speculative_fraction
+            );
+        }
+        all.extend(rows);
+    }
+    save_json("overhead", &all);
+}
+
+fn sweep() {
+    println!("\n=== Parameter sweep on R1 (serial depth × heap latency × eval cost) ===");
+    let rows = sweep_rows();
+    println!(
+        "{:<6} {:>8} {:>6} {:>6} {:>9} {:>9}",
+        "sdepth", "heaplat", "eval", "procs", "speedup", "nodes"
+    );
+    for r in &rows {
+        println!(
+            "{:<6} {:>8} {:>6} {:>6} {:>9.2} {:>9}",
+            r.serial_depth, r.heap_latency, r.eval_cost, r.processors, r.speedup, r.nodes
+        );
+    }
+    save_json("sweep", &rows);
+}
+
+fn gantt() {
+    use er_parallel::schedule::ScheduleView;
+    use er_parallel::{run_er_sim, ErParallelConfig};
+    println!("\n=== Schedule view: parallel ER on R1, 16 processors ===");
+    let t = &random_trees()[0];
+    let cfg = ErParallelConfig {
+        serial_depth: t.serial_depth,
+        order: t.order,
+        spec: er_parallel::Speculation::ALL,
+        cost: CostModel::default(),
+    };
+    for k in [4usize, 16] {
+        let r = run_er_sim(&t.root, t.depth, k, &cfg);
+        let view = ScheduleView::build(&r.trace, r.report.makespan, 20);
+        println!(
+            "\n{} processors (makespan {}, mean utilization {:.1}):",
+            k,
+            r.report.makespan,
+            view.mean_utilization()
+        );
+        print!("{}", view.render(k));
+    }
+}
+
+fn ordering() {
+    println!("\n=== Workload ordering strength (Marsland's §4.4 metric) ===");
+    let rows = ordering_rows();
+    println!(
+        "{:<5} {:>6} {:>7} {:>11} {:>13} {:>8} {:>8}",
+        "tree", "depth", "sorted", "first-best", "quarter-best", "degree", "strong?"
+    );
+    for r in &rows {
+        println!(
+            "{:<5} {:>6} {:>7} {:>10.0}% {:>12.0}% {:>8.1} {:>8}",
+            r.tree,
+            r.depth,
+            if r.sorted { "yes" } else { "no" },
+            100.0 * r.first_best,
+            100.0 * r.quarter_best,
+            r.mean_degree,
+            if r.strongly_ordered { "yes" } else { "no" }
+        );
+    }
+    save_json("ordering", &rows);
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "table3" => table3(),
+        "fig10" => fig(10),
+        "fig11" => fig(11),
+        "fig12" => fig(12),
+        "fig13" => fig(13),
+        "baselines" => baselines(),
+        "ablation" => ablation(),
+        "overhead" => overhead(),
+        "sweep" => sweep(),
+        "ordering" => ordering(),
+        "gantt" => gantt(),
+        "all" => {
+            table3();
+            fig(10);
+            fig(11);
+            fig(12);
+            fig(13);
+            baselines();
+            ablation();
+            overhead();
+            sweep();
+            ordering();
+            gantt();
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; use \
+                 table3|fig10|fig11|fig12|fig13|baselines|ablation|overhead|sweep|ordering|gantt|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Experiment harness for the reproduction: tree definitions (Table 3),
+//! the experiments behind Figures 10–13, the §4 baseline comparison, and
+//! the speculation ablation. The `repro` binary drives everything.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod trees;

@@ -1,0 +1,94 @@
+//! The six benchmark trees of Table 3.
+//!
+//! | Name | Type    | Degree  | Search depth | Serial depth |
+//! |------|---------|---------|--------------|--------------|
+//! | R1   | Random  | 4       | 10 ply       | 7            |
+//! | R2   | Random  | 4       | 11 ply       | 7            |
+//! | R3   | Random  | 8       | 7 ply        | 5            |
+//! | O1   | Othello | varying | 7 ply        | 5            |
+//! | O2   | Othello | varying | 7 ply        | 5            |
+//! | O3   | Othello | varying | 7 ply        | 5            |
+
+use gametree::random::RandomTreeSpec;
+use gametree::GamePosition;
+use othello::OthelloPos;
+use search_serial::OrderPolicy;
+
+/// One benchmark tree: its Table 3 identity plus a root position.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeSpec<P> {
+    /// Table 3 name ("R1".."R3", "O1".."O3").
+    pub name: &'static str,
+    /// Root position.
+    pub root: P,
+    /// Search depth in plies.
+    pub depth: u32,
+    /// Serial depth (paper Table 3).
+    pub serial_depth: u32,
+    /// Child-ordering policy (sorting above ply five for Othello, none
+    /// for random trees; paper §7).
+    pub order: OrderPolicy,
+}
+
+/// The three random trees. Seeds are fixed so every run sees the same
+/// trees, like the paper's single R1/R2/R3 instances.
+pub fn random_trees() -> Vec<TreeSpec<gametree::random::RandomPos>> {
+    vec![
+        TreeSpec {
+            name: "R1",
+            root: RandomTreeSpec::new(1, 4, 10).root(),
+            depth: 10,
+            serial_depth: 7,
+            order: OrderPolicy::NATURAL,
+        },
+        TreeSpec {
+            name: "R2",
+            root: RandomTreeSpec::new(2, 4, 11).root(),
+            depth: 11,
+            serial_depth: 7,
+            order: OrderPolicy::NATURAL,
+        },
+        TreeSpec {
+            name: "R3",
+            root: RandomTreeSpec::new(3, 8, 7).root(),
+            depth: 7,
+            serial_depth: 5,
+            order: OrderPolicy::NATURAL,
+        },
+    ]
+}
+
+/// The checkers benchmark tree C1: Fishburn's tree-splitting experiments
+/// (paper §4.3) used checkers game trees, so the baseline comparison
+/// includes one.
+pub fn checkers_tree() -> TreeSpec<checkers::CheckersPos> {
+    TreeSpec {
+        name: "C1",
+        root: checkers::c1(),
+        depth: 9,
+        serial_depth: 6,
+        order: OrderPolicy::OTHELLO,
+    }
+}
+
+/// The three Othello trees (7-ply searches of the benchmark roots).
+pub fn othello_trees() -> Vec<TreeSpec<OthelloPos>> {
+    othello::configs::all()
+        .into_iter()
+        .map(|(name, root)| TreeSpec {
+            name,
+            root,
+            depth: 7,
+            serial_depth: 5,
+            order: OrderPolicy::OTHELLO,
+        })
+        .collect()
+}
+
+/// Degree description for Table 3 ("4", "8", or "varying").
+pub fn degree_label<P: GamePosition>(spec: &TreeSpec<P>) -> String {
+    match spec.name.as_bytes()[0] {
+        b'R' => spec.root.degree().to_string(),
+        _ => "varying".to_string(),
+    }
+}

@@ -1,0 +1,61 @@
+//! Harness self-tests: the experiment functions produce well-formed,
+//! internally consistent results.
+
+use er_bench::experiments::{ordering_rows, sweep_rows};
+use er_bench::trees::{checkers_tree, degree_label, othello_trees, random_trees};
+
+#[test]
+fn ordering_rows_cover_every_workload() {
+    let rows = ordering_rows();
+    // 3 random (unsorted) + 3 othello x2 + checkers x2.
+    assert_eq!(rows.len(), 3 + 6 + 2);
+    for r in &rows {
+        assert!((0.0..=1.0).contains(&r.first_best), "{r:?}");
+        assert!((0.0..=1.0).contains(&r.quarter_best), "{r:?}");
+        assert!(
+            r.quarter_best >= r.first_best,
+            "quarter-best contains first-best: {r:?}"
+        );
+        assert!(r.mean_degree >= 1.0);
+    }
+    // Sorted real-game trees are strongly ordered; unsorted random are not.
+    assert!(rows
+        .iter()
+        .filter(|r| r.sorted)
+        .all(|r| r.strongly_ordered));
+    assert!(rows
+        .iter()
+        .filter(|r| !r.sorted && r.tree.starts_with('R'))
+        .all(|r| !r.strongly_ordered));
+}
+
+#[test]
+fn sweep_rows_cover_the_grid() {
+    let rows = sweep_rows();
+    // 2 eval costs x 3 latencies x 4 serial depths x 2 processor counts.
+    assert_eq!(rows.len(), 2 * 3 * 4 * 2);
+    for r in &rows {
+        assert!(r.speedup > 0.0, "{r:?}");
+        assert!(r.nodes > 0);
+    }
+    // Speedup at 16 beats speedup at 4 for the default-ish configuration.
+    let get = |sd: u32, hl: u64, ec: u64, k: usize| {
+        rows.iter()
+            .find(|r| {
+                r.serial_depth == sd && r.heap_latency == hl && r.eval_cost == ec && r.processors == k
+            })
+            .unwrap()
+            .speedup
+    };
+    assert!(get(7, 1, 8, 16) > get(7, 1, 8, 4));
+}
+
+#[test]
+fn tree_labels_match_table3() {
+    assert_eq!(degree_label(&random_trees()[0]), "4");
+    assert_eq!(degree_label(&random_trees()[2]), "8");
+    assert_eq!(degree_label(&othello_trees()[0]), "varying");
+    let c = checkers_tree();
+    assert_eq!(c.name, "C1");
+    assert_eq!(c.depth, 9);
+}

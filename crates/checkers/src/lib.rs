@@ -1,0 +1,14 @@
+//! An English draughts (checkers) engine.
+//!
+//! Fishburn's original tree-splitting experiments — the baseline results
+//! the paper cites in §4.3 — used checkers game trees; this crate supplies
+//! that workload: bitboard move generation with compulsory (multi-)jumps,
+//! promotion, and a material/advancement evaluator.
+
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod position;
+
+pub use board::{Board, Move};
+pub use position::{benchmark_position, c1, c2, c3, evaluate, CheckersPos};

@@ -1,0 +1,243 @@
+//! [`GamePosition`] implementation and static evaluation for checkers.
+
+use gametree::{GamePosition, Value};
+
+use crate::board::{Board, Move};
+
+/// A man is worth 100; a king half again as much.
+const MAN: i32 = 100;
+const KING: i32 = 150;
+/// Losing (no legal move) scores far outside the heuristic range.
+const LOSS: i32 = 100_000;
+
+/// A checkers position (board + implicit side to move).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CheckersPos {
+    /// The underlying bitboard (mover's perspective).
+    pub board: Board,
+}
+
+impl CheckersPos {
+    /// The standard initial position.
+    pub fn initial() -> CheckersPos {
+        CheckersPos {
+            board: Board::initial(),
+        }
+    }
+
+    /// Wraps an arbitrary board.
+    pub fn new(board: Board) -> CheckersPos {
+        CheckersPos { board }
+    }
+}
+
+/// Material + advancement + back-rank guard, from the mover's view.
+/// A blocked player (no moves) has lost.
+pub fn evaluate(board: &Board) -> Value {
+    if board.legal_moves().is_empty() {
+        return Value::new(-LOSS);
+    }
+    let material = MAN
+        * (board.own_men.count_ones() as i32 - board.opp_men.count_ones() as i32)
+        + KING * (board.own_kings.count_ones() as i32 - board.opp_kings.count_ones() as i32);
+
+    // Advancement: men further up the board are worth a little more. Own
+    // men advance toward row 7, opponent men toward row 0.
+    let mut adv = 0i32;
+    let mut m = board.own_men;
+    while m != 0 {
+        let sq = m.trailing_zeros();
+        m &= m - 1;
+        adv += (sq / 4) as i32;
+    }
+    let mut m = board.opp_men;
+    while m != 0 {
+        let sq = m.trailing_zeros();
+        m &= m - 1;
+        adv -= (7 - sq / 4) as i32;
+    }
+
+    // Keeping the back rank intact delays enemy promotion.
+    let guard = (board.own_men & 0x0000_000F).count_ones() as i32
+        - (board.opp_men & 0xF000_0000).count_ones() as i32;
+
+    Value::new(material + 2 * adv + 6 * guard)
+}
+
+impl GamePosition for CheckersPos {
+    type Move = Move;
+
+    fn moves(&self) -> Vec<Move> {
+        self.board.legal_moves()
+    }
+
+    fn play(&self, mv: &Move) -> CheckersPos {
+        CheckersPos {
+            board: self.board.play(mv),
+        }
+    }
+
+    fn evaluate(&self) -> Value {
+        evaluate(&self.board)
+    }
+}
+
+/// A reproducible mid-game benchmark position: `plies` moves of
+/// deterministic self-play (one-ply greedy, rank cycling like the Othello
+/// benchmark roots).
+pub fn benchmark_position(plies: u32, pattern: &[usize]) -> CheckersPos {
+    let mut pos = CheckersPos::initial();
+    for ply in 0..plies {
+        let moves = pos.moves();
+        if moves.is_empty() {
+            break;
+        }
+        let mut scored: Vec<(Value, &Move)> = moves
+            .iter()
+            .map(|m| (evaluate(&pos.play(m).board), m))
+            .collect();
+        scored.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.path.cmp(&b.1.path)));
+        let rank = pattern[ply as usize % pattern.len()].min(scored.len() - 1);
+        let mv = scored[rank].1.clone();
+        pos = pos.play(&mv);
+    }
+    pos
+}
+
+/// The checkers benchmark root C1 used by the comparison experiments
+/// (Fishburn's tree-splitting testbed was checkers, §4.3).
+pub fn c1() -> CheckersPos {
+    benchmark_position(12, &[0, 1])
+}
+
+/// A deeper middle game with kings in play.
+pub fn c2() -> CheckersPos {
+    benchmark_position(24, &[0, 1, 2])
+}
+
+/// An early opening position (quiet, no captures pending).
+pub fn c3() -> CheckersPos {
+    benchmark_position(6, &[0])
+}
+
+/// All three checkers benchmark roots.
+pub fn all() -> Vec<(&'static str, CheckersPos)> {
+    vec![("C1", c1()), ("C2", c2()), ("C3", c3())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn negamax(p: CheckersPos, depth: u32) -> Value {
+        let kids = p.moves();
+        if depth == 0 || kids.is_empty() {
+            return p.evaluate();
+        }
+        kids.iter()
+            .map(|m| -negamax(p.play(m), depth - 1))
+            .max()
+            .unwrap()
+    }
+
+    #[test]
+    fn initial_position_is_balanced() {
+        assert_eq!(evaluate(&Board::initial()), Value::ZERO);
+    }
+
+    #[test]
+    fn evaluation_is_antisymmetric_in_material() {
+        let b = Board {
+            own_men: 0x0000_00FF,
+            own_kings: 1 << 16,
+            opp_men: 0xFF00_0000,
+            opp_kings: 1 << 15,
+        };
+        let flipped = Board {
+            own_men: b.opp_men.reverse_bits(),
+            own_kings: b.opp_kings.reverse_bits(),
+            opp_men: b.own_men.reverse_bits(),
+            opp_kings: b.own_kings.reverse_bits(),
+        };
+        assert_eq!(evaluate(&b), -evaluate(&flipped));
+    }
+
+    #[test]
+    fn blocked_position_is_a_loss() {
+        // No pieces at all: no moves, mover loses.
+        let b = Board {
+            own_men: 0,
+            own_kings: 0,
+            opp_men: 1,
+            opp_kings: 0,
+        };
+        assert_eq!(evaluate(&b), Value::new(-100_000));
+        assert!(CheckersPos::new(b).moves().is_empty());
+    }
+
+    #[test]
+    fn kings_outweigh_men() {
+        let king = Board {
+            own_men: 0,
+            own_kings: 1 << 13,
+            opp_men: 1 << 18,
+            opp_kings: 0,
+        };
+        assert!(evaluate(&king) > Value::ZERO);
+    }
+
+    #[test]
+    fn shallow_search_prefers_winning_captures() {
+        // Mover can capture a piece for free: 2-ply value must be positive.
+        let b = Board {
+            own_men: (1 << 13) | 1,
+            own_kings: 0,
+            opp_men: (1 << 16) | (1 << 30),
+            opp_kings: 0,
+        };
+        let v = negamax(CheckersPos::new(b), 2);
+        assert!(v > Value::ZERO, "free capture should win material: {v}");
+    }
+
+    #[test]
+    fn benchmark_position_is_midgame_and_deterministic() {
+        let a = c1();
+        let b = c1();
+        assert_eq!(a, b);
+        assert!(!a.moves().is_empty());
+        assert!(a.board.piece_count() >= 16, "still mid-game");
+    }
+
+    #[test]
+    fn all_benchmark_positions_are_live_and_distinct() {
+        let ps = all();
+        assert_eq!(ps.len(), 3);
+        for (name, p) in &ps {
+            assert!(!p.moves().is_empty(), "{name} must have moves");
+            assert!(p.board.piece_count() >= 12, "{name} not an endgame");
+        }
+        assert_ne!(ps[0].1, ps[1].1);
+        assert_ne!(ps[0].1, ps[2].1);
+        assert_ne!(ps[1].1, ps[2].1);
+    }
+
+    #[test]
+    fn selfplay_terminates() {
+        let mut pos = CheckersPos::initial();
+        let mut plies = 0;
+        loop {
+            let moves = pos.moves();
+            if moves.is_empty() {
+                break;
+            }
+            pos = pos.play(&moves[0]);
+            plies += 1;
+            // First-move self-play can in principle cycle (kings shuffling);
+            // cap the playout rather than implementing repetition rules.
+            if plies >= 300 {
+                break;
+            }
+        }
+        assert!(plies > 20, "a real game lasts a while");
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the checkers engine: rule invariants along random
+//! playouts.
+
+use checkers::{Board, CheckersPos, Move};
+use gametree::GamePosition;
+use proptest::prelude::*;
+
+/// Row of a square (0 = mover's home row).
+fn row(sq: u8) -> u32 {
+    (sq / 4) as u32
+}
+
+fn random_playout(steps: &[u8], check: impl Fn(&Board, &Move, &Board)) -> CheckersPos {
+    let mut pos = CheckersPos::initial();
+    for &s in steps {
+        let moves = pos.moves();
+        if moves.is_empty() {
+            break;
+        }
+        let mv = moves[s as usize % moves.len()].clone();
+        let before = pos.board;
+        pos = pos.play(&mv);
+        check(&before, &mv, &pos.board);
+    }
+    pos
+}
+
+proptest! {
+    #[test]
+    fn piece_sets_stay_disjoint(steps in prop::collection::vec(any::<u8>(), 0..120)) {
+        random_playout(&steps, |_, _, after| {
+            let all = [after.own_men, after.own_kings, after.opp_men, after.opp_kings];
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    assert_eq!(all[i] & all[j], 0, "piece sets overlap");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn piece_count_never_increases(steps in prop::collection::vec(any::<u8>(), 0..120)) {
+        random_playout(&steps, |before, mv, after| {
+            let b = before.piece_count();
+            let a = after.piece_count();
+            assert_eq!(a, b - mv.captures.count_ones(), "captures accounted exactly");
+            assert!(a <= b);
+        });
+    }
+
+    #[test]
+    fn captures_remove_only_enemy_pieces(steps in prop::collection::vec(any::<u8>(), 0..120)) {
+        random_playout(&steps, |before, mv, _| {
+            assert_eq!(
+                mv.captures & !before.opp(),
+                0,
+                "captures must be opponent pieces"
+            );
+        });
+    }
+
+    #[test]
+    fn men_never_sit_on_the_promotion_row(steps in prop::collection::vec(any::<u8>(), 0..150)) {
+        // A man reaching row 7 promotes, and the flip maps row 7 to row 0;
+        // so no *man* of the waiting side can ever be on its row 0...
+        // equivalently, after the flip the opponent's men never occupy
+        // row 0 (their promotion row pre-flip).
+        random_playout(&steps, |_, _, after| {
+            let mut m = after.opp_men;
+            while m != 0 {
+                let sq = m.trailing_zeros() as u8;
+                m &= m - 1;
+                assert_ne!(row(sq), 0, "unpromoted man on its promotion row");
+            }
+        });
+    }
+
+    #[test]
+    fn quiet_moves_are_single_diagonal_steps(steps in prop::collection::vec(any::<u8>(), 0..80)) {
+        let pos = random_playout(&steps, |_, _, _| {});
+        for mv in pos.moves() {
+            if !mv.is_capture() {
+                assert_eq!(mv.path.len(), 2);
+                let dr = (row(mv.to()) as i32 - row(mv.from()) as i32).abs();
+                assert_eq!(dr, 1, "quiet moves advance one row: {mv}");
+            } else {
+                // Jump landings are two rows away per hop.
+                for w in mv.path.windows(2) {
+                    let dr = (row(w[1]) as i32 - row(w[0]) as i32).abs();
+                    assert_eq!(dr, 2, "jumps hop two rows: {mv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_capture_rule_is_all_or_nothing(steps in prop::collection::vec(any::<u8>(), 0..120)) {
+        let pos = random_playout(&steps, |_, _, _| {});
+        let moves = pos.moves();
+        let captures = moves.iter().filter(|m| m.is_capture()).count();
+        assert!(
+            captures == 0 || captures == moves.len(),
+            "mixed capture / quiet move list"
+        );
+    }
+
+    #[test]
+    fn evaluation_is_finite_and_bounded(steps in prop::collection::vec(any::<u8>(), 0..120)) {
+        let pos = random_playout(&steps, |_, _, _| {});
+        let v = pos.evaluate();
+        prop_assert!(v.get().abs() <= 100_000);
+    }
+}
+
+#[test]
+fn search_agrees_with_negamax_on_midgame_positions() {
+    use search_serial::{alphabeta, er_search, negmax, ErConfig, OrderPolicy};
+    for plies in [6u32, 10, 14] {
+        let pos = checkers::benchmark_position(plies, &[0, 1, 2]);
+        let nm = negmax(&pos, 5).value;
+        assert_eq!(
+            alphabeta(&pos, 5, OrderPolicy::NATURAL).value,
+            nm,
+            "plies {plies}"
+        );
+        assert_eq!(er_search(&pos, 5, ErConfig::NATURAL).value, nm);
+    }
+}
+
+#[test]
+fn kings_are_strictly_stronger_in_search() {
+    use search_serial::{negmax, OrderPolicy};
+    let _ = OrderPolicy::NATURAL;
+    // Same square, man vs king, same opponent: the king's mobility can
+    // only help (strictly, here, because the man is otherwise stuck).
+    let man = Board {
+        own_men: 1 << 16,
+        own_kings: 0,
+        opp_men: 1 << 24,
+        opp_kings: 0,
+    };
+    let king = Board {
+        own_men: 0,
+        own_kings: 1 << 16,
+        opp_men: 1 << 24,
+        opp_kings: 0,
+    };
+    let vm = negmax(&CheckersPos::new(man), 4).value;
+    let vk = negmax(&CheckersPos::new(king), 4).value;
+    assert!(vk >= vm, "king search value {vk} below man {vm}");
+}

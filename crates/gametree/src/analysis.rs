@@ -1,0 +1,192 @@
+//! Workload characterization: how strongly ordered is a game tree?
+//!
+//! Marsland (paper §4.4) calls a tree *strongly ordered* "if the first
+//! branch from each node is best at least 70 percent of the time, and if
+//! the best move is in the first quarter of the branches 90 percent of
+//! the time". This module measures those two rates (plus branching-factor
+//! statistics) for any [`GamePosition`] under a given child ordering, by
+//! exhaustively evaluating a capped tree. The experiment harness uses it
+//! to explain *why* algorithms behave so differently across the random,
+//! Othello and checkers workloads.
+
+use crate::position::GamePosition;
+use crate::value::Value;
+
+/// Ordering/shape statistics of a (truncated) game tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrderingStats {
+    /// Interior nodes measured.
+    pub interior: u64,
+    /// Nodes whose first child was a best (lowest-valued) child.
+    pub first_best: u64,
+    /// Nodes whose best child lay within the first quarter of the branches
+    /// (`ceil(d/4)`).
+    pub quarter_best: u64,
+    /// Total branches across interior nodes.
+    pub branches: u64,
+    /// Smallest and largest interior degree seen.
+    pub min_degree: usize,
+    /// Largest interior degree seen.
+    pub max_degree: usize,
+}
+
+impl OrderingStats {
+    /// Fraction of nodes whose first child is best (Marsland's 70% bar).
+    pub fn first_best_rate(&self) -> f64 {
+        self.first_best as f64 / self.interior as f64
+    }
+
+    /// Fraction of nodes whose best child is in the first quarter
+    /// (Marsland's 90% bar).
+    pub fn quarter_best_rate(&self) -> f64 {
+        self.quarter_best as f64 / self.interior as f64
+    }
+
+    /// Mean branching factor.
+    pub fn mean_degree(&self) -> f64 {
+        self.branches as f64 / self.interior as f64
+    }
+
+    /// True iff the tree meets Marsland's strong-ordering thresholds.
+    pub fn is_strongly_ordered(&self) -> bool {
+        self.first_best_rate() >= 0.70 && self.quarter_best_rate() >= 0.90
+    }
+}
+
+/// Measures ordering statistics of the tree under `root`, truncated at
+/// `depth` plies, with children considered in the order produced by
+/// `order_children` (pass the identity for natural order, or a sorter
+/// matching the search's ordering policy).
+pub fn measure_ordering<P, F>(root: &P, depth: u32, order_children: F) -> OrderingStats
+where
+    P: GamePosition,
+    F: Fn(&P, u32, Vec<P>) -> Vec<P> + Copy,
+{
+    let mut stats = OrderingStats {
+        interior: 0,
+        first_best: 0,
+        quarter_best: 0,
+        branches: 0,
+        min_degree: usize::MAX,
+        max_degree: 0,
+    };
+    rec(root, depth, 0, order_children, &mut stats);
+    if stats.interior == 0 {
+        stats.min_degree = 0;
+    }
+    stats
+}
+
+fn rec<P, F>(pos: &P, depth: u32, ply: u32, order_children: F, stats: &mut OrderingStats) -> Value
+where
+    P: GamePosition,
+    F: Fn(&P, u32, Vec<P>) -> Vec<P> + Copy,
+{
+    let kids = pos.children();
+    if depth == 0 || kids.is_empty() {
+        return pos.evaluate();
+    }
+    let kids = order_children(pos, ply, kids);
+    let d = kids.len();
+    let values: Vec<Value> = kids
+        .iter()
+        .map(|c| -rec(c, depth - 1, ply + 1, order_children, stats))
+        .collect();
+    // The best child for the parent has the maximal negated value.
+    let best = values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    stats.interior += 1;
+    stats.branches += d as u64;
+    stats.min_degree = stats.min_degree.min(d);
+    stats.max_degree = stats.max_degree.max(d);
+    stats.first_best += u64::from(values[0] == values[best]);
+    // Earliest index attaining the best value, for the quarter test.
+    let earliest_best = values
+        .iter()
+        .position(|v| *v == values[best])
+        .expect("best exists");
+    stats.quarter_best += u64::from(earliest_best < d.div_ceil(4));
+    *values.iter().max().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordered::OrderedTreeSpec;
+    use crate::random::RandomTreeSpec;
+
+    fn natural<P: GamePosition>(_: &P, _: u32, kids: Vec<P>) -> Vec<P> {
+        kids
+    }
+
+    #[test]
+    fn best_first_trees_are_perfectly_ordered() {
+        let root = OrderedTreeSpec::best_first(3, 4, 4).root();
+        let s = measure_ordering(&root, 4, natural);
+        assert_eq!(s.first_best_rate(), 1.0);
+        assert_eq!(s.quarter_best_rate(), 1.0);
+        assert!(s.is_strongly_ordered());
+        assert_eq!(s.mean_degree(), 4.0);
+        assert_eq!((s.min_degree, s.max_degree), (4, 4));
+    }
+
+    #[test]
+    fn strongly_ordered_generator_passes_its_own_bar() {
+        let root = OrderedTreeSpec::strongly_ordered(7, 6, 3).root();
+        let s = measure_ordering(&root, 3, natural);
+        assert!(
+            s.is_strongly_ordered(),
+            "first {:.2} quarter {:.2}",
+            s.first_best_rate(),
+            s.quarter_best_rate()
+        );
+    }
+
+    #[test]
+    fn unsorted_random_trees_are_weakly_ordered() {
+        let mut first = 0.0;
+        for seed in 0..4 {
+            let root = RandomTreeSpec::new(seed, 4, 4).root();
+            first += measure_ordering(&root, 4, natural).first_best_rate();
+        }
+        first /= 4.0;
+        assert!(
+            first < 0.55,
+            "random order should hover near 1/d-ish rates, got {first:.2}"
+        );
+    }
+
+    #[test]
+    fn sorting_by_static_value_improves_ordered_trees() {
+        let root = OrderedTreeSpec {
+            seed: 5,
+            degree: 5,
+            height: 3,
+            step: 100,
+            noise: 400, // weakly ordered naturally
+        }
+        .root();
+        let sorter = |_: &_, _: u32, mut kids: Vec<crate::ordered::OrderedPos>| {
+            kids.sort_by_key(|c| c.evaluate());
+            kids
+        };
+        let natural_rate = measure_ordering(&root, 3, natural).first_best_rate();
+        let sorted_rate = measure_ordering(&root, 3, sorter).first_best_rate();
+        assert!(
+            sorted_rate >= natural_rate,
+            "static sorting must help: {sorted_rate:.2} vs {natural_rate:.2}"
+        );
+    }
+
+    #[test]
+    fn terminal_root_yields_empty_stats() {
+        let root = RandomTreeSpec::new(1, 3, 2).root();
+        let s = measure_ordering(&root, 0, natural);
+        assert_eq!(s.interior, 0);
+        assert_eq!(s.min_degree, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Game-tree substrate for the ER reproduction.
+//!
+//! This crate provides everything the search algorithms operate *on*:
+//!
+//! * [`Value`]/[`Window`] — negamax-safe scores and alpha-beta windows;
+//! * [`GamePosition`] — the caller-supplied game interface (paper §6);
+//! * [`random`] — the paper's random uniform trees R1–R3 (Table 3);
+//! * [`ordered`] — strongly-ordered synthetic trees (Marsland's 70/90 rule);
+//! * [`tictactoe`] — the Figure 1 example game;
+//! * [`arena`] — explicit hand-built trees for tests and figures;
+//! * [`minimal`] — Knuth–Moore critical-node / minimal-tree analysis (§2.2);
+//! * [`analysis`] — ordering-strength measurement (Marsland's §4.4 metric);
+//! * [`SearchStats`] — node/eval counters matching the paper's metrics.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod arena;
+pub mod minimal;
+pub mod ordered;
+pub mod position;
+pub mod random;
+pub mod stats;
+pub mod tictactoe;
+pub mod value;
+
+pub use position::GamePosition;
+pub use stats::SearchStats;
+pub use value::{Value, Window};

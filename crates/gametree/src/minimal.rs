@@ -1,0 +1,241 @@
+//! Knuth–Moore minimal-tree analysis (paper §2.2).
+//!
+//! For any game tree there is a *minimal subtree* that alpha-beta must
+//! examine regardless of leaf values, and if the tree is searched in
+//! best-first order only the minimal subtree is searched. Its nodes are the
+//! *critical* nodes, classified into types 1, 2 and 3.
+//!
+//! The paper also gives the variant without deep cutoffs (critical 1- and
+//! 2-nodes only), which defines the mandatory work of the MWF algorithm.
+//!
+//! Note on the leaf-count formula: the paper's text prints
+//! `d^⌈h/2⌉ + d^⌊h/2⌋ + 1`; the correct Knuth–Moore/Slagle–Dixon count is
+//! `d^⌈h/2⌉ + d^⌊h/2⌋ − 1` (the root's leaf would otherwise be counted
+//! twice). We implement the latter and verify it against direct recursion
+//! and brute-force classification.
+
+/// Critical-node types from the Knuth–Moore classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeType {
+    /// Type 1: principal-variation nodes.
+    One,
+    /// Type 2: cut nodes.
+    Two,
+    /// Type 3: all nodes (every child must be examined).
+    Three,
+}
+
+/// Classifies the node reached by `path` (child indices from the root) in
+/// the minimal tree *with* deep cutoffs. `None` means non-critical.
+///
+/// Rules (paper §2.2): the root is type 1; the first child of a 1-node is
+/// type 1 and the rest are type 2; the first child of a 2-node is type 3;
+/// all children of a 3-node are type 2.
+pub fn classify_path(path: &[u32]) -> Option<NodeType> {
+    let mut t = NodeType::One;
+    for &i in path {
+        t = match (t, i) {
+            (NodeType::One, 0) => NodeType::One,
+            (NodeType::One, _) => NodeType::Two,
+            (NodeType::Two, 0) => NodeType::Three,
+            (NodeType::Two, _) => return None,
+            (NodeType::Three, _) => NodeType::Two,
+        };
+    }
+    Some(t)
+}
+
+/// Classifies `path` in the minimal tree *without* deep cutoffs (paper
+/// §2.2, second rule set; the tree MWF treats as mandatory). Only types 1
+/// and 2 occur.
+///
+/// Rules: the root is type 1; the first child of a 1-node is type 1 and the
+/// rest are type 2; the first child of a 2-node is type 1.
+pub fn classify_path_nodeep(path: &[u32]) -> Option<NodeType> {
+    let mut t = NodeType::One;
+    for &i in path {
+        t = match (t, i) {
+            (NodeType::One, 0) => NodeType::One,
+            (NodeType::One, _) => NodeType::Two,
+            (NodeType::Two, 0) => NodeType::One,
+            (NodeType::Two, _) => return None,
+            (NodeType::Three, _) => unreachable!("no 3-nodes without deep cutoffs"),
+        };
+    }
+    Some(t)
+}
+
+/// Closed-form count of leaves in the minimal tree (with deep cutoffs) of a
+/// complete `d`-ary tree of height `h`: `d^⌈h/2⌉ + d^⌊h/2⌋ − 1`.
+pub fn minimal_leaf_count(d: u64, h: u32) -> u64 {
+    d.pow(h.div_ceil(2)) + d.pow(h / 2) - 1
+}
+
+/// Leaf count of the minimal tree computed by direct recursion over node
+/// types (used to validate the closed form).
+pub fn minimal_leaf_count_recursive(d: u64, h: u32) -> u64 {
+    // l1/l2/l3 = number of minimal-tree leaves below a node of each type at
+    // remaining height h.
+    fn l(d: u64, h: u32, t: NodeType) -> u64 {
+        if h == 0 {
+            return 1;
+        }
+        match t {
+            NodeType::One => l(d, h - 1, NodeType::One) + (d - 1) * l(d, h - 1, NodeType::Two),
+            NodeType::Two => l(d, h - 1, NodeType::Three),
+            NodeType::Three => d * l(d, h - 1, NodeType::Two),
+        }
+    }
+    l(d, h, NodeType::One)
+}
+
+/// Total number of critical nodes (with deep cutoffs) of a complete `d`-ary
+/// tree of height `h`, the root included.
+pub fn minimal_node_count(d: u64, h: u32) -> u64 {
+    fn n(d: u64, h: u32, t: NodeType) -> u64 {
+        if h == 0 {
+            return 1;
+        }
+        1 + match t {
+            NodeType::One => n(d, h - 1, NodeType::One) + (d - 1) * n(d, h - 1, NodeType::Two),
+            NodeType::Two => n(d, h - 1, NodeType::Three),
+            NodeType::Three => d * n(d, h - 1, NodeType::Two),
+        }
+    }
+    n(d, h, NodeType::One)
+}
+
+/// Leaf count of the minimal tree *without* deep cutoffs (MWF's mandatory
+/// work) by direct recursion.
+pub fn minimal_leaf_count_nodeep(d: u64, h: u32) -> u64 {
+    fn l(d: u64, h: u32, t: NodeType) -> u64 {
+        if h == 0 {
+            return 1;
+        }
+        match t {
+            NodeType::One => l(d, h - 1, NodeType::One) + (d - 1) * l(d, h - 1, NodeType::Two),
+            NodeType::Two => l(d, h - 1, NodeType::One),
+            NodeType::Three => unreachable!(),
+        }
+    }
+    l(d, h, NodeType::One)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_type_one() {
+        assert_eq!(classify_path(&[]), Some(NodeType::One));
+        assert_eq!(classify_path_nodeep(&[]), Some(NodeType::One));
+    }
+
+    #[test]
+    fn principal_variation_is_all_type_one() {
+        assert_eq!(classify_path(&[0, 0, 0, 0]), Some(NodeType::One));
+        assert_eq!(classify_path_nodeep(&[0, 0, 0, 0]), Some(NodeType::One));
+    }
+
+    #[test]
+    fn rule_chain_with_deep_cutoffs() {
+        // Right child of the root: type 2.
+        assert_eq!(classify_path(&[2]), Some(NodeType::Two));
+        // Its first child: type 3.
+        assert_eq!(classify_path(&[2, 0]), Some(NodeType::Three));
+        // Any child of a 3-node: type 2.
+        assert_eq!(classify_path(&[2, 0, 1]), Some(NodeType::Two));
+        // Non-first child of a 2-node is not critical.
+        assert_eq!(classify_path(&[2, 1]), None);
+        // Descendants of non-critical nodes are unreachable by the rules.
+        assert_eq!(classify_path(&[2, 1, 0]), None);
+    }
+
+    #[test]
+    fn rule_chain_without_deep_cutoffs() {
+        assert_eq!(classify_path_nodeep(&[2]), Some(NodeType::Two));
+        // First child of a 2-node is type *1* in this variant.
+        assert_eq!(classify_path_nodeep(&[2, 0]), Some(NodeType::One));
+        assert_eq!(classify_path_nodeep(&[2, 1]), None);
+    }
+
+    #[test]
+    fn closed_form_matches_recursion() {
+        for d in 2..=6u64 {
+            for h in 0..=8u32 {
+                assert_eq!(
+                    minimal_leaf_count(d, h),
+                    minimal_leaf_count_recursive(d, h),
+                    "d={d} h={h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_brute_force_classification() {
+        // Enumerate all leaves of a complete d-ary tree of height h and
+        // count the critical ones.
+        fn brute(d: u32, h: u32) -> u64 {
+            fn rec(path: &mut Vec<u32>, d: u32, h: u32, count: &mut u64) {
+                if path.len() as u32 == h {
+                    if classify_path(path).is_some() {
+                        *count += 1;
+                    }
+                    return;
+                }
+                for i in 0..d {
+                    path.push(i);
+                    rec(path, d, h, count);
+                    path.pop();
+                }
+            }
+            let mut count = 0;
+            rec(&mut Vec::new(), d, h, &mut count);
+            count
+        }
+        for d in 2..=4u32 {
+            for h in 0..=6u32 {
+                assert_eq!(minimal_leaf_count(d as u64, h), brute(d, h), "d={d} h={h}");
+            }
+        }
+    }
+
+    #[test]
+    fn knuth_moore_examples() {
+        // Knuth & Moore: d=3, h=4 minimal tree has 3^2 + 3^2 - 1 = 17 leaves
+        // (the tree in the paper's Figure 3 shape).
+        assert_eq!(minimal_leaf_count(3, 4), 17);
+        // Odd height splits ceil/floor.
+        assert_eq!(minimal_leaf_count(2, 3), 4 + 2 - 1);
+    }
+
+    #[test]
+    fn minimal_tree_is_about_twice_sqrt_n() {
+        // For even h: leaves(minimal) = 2*d^(h/2) - 1 = 2*sqrt(N) - 1.
+        let d = 5u64;
+        let h = 6u32;
+        let n = d.pow(h);
+        let min = minimal_leaf_count(d, h);
+        assert_eq!(min, 2 * (n as f64).sqrt() as u64 - 1);
+    }
+
+    #[test]
+    fn nodeep_minimal_is_at_least_deep_minimal() {
+        for d in 2..=5u64 {
+            for h in 0..=8u32 {
+                assert!(
+                    minimal_leaf_count_nodeep(d, h) >= minimal_leaf_count(d, h),
+                    "deep cutoffs can only shrink the minimal tree (d={d} h={h})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_count_grows_with_height_and_degree() {
+        assert_eq!(minimal_node_count(2, 0), 1);
+        assert!(minimal_node_count(3, 4) > minimal_node_count(3, 3));
+        assert!(minimal_node_count(4, 4) > minimal_node_count(3, 4));
+    }
+}

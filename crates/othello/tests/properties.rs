@@ -1,0 +1,161 @@
+//! Property tests for the Othello engine: invariants along random
+//! playouts and board symmetries.
+
+use gametree::{GamePosition, Value};
+use othello::board::{parse_square, square_name, Board};
+use othello::{evaluate, Move, OthelloPos};
+use proptest::prelude::*;
+
+/// Plays `steps` pseudo-random moves (selected by the step values) from
+/// the initial position, checking invariants at every ply.
+fn random_playout(steps: &[u8]) -> OthelloPos {
+    let mut pos = OthelloPos::initial();
+    for &s in steps {
+        let moves = pos.moves();
+        if moves.is_empty() {
+            break;
+        }
+        let mv = moves[s as usize % moves.len()];
+        let before = pos.board;
+        pos = pos.play(&mv);
+        let after = pos.board;
+
+        // Disjoint colour sets, monotone occupancy.
+        assert_eq!(after.own & after.opp, 0);
+        match mv {
+            Move::Place(sq) => {
+                assert_eq!(
+                    after.own | after.opp,
+                    before.own | before.opp | (1 << sq),
+                    "placement adds exactly one disc"
+                );
+                // A legal placement flips at least one disc: the side now
+                // waiting (the previous opponent) lost at least one disc.
+                assert!(
+                    after.own.count_ones() < before.opp.count_ones(),
+                    "some enemy disc must flip"
+                );
+            }
+            Move::Pass => {
+                assert_eq!(after.own, before.opp);
+                assert_eq!(after.opp, before.own);
+            }
+        }
+    }
+    pos
+}
+
+proptest! {
+    #[test]
+    fn playout_invariants_hold(steps in prop::collection::vec(any::<u8>(), 0..70)) {
+        random_playout(&steps);
+    }
+
+    #[test]
+    fn legal_moves_are_on_empty_squares(steps in prop::collection::vec(any::<u8>(), 0..40)) {
+        let pos = random_playout(&steps);
+        let moves = pos.board.legal_moves();
+        prop_assert_eq!(moves & (pos.board.own | pos.board.opp), 0);
+    }
+
+    #[test]
+    fn every_reported_move_has_flips(steps in prop::collection::vec(any::<u8>(), 0..40)) {
+        let pos = random_playout(&steps);
+        let mut m = pos.board.legal_moves();
+        while m != 0 {
+            let sq = m.trailing_zeros() as u8;
+            m &= m - 1;
+            prop_assert!(pos.board.flips(sq) != 0, "move {sq} reported but flips nothing");
+            // And flips only enemy discs.
+            prop_assert_eq!(pos.board.flips(sq) & !pos.board.opp, 0);
+        }
+    }
+
+    #[test]
+    fn evaluation_negates_under_side_swap(steps in prop::collection::vec(any::<u8>(), 0..40)) {
+        let pos = random_playout(&steps);
+        prop_assert_eq!(evaluate(&pos.board), -evaluate(&pos.board.swapped()));
+    }
+
+    #[test]
+    fn evaluation_is_finite(steps in prop::collection::vec(any::<u8>(), 0..70)) {
+        let pos = random_playout(&steps);
+        let v = evaluate(&pos.board);
+        prop_assert!(v.is_finite());
+        prop_assert!(v.get().abs() <= 64_000, "terminal bound: {v}");
+    }
+
+    #[test]
+    fn square_names_round_trip(sq in 0u8..64) {
+        prop_assert_eq!(parse_square(&square_name(sq)), Some(sq));
+    }
+}
+
+/// Mirrors a bitboard horizontally (file a <-> file h).
+fn mirror_h(b: u64) -> u64 {
+    let mut out = 0u64;
+    for r in 0..8 {
+        for c in 0..8 {
+            if b & (1 << (r * 8 + c)) != 0 {
+                out |= 1 << (r * 8 + (7 - c));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn movegen_commutes_with_horizontal_mirror(steps in prop::collection::vec(any::<u8>(), 0..30)) {
+        let pos = random_playout(&steps);
+        let mirrored = Board {
+            own: mirror_h(pos.board.own),
+            opp: mirror_h(pos.board.opp),
+        };
+        prop_assert_eq!(
+            mirror_h(pos.board.legal_moves()),
+            mirrored.legal_moves(),
+            "legal-move sets must mirror with the board"
+        );
+    }
+}
+
+#[test]
+fn full_game_always_terminates_with_double_pass_or_full_board() {
+    for seed in 0..20u8 {
+        let mut pos = OthelloPos::initial();
+        let mut plies = 0u32;
+        loop {
+            let moves = pos.moves();
+            if moves.is_empty() {
+                break;
+            }
+            let mv = moves[(seed as usize + plies as usize) % moves.len()];
+            pos = pos.play(&mv);
+            plies += 1;
+            assert!(plies < 130, "seed {seed}: runaway game");
+        }
+        assert!(pos.board.game_over());
+        assert!(pos.board.occupancy() <= 64);
+    }
+}
+
+#[test]
+fn mirrored_positions_search_to_equal_values() {
+    // Horizontal mirroring is a full game symmetry: a fixed-depth search
+    // of a position and of its mirror must agree exactly.
+    use search_serial::{negmax, OrderPolicy};
+    let _ = OrderPolicy::NATURAL;
+    for (name, pos) in othello::configs::all() {
+        let mirrored = OthelloPos::new(Board {
+            own: mirror_h(pos.board.own),
+            opp: mirror_h(pos.board.opp),
+        });
+        assert_eq!(
+            negmax(&pos, 3).value,
+            negmax(&mirrored, 3).value,
+            "{name}: mirror symmetry broken"
+        );
+    }
+    let _ = Value::ZERO;
+}

@@ -1,0 +1,143 @@
+//! Real-thread back-end for parallel ER.
+//!
+//! The paper's implementation ran one OS process per Sequent processor
+//! against a shared problem heap; this back-end runs one thread per
+//! (virtual) processor against the same [`ErWorker`] state used by the
+//! simulator, guarded by a mutex with a condition variable for idle
+//! threads. Selection and result application happen under the lock (they
+//! are the heap/tree critical sections); move generation, static
+//! evaluation and serial subtree searches run outside it.
+//!
+//! On a multi-core host this achieves real speedup; on any host it
+//! produces the same root value as every serial algorithm (the test suite
+//! checks this), while node counts may vary run-to-run with thread
+//! scheduling — exactly the nondeterminism the deterministic simulator
+//! exists to remove.
+
+use gametree::{GamePosition, SearchStats, Value};
+use parking_lot::{Condvar, Mutex};
+
+use super::engine::{execute_task, ErWorker, Select};
+use super::ErParallelConfig;
+
+/// Result of a threaded parallel ER run.
+#[derive(Clone, Copy, Debug)]
+pub struct ErThreadsResult {
+    /// The root value.
+    pub value: Value,
+    /// Aggregate nodes examined across all threads.
+    pub stats: SearchStats,
+    /// Wall-clock duration of the search.
+    pub elapsed: std::time::Duration,
+}
+
+/// Runs parallel ER with `threads` OS threads.
+pub fn run_er_threads<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+) -> ErThreadsResult {
+    assert!(threads > 0);
+    let worker = Mutex::new(ErWorker::new(pos.clone(), depth, *cfg));
+    let idle = Condvar::new();
+    let order = cfg.order;
+    let start = std::time::Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // Select under the lock, waiting when no work is available.
+                let job = {
+                    let mut g = worker.lock();
+                    loop {
+                        if g.is_finished() {
+                            idle.notify_all();
+                            return;
+                        }
+                        match g.select() {
+                            Select::Job(job) => break job,
+                            Select::JustFinished => {
+                                idle.notify_all();
+                                return;
+                            }
+                            Select::Empty => {
+                                // Park until a completion produces work (or
+                                // finishes the search).
+                                idle.wait(&mut g);
+                            }
+                        }
+                    }
+                };
+                // Execute outside the lock — this is the actual parallelism.
+                let outcome = execute_task(job.task, order);
+                // Apply under the lock and wake idle threads: new work may
+                // now exist, or the search may have finished.
+                let finished = {
+                    let mut g = worker.lock();
+                    g.apply(job.id, outcome)
+                };
+                idle.notify_all();
+                if finished {
+                    return;
+                }
+            });
+        }
+    });
+
+    let g = worker.lock();
+    ErThreadsResult {
+        value: g.root_value.expect("threaded search finished"),
+        stats: g.totals,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gametree::random::RandomTreeSpec;
+    use gametree::tictactoe::TicTacToe;
+    use search_serial::negmax;
+
+    #[test]
+    fn matches_negmax_single_thread() {
+        let root = RandomTreeSpec::new(21, 4, 6).root();
+        let r = run_er_threads(&root, 6, 1, &ErParallelConfig::random_tree(3));
+        assert_eq!(r.value, negmax(&root, 6).value);
+    }
+
+    #[test]
+    fn matches_negmax_many_threads() {
+        for seed in 0..4 {
+            let root = RandomTreeSpec::new(seed, 4, 6).root();
+            let exact = negmax(&root, 6).value;
+            for threads in [2usize, 4, 8] {
+                let r = run_er_threads(&root, 6, threads, &ErParallelConfig::random_tree(3));
+                assert_eq!(r.value, exact, "seed {seed} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn tictactoe_threaded_draw() {
+        let r = run_er_threads(
+            &TicTacToe::initial(),
+            9,
+            4,
+            &ErParallelConfig::random_tree(5),
+        );
+        assert_eq!(r.value, Value::ZERO);
+    }
+
+    #[test]
+    fn repeated_runs_agree_on_value() {
+        // Node counts may differ run to run; the value never may.
+        let root = RandomTreeSpec::new(33, 4, 7).root();
+        let exact = negmax(&root, 7).value;
+        for _ in 0..5 {
+            let r = run_er_threads(&root, 7, 4, &ErParallelConfig::random_tree(3));
+            assert_eq!(r.value, exact);
+        }
+    }
+}

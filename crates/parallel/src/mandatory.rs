@@ -1,0 +1,209 @@
+//! Mandatory vs. speculative work classification (paper §3).
+//!
+//! "For any parallel algorithm A we define *mandatory work* with respect
+//! to a reference algorithm B as all work that would be performed by B on
+//! the same input." The reference here is serial alpha-beta (the fastest
+//! serial algorithm on our trees); nodes are identified by deterministic
+//! path keys (ordered-child indices hashed along the path, see
+//! [`crate::tree::child_path_key`]), so the same tree node carries the
+//! same identity in every algorithm.
+//!
+//! The paper also notes that a parallel run "might terminate successfully
+//! on some inputs without performing all the mandatory work" (extra
+//! cutoffs) — the classifier reports that set too.
+
+use std::collections::HashSet;
+
+use gametree::{GamePosition, Value, Window};
+use search_serial::ordering::{ordered_children, OrderPolicy};
+
+use crate::er::{run_er_sim, ErParallelConfig};
+use crate::tree::{child_path_key, ROOT_PATH_KEY};
+
+/// Alpha-beta that records the path key of every node it examines.
+pub fn alphabeta_visited<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    policy: OrderPolicy,
+) -> (Value, HashSet<u64>) {
+    let mut visited = HashSet::new();
+    let mut stats = gametree::SearchStats::new();
+    let value = rec(
+        pos,
+        depth,
+        Window::FULL,
+        0,
+        ROOT_PATH_KEY,
+        policy,
+        &mut stats,
+        &mut visited,
+    );
+    (value, visited)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    window: Window,
+    ply: u32,
+    key: u64,
+    policy: OrderPolicy,
+    stats: &mut gametree::SearchStats,
+    visited: &mut HashSet<u64>,
+) -> Value {
+    visited.insert(key);
+    if depth == 0 || pos.degree() == 0 {
+        return pos.evaluate();
+    }
+    let kids = ordered_children(pos, ply, policy, stats);
+    let mut m = Value::NEG_INF;
+    let mut w = window;
+    for (i, child) in kids.iter().enumerate() {
+        let t = -rec(
+            child,
+            depth - 1,
+            w.negate(),
+            ply + 1,
+            child_path_key(key, i),
+            policy,
+            stats,
+            visited,
+        );
+        m = m.max(t);
+        w = w.raise_alpha(m);
+        if m >= window.beta {
+            return m;
+        }
+    }
+    m
+}
+
+/// How a parallel ER run's examined nodes split against serial
+/// alpha-beta's mandatory set.
+#[derive(Clone, Copy, Debug)]
+pub struct OverheadReport {
+    /// Nodes serial alpha-beta examines on this tree.
+    pub mandatory: usize,
+    /// Nodes the parallel run examined.
+    pub examined: usize,
+    /// Examined nodes that are mandatory (the overlap).
+    pub mandatory_done: usize,
+    /// Examined nodes *not* in the mandatory set — pure speculative work.
+    pub speculative: usize,
+    /// Mandatory nodes the parallel run never examined (extra cutoffs —
+    /// the source of the paper's occasional super-unitary efficiency).
+    pub mandatory_skipped: usize,
+}
+
+impl OverheadReport {
+    /// Fraction of the parallel run's work that was speculative.
+    pub fn speculative_fraction(&self) -> f64 {
+        self.speculative as f64 / self.examined as f64
+    }
+}
+
+/// Classifies a parallel ER run at `processors` against serial alpha-beta.
+///
+/// The run is forced to `serial_depth = 0` (serial-frontier jobs would
+/// collapse whole subtrees into one identity) and to natural child order:
+/// path keys are ordered-child indices, and ER deliberately does not
+/// statically sort e-node children (§7), so any sorting policy would give
+/// the same tree node different identities in the two algorithms.
+pub fn classify_er_run<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    processors: usize,
+    cfg: &ErParallelConfig,
+) -> OverheadReport {
+    let cfg = ErParallelConfig {
+        serial_depth: 0,
+        order: OrderPolicy::NATURAL,
+        ..*cfg
+    };
+    let (ab_value, mandatory) = alphabeta_visited(pos, depth, cfg.order);
+    let run = run_er_sim(pos, depth, processors, &cfg);
+    assert_eq!(run.value, ab_value, "classification requires agreement");
+    let examined: HashSet<u64> = run.examined_keys.iter().copied().collect();
+    let mandatory_done = examined.intersection(&mandatory).count();
+    OverheadReport {
+        mandatory: mandatory.len(),
+        examined: examined.len(),
+        mandatory_done,
+        speculative: examined.len() - mandatory_done,
+        mandatory_skipped: mandatory.len() - mandatory_done,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gametree::random::RandomTreeSpec;
+    use search_serial::{alphabeta, negmax};
+
+    #[test]
+    fn visited_set_size_matches_alphabeta_node_count() {
+        for seed in 0..5 {
+            let root = RandomTreeSpec::new(seed, 4, 6).root();
+            let (value, visited) = alphabeta_visited(&root, 6, OrderPolicy::NATURAL);
+            let ab = alphabeta(&root, 6, OrderPolicy::NATURAL);
+            assert_eq!(value, ab.value, "seed {seed}");
+            assert_eq!(
+                visited.len() as u64,
+                ab.stats.nodes(),
+                "seed {seed}: every examined node has a unique key"
+            );
+        }
+    }
+
+    #[test]
+    fn visited_is_subset_of_full_tree() {
+        let root = RandomTreeSpec::new(1, 3, 5).root();
+        let (_, visited) = alphabeta_visited(&root, 5, OrderPolicy::NATURAL);
+        let full = negmax(&root, 5);
+        assert!(visited.len() as u64 <= full.stats.nodes());
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let root = RandomTreeSpec::new(5, 4, 7).root();
+        let cfg = ErParallelConfig::random_tree(0);
+        for k in [1usize, 4, 16] {
+            let r = classify_er_run(&root, 7, k, &cfg);
+            assert_eq!(r.mandatory_done + r.speculative, r.examined, "k={k}");
+            assert_eq!(r.mandatory_done + r.mandatory_skipped, r.mandatory, "k={k}");
+            assert!(r.speculative_fraction() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn speculative_fraction_grows_with_processors() {
+        let mut f1 = 0.0;
+        let mut f16 = 0.0;
+        for seed in 0..3 {
+            let root = RandomTreeSpec::new(seed, 4, 7).root();
+            let cfg = ErParallelConfig::random_tree(0);
+            f1 += classify_er_run(&root, 7, 1, &cfg).speculative_fraction();
+            f16 += classify_er_run(&root, 7, 16, &cfg).speculative_fraction();
+        }
+        assert!(
+            f16 > f1,
+            "16 processors must do a larger speculative share: {f16:.2} vs {f1:.2}"
+        );
+    }
+
+    #[test]
+    fn most_mandatory_work_is_done() {
+        // Parallel ER with full windows completes nearly all of serial
+        // alpha-beta's node set (a few nodes escape via extra cutoffs).
+        let root = RandomTreeSpec::new(9, 4, 7).root();
+        let cfg = ErParallelConfig::random_tree(0);
+        let r = classify_er_run(&root, 7, 8, &cfg);
+        assert!(
+            (r.mandatory_done as f64) > 0.85 * r.mandatory as f64,
+            "mandatory coverage too low: {}/{}",
+            r.mandatory_done,
+            r.mandatory
+        );
+    }
+}

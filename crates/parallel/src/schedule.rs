@@ -1,0 +1,126 @@
+//! Schedule rendering: turn a simulated run's job trace into a textual
+//! utilization timeline (a coarse Gantt view), used by `repro gantt` and
+//! handy when diagnosing starvation phases.
+
+use crate::er::engine::JobTrace;
+
+/// A rendered schedule: per-bucket utilization plus a per-kind work
+/// breakdown.
+#[derive(Clone, Debug)]
+pub struct ScheduleView {
+    /// Number of time buckets.
+    pub buckets: usize,
+    /// Average busy processors per bucket.
+    pub utilization: Vec<f64>,
+    /// (job kind, items, total ticks), sorted by ticks descending.
+    pub by_kind: Vec<(String, u64, u64)>,
+}
+
+impl ScheduleView {
+    /// Builds a view with `buckets` equal time slices of `makespan`.
+    pub fn build(trace: &[JobTrace], makespan: u64, buckets: usize) -> ScheduleView {
+        assert!(buckets > 0 && makespan > 0);
+        let mut utilization = vec![0.0; buckets];
+        let bucket_len = makespan as f64 / buckets as f64;
+        let mut kinds: std::collections::BTreeMap<&'static str, (u64, u64)> = Default::default();
+        for j in trace {
+            let (s, e) = (j.start as f64, (j.start + j.cost) as f64);
+            for (b, u) in utilization.iter_mut().enumerate() {
+                let lo = b as f64 * bucket_len;
+                let hi = lo + bucket_len;
+                let overlap = (e.min(hi) - s.max(lo)).max(0.0);
+                *u += overlap / bucket_len;
+            }
+            let entry = kinds.entry(j.kind).or_default();
+            entry.0 += 1;
+            entry.1 += j.cost;
+        }
+        let mut by_kind: Vec<(String, u64, u64)> = kinds
+            .into_iter()
+            .map(|(k, (n, t))| (k.to_string(), n, t))
+            .collect();
+        by_kind.sort_by_key(|(_, _, t)| std::cmp::Reverse(*t));
+        ScheduleView {
+            buckets,
+            utilization,
+            by_kind,
+        }
+    }
+
+    /// Renders an ASCII bar chart: one row per bucket, `#` per busy
+    /// processor (scaled to `processors`).
+    pub fn render(&self, processors: usize) -> String {
+        let mut out = String::new();
+        for (b, u) in self.utilization.iter().enumerate() {
+            let pct = 100.0 * b as f64 / self.buckets as f64;
+            let bars = u.round().clamp(0.0, processors as f64) as usize;
+            out.push_str(&format!(
+                "{:>3.0}% |{}{}| {:>5.1}\n",
+                pct,
+                "#".repeat(bars),
+                " ".repeat(processors.saturating_sub(bars)),
+                u
+            ));
+        }
+        out.push_str("\nwork by job kind:\n");
+        for (kind, n, ticks) in &self.by_kind {
+            out.push_str(&format!("  {kind:<12} {n:>7} items {ticks:>10} ticks\n"));
+        }
+        out
+    }
+
+    /// Mean utilization over the whole run.
+    pub fn mean_utilization(&self) -> f64 {
+        self.utilization.iter().sum::<f64>() / self.buckets as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::er::{run_er_sim, ErParallelConfig};
+    use gametree::random::RandomTreeSpec;
+
+    fn sample_run(k: usize) -> (Vec<JobTrace>, u64) {
+        let root = RandomTreeSpec::new(3, 4, 7).root();
+        let r = run_er_sim(&root, 7, k, &ErParallelConfig::random_tree(3));
+        (r.trace, r.report.makespan)
+    }
+
+    #[test]
+    fn utilization_is_bounded_by_processor_count() {
+        let (trace, makespan) = sample_run(4);
+        let v = ScheduleView::build(&trace, makespan, 20);
+        for u in &v.utilization {
+            assert!(*u <= 4.0 + 1e-6, "utilization {u} exceeds machine size");
+            assert!(*u >= 0.0);
+        }
+    }
+
+    #[test]
+    fn total_utilization_equals_work() {
+        let (trace, makespan) = sample_run(8);
+        let v = ScheduleView::build(&trace, makespan, 40);
+        let work: u64 = trace.iter().map(|j| j.cost).sum();
+        let integrated = v.mean_utilization() * makespan as f64;
+        let diff = (integrated - work as f64).abs() / work as f64;
+        assert!(diff < 0.02, "integrated utilization off by {diff:.3}");
+    }
+
+    #[test]
+    fn render_has_one_row_per_bucket_plus_breakdown() {
+        let (trace, makespan) = sample_run(2);
+        let v = ScheduleView::build(&trace, makespan, 10);
+        let s = v.render(2);
+        assert!(s.lines().count() >= 10 + 2);
+        assert!(s.contains("serial"), "kind breakdown present: {s}");
+    }
+
+    #[test]
+    fn busier_machines_show_higher_utilization() {
+        let (t1, m1) = sample_run(1);
+        let v1 = ScheduleView::build(&t1, m1, 10);
+        // One processor with no idling: mean utilization near 1.
+        assert!(v1.mean_utilization() > 0.9, "{}", v1.mean_utilization());
+    }
+}

@@ -1,0 +1,401 @@
+//! The shared search tree of the parallel ER implementation (paper §6).
+//!
+//! Nodes carry the record fields of Figure 8 (`value`, `done`) plus the
+//! bookkeeping the problem-heap rules of Tables 1 and 2 need: node type,
+//! generated children, elder-grandchild progress, and e-child state.
+//!
+//! Values follow the paper's combine procedure: `value` is raised only by
+//! *done* children (`value := max(value, -child.value)`); tentative values
+//! (an undecided child whose elder grandchild finished) live on the child
+//! itself and are consulted for e-child selection, never propagated.
+//!
+//! Windows are dynamic: a node's `(alpha, beta)` is recomputed from the
+//! current values of its ancestors, so a sibling finishing anywhere in the
+//! tree immediately narrows everyone's windows. "Node can't be cut off"
+//! (§6 combine) is exactly "the dynamic window is non-empty".
+
+use gametree::{GamePosition, Value, Window};
+
+/// Index of a node in the [`SearchTree`] arena.
+pub type NodeId = u32;
+
+/// Path key of the root node (see [`child_path_key`]).
+pub const ROOT_PATH_KEY: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Deterministic identity of "the `index`-th ordered child of the node
+/// with key `parent`": a pure function of the path from the root, so the
+/// same tree node receives the same key in any algorithm that orders
+/// children identically. Used to classify mandatory vs speculative work.
+pub fn child_path_key(parent: u64, index: usize) -> u64 {
+    gametree::random::splitmix64(parent ^ ((index as u64 + 1) << 1))
+}
+
+/// Node types from Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Evaluate node: all children will be examined.
+    ENode,
+    /// Refute node: children examined sequentially until one refutes it.
+    RNode,
+    /// Child of an e-node whose role is not yet decided; its first child
+    /// (the parent's elder grandchild) is evaluated first.
+    Undecided,
+}
+
+/// One node of the shared search tree.
+#[derive(Clone, Debug)]
+pub struct Node<P: GamePosition> {
+    /// The game position at this node.
+    pub pos: P,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Remaining search depth below this node.
+    pub depth: u32,
+    /// Distance from the root.
+    pub ply: u32,
+    /// Current type under the Table 1/2 rules.
+    pub kind: Kind,
+    /// Paper semantics: the running max of `-child.value` over done
+    /// children (plus window clamps); `NEG_INF` until something combines.
+    pub value: Value,
+    /// Node finished: evaluated, refuted, or cut off.
+    pub done: bool,
+    /// Ordered successor positions, generated once ("determine the child
+    /// positions"); `None` until first needed.
+    pub moves: Option<Vec<P>>,
+    /// How many children have been spawned as tree nodes.
+    pub next_child: usize,
+    /// Spawned children, in generation order.
+    pub children: Vec<NodeId>,
+    /// Spawned children not yet done.
+    pub active_children: usize,
+    /// Children with a tentative value (elder grandchild evaluated) or
+    /// already done — the e-node's elder-grandchild progress counter.
+    pub elder_done: usize,
+    /// Whether this node has been counted in its parent's `elder_done`.
+    pub elder_counted: bool,
+    /// Whether a first e-child has been selected (Table 2 rows 2/5).
+    pub echild_selected: bool,
+    /// Number of children promoted to e-child (speculative-queue rank).
+    pub echildren: u32,
+    /// Parallel refutation has started (Table 2 row 3).
+    pub refuting: bool,
+    /// Currently enqueued on the speculative queue.
+    pub on_spec: bool,
+    /// Currently enqueued on the primary queue.
+    pub queued: bool,
+    /// Taken from a queue with its job not yet applied. Such a node must
+    /// not be re-queued (its pending outcome will drive the next step).
+    pub in_flight: bool,
+    /// Path identity (see [`child_path_key`]).
+    pub path_key: u64,
+}
+
+impl<P: GamePosition> Node<P> {
+    fn new(
+        pos: P,
+        parent: Option<NodeId>,
+        depth: u32,
+        ply: u32,
+        kind: Kind,
+        path_key: u64,
+    ) -> Node<P> {
+        Node {
+            pos,
+            parent,
+            depth,
+            ply,
+            kind,
+            value: Value::NEG_INF,
+            done: false,
+            moves: None,
+            next_child: 0,
+            children: Vec::new(),
+            active_children: 0,
+            elder_done: 0,
+            elder_counted: false,
+            echild_selected: false,
+            echildren: 0,
+            refuting: false,
+            on_spec: false,
+            queued: false,
+            in_flight: false,
+            path_key,
+        }
+    }
+
+    /// Total number of children once the move list exists.
+    pub fn degree(&self) -> Option<usize> {
+        self.moves.as_ref().map(|m| m.len())
+    }
+
+    /// True iff every child has been spawned (requires the move list).
+    pub fn fully_spawned(&self) -> bool {
+        matches!(self.degree(), Some(d) if self.next_child == d)
+    }
+}
+
+/// Arena of search-tree nodes. All parallel-engine mutations go through
+/// this structure; in the simulator it is accessed under the (virtual) heap
+/// lock, in the threaded implementation under a real mutex.
+#[derive(Debug)]
+pub struct SearchTree<P: GamePosition> {
+    nodes: Vec<Node<P>>,
+}
+
+/// The root node's id.
+pub const ROOT: NodeId = 0;
+
+impl<P: GamePosition> SearchTree<P> {
+    /// A tree containing only the root (an e-node, per the elder-grandchild
+    /// strategy the root's evaluation starts with).
+    pub fn new(pos: P, depth: u32) -> SearchTree<P> {
+        SearchTree {
+            nodes: vec![Node::new(pos, None, depth, 0, Kind::ENode, ROOT_PATH_KEY)],
+        }
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &Node<P> {
+        &self.nodes[id as usize]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node<P> {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Number of nodes spawned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the tree is empty (never: the root always exists).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Spawns the next un-spawned child of `parent` with the given kind.
+    /// Requires the move list to exist and a child to remain.
+    pub fn spawn_child(&mut self, parent: NodeId, kind: Kind) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        let p = &mut self.nodes[parent as usize];
+        let idx = p.next_child;
+        let pos = p.moves.as_ref().expect("move list exists")[idx].clone();
+        let depth = p.depth - 1;
+        let ply = p.ply + 1;
+        let key = child_path_key(p.path_key, idx);
+        p.next_child += 1;
+        p.children.push(id);
+        p.active_children += 1;
+        self.nodes
+            .push(Node::new(pos, Some(parent), depth, ply, kind, key));
+        id
+    }
+
+    /// The dynamic alpha-beta window of `id`, derived from the current
+    /// values of its ancestors exactly as serial alpha-beta would pass it
+    /// down: `beta(n) = -alpha(parent)`, `alpha(n) = max(value(n),
+    /// -beta(parent))`, with the root's window starting at `(value, +inf)`.
+    pub fn window(&self, id: NodeId) -> Window {
+        // Collect the root→id path.
+        let mut path = Vec::with_capacity(self.nodes[id as usize].ply as usize + 1);
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            path.push(c);
+            cur = self.nodes[c as usize].parent;
+        }
+        let mut alpha = Value::NEG_INF;
+        let mut beta = Value::INF;
+        for &n in path.iter().rev() {
+            // Entering node n from its parent: swap-and-negate the parent's
+            // (alpha, beta), then raise alpha by n's own combined value.
+            if self.nodes[n as usize].parent.is_some() {
+                let t = alpha;
+                alpha = -beta;
+                beta = -t;
+            }
+            alpha = alpha.max(self.nodes[n as usize].value);
+        }
+        Window { alpha, beta }
+    }
+
+    /// "Node can be cut off" (§6): its dynamic window is empty.
+    pub fn is_cut_off(&self, id: NodeId) -> bool {
+        self.window(id).is_empty()
+    }
+
+    /// True iff the node or any ancestor is done — its result can no longer
+    /// influence the search.
+    pub fn is_dead(&self, id: NodeId) -> bool {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if self.nodes[c as usize].done {
+                return true;
+            }
+            cur = self.nodes[c as usize].parent;
+        }
+        false
+    }
+
+    /// Children of `id` that are candidates for (additional) e-child
+    /// selection: undecided, not done, with a tentative value.
+    pub fn echild_candidates(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes[id as usize]
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let n = &self.nodes[c as usize];
+                n.kind == Kind::Undecided && !n.done && n.elder_counted
+            })
+            .collect()
+    }
+
+    /// The best e-child candidate: the one with the most optimistic bound
+    /// for the parent, i.e. the lowest tentative value (ties: generation
+    /// order, which preserves static-sort order).
+    pub fn best_candidate(&self, id: NodeId) -> Option<NodeId> {
+        self.echild_candidates(id)
+            .into_iter()
+            .min_by_key(|&c| self.nodes[c as usize].value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gametree::arena::{leaf, node, ArenaTree};
+
+    fn two_level() -> SearchTree<gametree::arena::ArenaPos> {
+        let root = ArenaTree::root_of(&node(vec![
+            node(vec![leaf(3), leaf(-2)]),
+            node(vec![leaf(5), leaf(1)]),
+        ]));
+        SearchTree::new(root, 2)
+    }
+
+    fn expand_all(t: &mut SearchTree<gametree::arena::ArenaPos>, id: NodeId, kind: Kind) {
+        let kids = t.node(id).pos.children();
+        t.node_mut(id).moves = Some(kids);
+        while !t.node(id).fully_spawned() {
+            t.spawn_child(id, kind);
+        }
+    }
+
+    #[test]
+    fn root_window_is_full() {
+        let t = two_level();
+        assert_eq!(t.window(ROOT), Window::FULL);
+    }
+
+    #[test]
+    fn child_window_negates_parent_value() {
+        let mut t = two_level();
+        expand_all(&mut t, ROOT, Kind::Undecided);
+        // Simulate the first child combining with value -7 (so root >= 7).
+        t.node_mut(ROOT).value = Value::new(7);
+        let c2 = t.node(ROOT).children[1];
+        let w = t.window(c2);
+        // Child's beta = -alpha(root) = -7.
+        assert_eq!(w.beta, Value::new(-7));
+        assert_eq!(w.alpha, Value::NEG_INF);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn cutoff_when_child_value_reaches_beta() {
+        let mut t = two_level();
+        expand_all(&mut t, ROOT, Kind::Undecided);
+        t.node_mut(ROOT).value = Value::new(7);
+        let c2 = t.node(ROOT).children[1];
+        // The child's own combined value reaches -7: refuted.
+        t.node_mut(c2).value = Value::new(-7);
+        assert!(t.is_cut_off(c2));
+        // A lower value is not yet a cutoff.
+        t.node_mut(c2).value = Value::new(-8);
+        assert!(!t.is_cut_off(c2));
+    }
+
+    #[test]
+    fn deep_cutoff_through_grandparent() {
+        // root(value 5) -> b -> c: c's beta must reflect the root bound two
+        // plies up: beta(b) = -5, alpha(c) = -beta(b) = 5; if c's value
+        // reaches... rather, c's window is (5, +inf)-negated appropriately.
+        let root = ArenaTree::root_of(&node(vec![node(vec![node(vec![
+            leaf(1),
+            leaf(2),
+        ])])]));
+        let mut t = SearchTree::new(root, 3);
+        expand_all(&mut t, ROOT, Kind::Undecided);
+        t.node_mut(ROOT).value = Value::new(5);
+        let b = t.node(ROOT).children[0];
+        let kids_b = t.node(b).pos.children();
+        t.node_mut(b).moves = Some(kids_b);
+        let c = t.spawn_child(b, Kind::ENode);
+        let w = t.window(c);
+        // alpha(c) = -beta(b) = alpha(root) = 5: the deep bound survives.
+        assert_eq!(w.alpha, Value::new(5));
+        // If c's descendants establish value >= beta(c) = -alpha(b) = +inf —
+        // impossible; instead a *descendant of c* at the next ply sees
+        // beta = -5 and can be deep-cut.
+        let kids_c = t.node(c).pos.children();
+        t.node_mut(c).moves = Some(kids_c);
+        let d = t.spawn_child(c, Kind::Undecided);
+        assert_eq!(t.window(d).beta, Value::new(-5));
+        t.node_mut(d).value = Value::new(-5);
+        assert!(t.is_cut_off(d), "deep cutoff via great-grandparent bound");
+    }
+
+    #[test]
+    fn dead_propagates_from_ancestors() {
+        let mut t = two_level();
+        expand_all(&mut t, ROOT, Kind::Undecided);
+        let c1 = t.node(ROOT).children[0];
+        let kids = t.node(c1).pos.children();
+        t.node_mut(c1).moves = Some(kids);
+        let g = t.spawn_child(c1, Kind::ENode);
+        assert!(!t.is_dead(g));
+        t.node_mut(c1).done = true;
+        assert!(t.is_dead(g));
+        assert!(t.is_dead(c1));
+        assert!(!t.is_dead(ROOT));
+    }
+
+    #[test]
+    fn spawn_child_bookkeeping() {
+        let mut t = two_level();
+        let kids = t.node(ROOT).pos.children();
+        t.node_mut(ROOT).moves = Some(kids);
+        assert!(!t.node(ROOT).fully_spawned());
+        let a = t.spawn_child(ROOT, Kind::Undecided);
+        assert_eq!(t.node(ROOT).next_child, 1);
+        assert_eq!(t.node(ROOT).active_children, 1);
+        assert_eq!(t.node(a).ply, 1);
+        assert_eq!(t.node(a).depth, 1);
+        let _b = t.spawn_child(ROOT, Kind::Undecided);
+        assert!(t.node(ROOT).fully_spawned());
+        assert_eq!(t.node(ROOT).active_children, 2);
+    }
+
+    #[test]
+    fn candidate_selection_prefers_lowest_tentative() {
+        let mut t = two_level();
+        expand_all(&mut t, ROOT, Kind::Undecided);
+        let c1 = t.node(ROOT).children[0];
+        let c2 = t.node(ROOT).children[1];
+        // Both children have tentative values (elder grandchildren done).
+        t.node_mut(c1).elder_counted = true;
+        t.node_mut(c1).value = Value::new(-3);
+        t.node_mut(c2).elder_counted = true;
+        t.node_mut(c2).value = Value::new(-5);
+        // c2's tentative -5 is the most optimistic for the root (-(-5)=5).
+        assert_eq!(t.best_candidate(ROOT), Some(c2));
+        // A done child is not a candidate.
+        t.node_mut(c2).done = true;
+        assert_eq!(t.best_candidate(ROOT), Some(c1));
+        // Nor a promoted one.
+        t.node_mut(c1).kind = Kind::ENode;
+        assert_eq!(t.best_candidate(ROOT), None);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property and scenario tests for the parallel crate: value equivalence
+//! across arbitrary trees, processor counts, and speculation settings, and
+//! step-by-step checks of the Table 1/2 scheduling rules.
+
+use er_parallel::er::engine::{execute_task, ErWorker, Select, Task};
+use er_parallel::{run_er_sim, run_er_threads, ErParallelConfig, Speculation};
+use gametree::arena::{leaf, node, ArenaTree, TreeSpec};
+use gametree::random::RandomTreeSpec;
+use gametree::{GamePosition, Value};
+use proptest::prelude::*;
+use search_serial::{negmax, OrderPolicy};
+
+fn arb_tree() -> impl Strategy<Value = TreeSpec> {
+    let leaf_strategy = (-100i32..100).prop_map(leaf);
+    leaf_strategy.prop_recursive(4, 60, 4, |inner| {
+        prop::collection::vec(inner, 1..5).prop_map(node)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sim_matches_negmax_on_irregular_trees(
+        spec in arb_tree(),
+        k in 1usize..20,
+        bits in 0u32..8,
+        serial_depth in 0u32..5,
+    ) {
+        let root = ArenaTree::root_of(&spec);
+        let cfg = ErParallelConfig {
+            serial_depth,
+            order: OrderPolicy::NATURAL,
+            spec: Speculation {
+                parallel_refutation: bits & 1 != 0,
+                multiple_enodes: bits & 2 != 0,
+                early_choice: bits & 4 != 0,
+            },
+            cost: problem_heap::CostModel::default(),
+        };
+        let r = run_er_sim(&root, 32, k, &cfg);
+        prop_assert_eq!(r.value, negmax(&root, 32).value);
+    }
+
+    #[test]
+    fn threads_match_negmax_on_random_trees(
+        seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let root = RandomTreeSpec::new(seed, 3, 5).root();
+        let r = run_er_threads(&root, 5, threads, &ErParallelConfig::random_tree(2));
+        prop_assert_eq!(r.value, negmax(&root, 5).value);
+    }
+
+    #[test]
+    fn examined_keys_are_unique(seed in any::<u64>(), k in 1usize..10) {
+        // Each tree node is examined at most once per run.
+        let root = RandomTreeSpec::new(seed, 3, 5).root();
+        let r = run_er_sim(&root, 5, k, &ErParallelConfig::random_tree(0));
+        let mut keys = r.examined_keys.clone();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before, "duplicate examined node");
+    }
+}
+
+/// Drives an ErWorker synchronously, returning the label sequence of the
+/// first `limit` jobs (a deterministic schedule at k=1).
+fn drive_labels<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    cfg: ErParallelConfig,
+    limit: usize,
+) -> Vec<&'static str> {
+    let mut w = ErWorker::new(pos.clone(), depth, cfg);
+    let mut labels = Vec::new();
+    while labels.len() < limit {
+        match w.select() {
+            Select::Empty | Select::JustFinished => break,
+            Select::Job(job) => {
+                labels.push(match &job.task {
+                    Task::Leaf { .. } => "leaf",
+                    Task::Movegen { enode: true, .. } => "movegen-e",
+                    Task::Movegen { enode: false, .. } => "movegen",
+                    Task::NextChild => "next-child",
+                    Task::ExpandRest => "expand-rest",
+                    Task::Serial { refute: false, .. } => "serial-eval",
+                    Task::Serial { refute: true, .. } => "serial-refute",
+                });
+                let outcome = execute_task(job.task, cfg.order);
+                if w.apply(job.id, outcome) {
+                    break;
+                }
+            }
+        }
+    }
+    labels
+}
+
+#[test]
+fn table1_schedule_starts_with_root_expansion_then_undecided_children() {
+    // Root is an e-node: its movegen is unsorted ("movegen-e"); its
+    // children are undecided, each generating its first child (an e-node
+    // chain) — the elder-grandchild machinery of §5.
+    let root = RandomTreeSpec::new(5, 3, 4).root();
+    let labels = drive_labels(&root, 4, ErParallelConfig::random_tree(0), 3);
+    assert_eq!(labels[0], "movegen-e", "Table 1 row 1 at the root");
+    assert_eq!(labels[1], "movegen", "undecided child generates first child");
+    // Deepest-first: the freshly spawned e-node grandchild goes next.
+    assert_eq!(labels[2], "movegen-e", "elder grandchild expands as e-node");
+}
+
+#[test]
+fn serial_frontier_jobs_have_the_right_discipline() {
+    // With serial_depth = 3 on a 4-ply tree: the root expands, its
+    // undecided children spawn elder grandchildren at depth 2 <= 2 (the
+    // e-node serial limit is serial_depth - 1), which run as serial
+    // evaluations.
+    let root = RandomTreeSpec::new(5, 3, 4).root();
+    let labels = drive_labels(&root, 4, ErParallelConfig::random_tree(3), 6);
+    assert_eq!(labels[0], "movegen-e");
+    assert!(
+        labels.contains(&"serial-eval"),
+        "elder grandchildren run as serial evaluations: {labels:?}"
+    );
+}
+
+#[test]
+fn refutation_jobs_appear_after_the_echild_evaluates() {
+    let root = RandomTreeSpec::new(5, 3, 6).root();
+    let labels = drive_labels(&root, 6, ErParallelConfig::random_tree(3), 200);
+    assert!(
+        labels.contains(&"serial-refute"),
+        "r-node frontier jobs must use the refute discipline: {labels:?}"
+    );
+    // Refutes only appear after at least one evaluation completed.
+    let first_refute = labels.iter().position(|&l| l == "serial-refute").unwrap();
+    let first_eval = labels.iter().position(|&l| l == "serial-eval").unwrap();
+    assert!(first_eval < first_refute);
+}
+
+#[test]
+fn trivial_roots_finish_in_one_job() {
+    // A bare leaf.
+    let root = ArenaTree::root_of(&leaf(9));
+    let r = run_er_sim(&root, 4, 4, &ErParallelConfig::random_tree(2));
+    assert_eq!(r.value, Value::new(9));
+    assert_eq!(r.report.items_completed, 1);
+
+    // A single-child chain still terminates promptly.
+    let chain = ArenaTree::root_of(&node(vec![node(vec![leaf(-3)])]));
+    let r = run_er_sim(&chain, 8, 4, &ErParallelConfig::random_tree(0));
+    assert_eq!(r.value, Value::new(-3));
+}
+
+#[test]
+fn echild_selection_prefers_best_tentative_value() {
+    // Root with three children; the middle child's subtree is clearly
+    // best for the root (lowest child value). After all elder
+    // grandchildren arrive, the middle child must be promoted first —
+    // visible as the root taking its value from it at completion.
+    let spec = node(vec![
+        node(vec![leaf(50), leaf(60)]),   // child value 50.. -> -50ish
+        node(vec![leaf(-90), leaf(-80)]), // best for root
+        node(vec![leaf(10), leaf(20)]),
+    ]);
+    let root = ArenaTree::root_of(&spec);
+    let exact = negmax(&root, 8).value;
+    let r = run_er_sim(&root, 8, 1, &ErParallelConfig::random_tree(0));
+    assert_eq!(r.value, exact);
+    // Negamax: child values are max(-50,-60)=-50, max(90,80)=90,
+    // max(-10,-20)=-10; root = max(50, -90, 10) = 50.
+    assert_eq!(exact, Value::new(50));
+}

@@ -1,0 +1,141 @@
+//! Cost model and parallel-performance metrics.
+//!
+//! The paper ran on a Sequent Symmetry and reported wall-clock speedups;
+//! this host is single-core, so all experiments measure *virtual time* in
+//! simulator ticks under a cost model (DESIGN.md §2). Speedup and
+//! efficiency keep the paper's definitions (§3, after Fishburn):
+//!
+//! ```text
+//! speedup    = time of best serial algorithm / time of parallel algorithm
+//! efficiency = speedup / number of processors
+//! ```
+
+use gametree::SearchStats;
+
+/// Virtual costs, in ticks, of the primitive search operations. Ratios are
+/// what matter: a static evaluation is several times the cost of generating
+/// a node's children, as on the paper's hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Generating the children of one interior node.
+    pub expand: u64,
+    /// One static-evaluator call (leaf evaluation or a sorting probe).
+    pub eval: u64,
+    /// One exclusive access to the shared problem heap / tree ("interference
+    /// loss" knob, §3.1). Zero disables contention modeling.
+    pub heap_latency: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            expand: 2,
+            eval: 8,
+            heap_latency: 1,
+        }
+    }
+}
+
+impl CostModel {
+    /// Virtual serial running time implied by a serial search's counters:
+    /// expansions, leaf evaluations, and sorting evaluations all charged.
+    pub fn serial_ticks(&self, stats: &SearchStats) -> u64 {
+        stats.interior_nodes * self.expand + stats.eval_calls * self.eval
+    }
+}
+
+/// Outcome of one simulated parallel run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimReport {
+    /// Number of simulated processors.
+    pub processors: usize,
+    /// Virtual time at which the computation finished.
+    pub makespan: u64,
+    /// Total ticks spent executing completed work items.
+    pub work_ticks: u64,
+    /// Total ticks the heap/tree lock was held (service time).
+    pub lock_service_ticks: u64,
+    /// Total ticks processors waited for the lock (interference loss).
+    pub lock_wait_ticks: u64,
+    /// Number of work items completed.
+    pub items_completed: u64,
+    /// Number of work acquisitions that found no work (starvation events).
+    pub empty_polls: u64,
+}
+
+impl SimReport {
+    /// Processor-ticks not accounted for by work or lock traffic: idle
+    /// (starvation) time plus in-flight work abandoned at termination.
+    pub fn starvation_ticks(&self) -> u64 {
+        (self.processors as u64 * self.makespan)
+            .saturating_sub(self.work_ticks + self.lock_service_ticks + self.lock_wait_ticks)
+    }
+
+    /// Speedup relative to a serial algorithm that took `serial_ticks`.
+    pub fn speedup(&self, serial_ticks: u64) -> f64 {
+        serial_ticks as f64 / self.makespan as f64
+    }
+
+    /// Efficiency relative to a serial algorithm that took `serial_ticks`.
+    pub fn efficiency(&self, serial_ticks: u64) -> f64 {
+        self.speedup(serial_ticks) / self.processors as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_ticks_charges_all_components() {
+        let cm = CostModel {
+            expand: 2,
+            eval: 8,
+            heap_latency: 0,
+        };
+        let stats = SearchStats {
+            interior_nodes: 10,
+            leaf_nodes: 30,
+            eval_calls: 50, // 30 leaves + 20 sorting probes
+            sorts: 5,
+            cutoffs: 0,
+        };
+        assert_eq!(cm.serial_ticks(&stats), 10 * 2 + 50 * 8);
+    }
+
+    #[test]
+    fn speedup_and_efficiency() {
+        let r = SimReport {
+            processors: 4,
+            makespan: 250,
+            work_ticks: 900,
+            lock_service_ticks: 40,
+            lock_wait_ticks: 20,
+            items_completed: 100,
+            empty_polls: 3,
+        };
+        assert!((r.speedup(1000) - 4.0).abs() < 1e-9);
+        assert!((r.efficiency(1000) - 1.0).abs() < 1e-9);
+        assert_eq!(r.starvation_ticks(), 1000 - 960);
+    }
+
+    #[test]
+    fn starvation_saturates_at_zero() {
+        let r = SimReport {
+            processors: 1,
+            makespan: 10,
+            work_ticks: 20, // in-flight overcount scenario
+            lock_service_ticks: 0,
+            lock_wait_ticks: 0,
+            items_completed: 1,
+            empty_polls: 0,
+        };
+        assert_eq!(r.starvation_ticks(), 0);
+    }
+
+    #[test]
+    fn default_cost_model_is_eval_dominated() {
+        let cm = CostModel::default();
+        assert!(cm.eval > cm.expand, "static evaluation dominates expansion");
+    }
+}

@@ -1,0 +1,152 @@
+//! Deterministic priority queues for problem-heap scheduling.
+//!
+//! The paper's implementation (§6) keeps the problem heap as "a pair of
+//! priority queues": the *primary* queue ordered deepest-first, and the
+//! *speculative* queue ordered by number of e-children with shallower nodes
+//! breaking ties. Both need deterministic FIFO behaviour among equal keys
+//! so that simulation runs are exactly reproducible; `StableQueue` supplies
+//! that.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-priority queue that breaks key ties in insertion (FIFO) order.
+///
+/// Lower keys pop first. Wrap components in [`std::cmp::Reverse`] to get
+/// max-behaviour per component (e.g. deepest-first = `Reverse(depth)`).
+#[derive(Clone, Debug)]
+pub struct StableQueue<K: Ord, T> {
+    heap: BinaryHeap<Reverse<(K, u64, usize)>>,
+    items: Vec<Option<T>>,
+    seq: u64,
+    live: usize,
+}
+
+impl<K: Ord, T> StableQueue<K, T> {
+    /// An empty queue.
+    pub fn new() -> StableQueue<K, T> {
+        StableQueue {
+            heap: BinaryHeap::new(),
+            items: Vec::new(),
+            seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Inserts `item` with priority `key` (lower pops first).
+    pub fn push(&mut self, key: K, item: T) {
+        let slot = self.items.len();
+        self.items.push(Some(item));
+        self.heap.push(Reverse((key, self.seq, slot)));
+        self.seq += 1;
+        self.live += 1;
+    }
+
+    /// Removes and returns the lowest-keyed, earliest-inserted item.
+    pub fn pop(&mut self) -> Option<T> {
+        let Reverse((_, _, slot)) = self.heap.pop()?;
+        self.live -= 1;
+        let item = self.items[slot].take();
+        debug_assert!(item.is_some(), "queue slots are single-use");
+        // Reclaim storage opportunistically once everything has drained.
+        if self.live == 0 {
+            self.items.clear();
+        }
+        item
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True iff no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+impl<K: Ord, T> Default for StableQueue<K, T> {
+    fn default() -> Self {
+        StableQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut q = StableQueue::new();
+        q.push(3, "c");
+        q.push(1, "a");
+        q.push(2, "b");
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), Some("c"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_keys_are_fifo() {
+        let mut q = StableQueue::new();
+        for i in 0..10 {
+            q.push(0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn reverse_component_gives_max_behaviour() {
+        // Deepest-first primary-queue ordering.
+        let mut q = StableQueue::new();
+        q.push(Reverse(2u32), "shallow");
+        q.push(Reverse(7), "deep");
+        q.push(Reverse(7), "deep2");
+        assert_eq!(q.pop(), Some("deep"));
+        assert_eq!(q.pop(), Some("deep2"));
+        assert_eq!(q.pop(), Some("shallow"));
+    }
+
+    #[test]
+    fn compound_keys_order_lexicographically() {
+        // Speculative-queue ordering: fewest e-children first, then
+        // shallower first.
+        let mut q = StableQueue::new();
+        q.push((2u32, 1u32), "two-echildren-shallow");
+        q.push((1, 5), "one-echild-deep");
+        q.push((1, 2), "one-echild-shallower");
+        assert_eq!(q.pop(), Some("one-echild-shallower"));
+        assert_eq!(q.pop(), Some("one-echild-deep"));
+        assert_eq!(q.pop(), Some("two-echildren-shallow"));
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = StableQueue::new();
+        q.push(5, 5);
+        q.push(1, 1);
+        assert_eq!(q.pop(), Some(1));
+        q.push(3, 3);
+        q.push(0, 0);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(5));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn len_tracks_live_items() {
+        let mut q = StableQueue::new();
+        assert_eq!(q.len(), 0);
+        q.push(1, ());
+        q.push(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Deterministic discrete-event simulation of a problem-heap
+//! multiprocessor.
+//!
+//! This is the substitution for the paper's 16-processor Sequent Symmetry
+//! (DESIGN.md §2): `k` virtual processors repeatedly take work from a
+//! shared heap, execute it for its virtual cost, and combine results —
+//! exactly the §6 program outline, with time in ticks instead of seconds.
+//!
+//! Every access to the shared heap/tree (both taking work and combining a
+//! result) passes through a single simulated lock with a fixed service
+//! time; queueing for it is the paper's *interference loss*, and failing to
+//! find work is *starvation loss* (§3.1). The simulation is fully
+//! deterministic: ties in event time resolve in schedule order and idle
+//! processors wake in index order.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+use crate::metrics::SimReport;
+
+/// A unit of work handed to a virtual processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TakenWork {
+    /// Worker-internal identifier passed back on completion.
+    pub token: u64,
+    /// Execution time in ticks (excluding heap-lock traffic).
+    pub cost: u64,
+}
+
+/// The algorithm under simulation: a problem-heap in the sense of
+/// Møller-Nielsen & Staunstrup (paper §3).
+///
+/// The simulator serializes all calls (they model critical sections under
+/// the heap lock), so implementations need no internal synchronization.
+pub trait HeapWorker {
+    /// Takes the next unit of work at virtual time `now`, or `None` if the
+    /// heap is (momentarily) empty. May mutate internal state freely (e.g.
+    /// discarding cut-off work).
+    fn take(&mut self, now: u64) -> Option<TakenWork>;
+
+    /// Records completion of `token` at virtual time `now`, possibly
+    /// generating new work. Returns `true` when the whole computation has
+    /// finished.
+    fn complete(&mut self, token: u64, now: u64) -> bool;
+
+    /// Cheap hint: might `take` currently return work? Used to decide which
+    /// idle processors to wake. May over-approximate (a woken processor
+    /// that finds nothing simply parks again) but must never
+    /// under-approximate while work exists.
+    fn has_pending(&self) -> bool;
+}
+
+/// Runs `worker` on `processors` virtual processors with the given shared
+/// heap-lock service time. Panics if the computation deadlocks (no events
+/// outstanding and not finished) — that would be an algorithm bug.
+pub fn simulate<W: HeapWorker>(worker: &mut W, processors: usize, heap_latency: u64) -> SimReport {
+    assert!(processors > 0, "need at least one processor");
+
+    // (completion time, schedule seq, processor, token, cost)
+    type Event = (u64, u64, usize, u64, u64);
+    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let mut idle: BTreeSet<usize> = BTreeSet::new();
+    let mut lock_free_at: u64 = 0;
+
+    let mut report = SimReport {
+        processors,
+        makespan: 0,
+        work_ticks: 0,
+        lock_service_ticks: 0,
+        lock_wait_ticks: 0,
+        items_completed: 0,
+        empty_polls: 0,
+    };
+
+    // Acquire the heap lock at time `t`; returns the time the critical
+    // section ends.
+    let acquire = |t: u64,
+                   lock_free_at: &mut u64,
+                   report: &mut SimReport|
+     -> u64 {
+        let start = t.max(*lock_free_at);
+        report.lock_wait_ticks += start - t;
+        report.lock_service_ticks += heap_latency;
+        *lock_free_at = start + heap_latency;
+        *lock_free_at
+    };
+
+    // One processor attempts to take work at time `t`.
+    macro_rules! dispatch {
+        ($proc:expr, $t:expr) => {{
+            let acq_done = acquire($t, &mut lock_free_at, &mut report);
+            match worker.take(acq_done) {
+                Some(w) => {
+                    events.push(Reverse((acq_done + w.cost, seq, $proc, w.token, w.cost)));
+                    seq += 1;
+                }
+                None => {
+                    report.empty_polls += 1;
+                    idle.insert($proc);
+                }
+            }
+        }};
+    }
+
+    for p in 0..processors {
+        dispatch!(p, 0);
+    }
+
+    while let Some(Reverse((t, _, proc, token, cost))) = events.pop() {
+        let done_at = acquire(t, &mut lock_free_at, &mut report);
+        report.work_ticks += cost;
+        report.items_completed += 1;
+        if worker.complete(token, done_at) {
+            report.makespan = done_at;
+            return report;
+        }
+        dispatch!(proc, done_at);
+        while worker.has_pending() {
+            let Some(&p) = idle.iter().next() else { break };
+            idle.remove(&p);
+            dispatch!(p, done_at);
+        }
+    }
+
+    panic!(
+        "problem-heap deadlock: no outstanding events but computation not finished \
+         ({} items completed)",
+        report.items_completed
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// N independent items of fixed cost; finished when all complete.
+    struct Independent {
+        remaining_to_take: u64,
+        remaining_to_finish: u64,
+        cost: u64,
+    }
+
+    impl HeapWorker for Independent {
+        fn take(&mut self, _now: u64) -> Option<TakenWork> {
+            if self.remaining_to_take == 0 {
+                return None;
+            }
+            self.remaining_to_take -= 1;
+            Some(TakenWork {
+                token: self.remaining_to_take,
+                cost: self.cost,
+            })
+        }
+        fn complete(&mut self, _token: u64, _now: u64) -> bool {
+            self.remaining_to_finish -= 1;
+            self.remaining_to_finish == 0
+        }
+        fn has_pending(&self) -> bool {
+            self.remaining_to_take > 0
+        }
+    }
+
+    /// A chain: each completion releases the next item (no parallelism).
+    struct Chain {
+        released: bool,
+        left: u64,
+        cost: u64,
+    }
+
+    impl HeapWorker for Chain {
+        fn take(&mut self, _now: u64) -> Option<TakenWork> {
+            if self.released && self.left > 0 {
+                self.released = false;
+                Some(TakenWork {
+                    token: self.left,
+                    cost: self.cost,
+                })
+            } else {
+                None
+            }
+        }
+        fn complete(&mut self, _token: u64, _now: u64) -> bool {
+            self.left -= 1;
+            self.released = true;
+            self.left == 0
+        }
+        fn has_pending(&self) -> bool {
+            self.released && self.left > 0
+        }
+    }
+
+    #[test]
+    fn embarrassingly_parallel_scales_linearly() {
+        for k in [1usize, 2, 4, 8] {
+            let mut w = Independent {
+                remaining_to_take: 40,
+                remaining_to_finish: 40,
+                cost: 100,
+            };
+            let r = simulate(&mut w, k, 0);
+            assert_eq!(
+                r.makespan,
+                (40u64).div_ceil(k as u64) * 100,
+                "k={k}: perfect batching expected with zero lock latency"
+            );
+            assert_eq!(r.items_completed, 40);
+        }
+    }
+
+    #[test]
+    fn chain_gets_no_speedup() {
+        let serial = {
+            let mut w = Chain {
+                released: true,
+                left: 10,
+                cost: 50,
+            };
+            simulate(&mut w, 1, 0).makespan
+        };
+        let parallel = {
+            let mut w = Chain {
+                released: true,
+                left: 10,
+                cost: 50,
+            };
+            simulate(&mut w, 8, 0).makespan
+        };
+        assert_eq!(serial, parallel, "a dependency chain cannot speed up");
+    }
+
+    #[test]
+    fn lock_latency_causes_interference() {
+        let free = {
+            let mut w = Independent {
+                remaining_to_take: 64,
+                remaining_to_finish: 64,
+                cost: 10,
+            };
+            simulate(&mut w, 8, 0)
+        };
+        let contended = {
+            let mut w = Independent {
+                remaining_to_take: 64,
+                remaining_to_finish: 64,
+                cost: 10,
+            };
+            simulate(&mut w, 8, 4)
+        };
+        assert!(contended.makespan > free.makespan);
+        assert!(contended.lock_wait_ticks > 0, "processors must queue");
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut w = Independent {
+                remaining_to_take: 33,
+                remaining_to_finish: 33,
+                cost: 7,
+            };
+            simulate(&mut w, 5, 2)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn starvation_is_visible_for_excess_processors() {
+        // 3 items, 8 processors: five processors never get work.
+        let mut w = Independent {
+            remaining_to_take: 3,
+            remaining_to_finish: 3,
+            cost: 100,
+        };
+        let r = simulate(&mut w, 8, 0);
+        assert!(r.empty_polls >= 5);
+        assert!(r.starvation_ticks() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_panics() {
+        struct Stuck;
+        impl HeapWorker for Stuck {
+            fn take(&mut self, _now: u64) -> Option<TakenWork> {
+                None
+            }
+            fn complete(&mut self, _token: u64, _now: u64) -> bool {
+                false
+            }
+            fn has_pending(&self) -> bool {
+                false
+            }
+        }
+        simulate(&mut Stuck, 2, 0);
+    }
+
+    #[test]
+    fn single_item_makespan_is_cost_plus_lock_traffic() {
+        let mut w = Independent {
+            remaining_to_take: 1,
+            remaining_to_finish: 1,
+            cost: 42,
+        };
+        let r = simulate(&mut w, 1, 3);
+        // take-lock (3) + work (42) + complete-lock (3).
+        assert_eq!(r.makespan, 48);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the problem-heap substrate: the stable priority
+//! queue against a reference model, and simulator scheduling laws.
+
+use problem_heap::{simulate, HeapWorker, StableQueue, TakenWork};
+use proptest::prelude::*;
+
+/// An operation on the queue under test.
+#[derive(Clone, Debug)]
+enum Op {
+    Push(i32),
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (-20i32..20).prop_map(Op::Push),
+            Just(Op::Pop),
+        ],
+        0..200,
+    )
+}
+
+/// Reference model: a vector scanned for the minimal key, earliest entry
+/// first (O(n) but obviously correct).
+#[derive(Default)]
+struct Model {
+    items: Vec<(i32, usize)>,
+    seq: usize,
+}
+
+impl Model {
+    fn push(&mut self, key: i32) -> usize {
+        let id = self.seq;
+        self.items.push((key, id));
+        self.seq += 1;
+        id
+    }
+    fn pop(&mut self) -> Option<usize> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let best = self
+            .items
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (k, s))| (*k, *s))
+            .map(|(i, _)| i)
+            .unwrap();
+        Some(self.items.remove(best).1)
+    }
+}
+
+proptest! {
+    #[test]
+    fn stable_queue_matches_reference_model(ops in arb_ops()) {
+        let mut q: StableQueue<i32, usize> = StableQueue::new();
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Push(k) => {
+                    let id = model.push(k);
+                    q.push(k, id);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(q.pop(), model.pop());
+                }
+            }
+            prop_assert_eq!(q.len(), model.items.len());
+            prop_assert_eq!(q.is_empty(), model.items.is_empty());
+        }
+        // Drain what remains.
+        while let Some(id) = model.pop() {
+            prop_assert_eq!(q.pop(), Some(id));
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+}
+
+/// Independent items of given costs; completion order is irrelevant.
+struct Jobs {
+    costs: Vec<u64>,
+    next: usize,
+    remaining: usize,
+}
+
+impl HeapWorker for Jobs {
+    fn take(&mut self, _now: u64) -> Option<TakenWork> {
+        if self.next >= self.costs.len() {
+            return None;
+        }
+        let token = self.next as u64;
+        let cost = self.costs[self.next];
+        self.next += 1;
+        Some(TakenWork { token, cost })
+    }
+    fn complete(&mut self, _token: u64, _now: u64) -> bool {
+        self.remaining -= 1;
+        self.remaining == 0
+    }
+    fn has_pending(&self) -> bool {
+        self.next < self.costs.len()
+    }
+}
+
+proptest! {
+    #[test]
+    fn makespan_respects_scheduling_bounds(
+        costs in prop::collection::vec(1u64..100, 1..60),
+        k in 1usize..12,
+    ) {
+        let total: u64 = costs.iter().sum();
+        let longest: u64 = *costs.iter().max().unwrap();
+        let mut w = Jobs { costs: costs.clone(), next: 0, remaining: costs.len() };
+        let r = simulate(&mut w, k, 0);
+        // Classic list-scheduling bounds for independent jobs.
+        prop_assert!(r.makespan >= longest, "makespan below longest job");
+        prop_assert!(r.makespan >= total / k as u64, "makespan below total/k");
+        prop_assert!(
+            r.makespan <= total.div_ceil(k as u64) + longest,
+            "makespan {} above Graham bound ({} jobs, k={k})",
+            r.makespan,
+            costs.len()
+        );
+        prop_assert_eq!(r.items_completed, costs.len() as u64);
+        prop_assert_eq!(r.work_ticks, total);
+    }
+
+    #[test]
+    fn single_processor_makespan_is_exactly_total(
+        costs in prop::collection::vec(1u64..50, 1..40),
+    ) {
+        let total: u64 = costs.iter().sum();
+        let mut w = Jobs { costs: costs.clone(), next: 0, remaining: costs.len() };
+        let r = simulate(&mut w, 1, 0);
+        prop_assert_eq!(r.makespan, total);
+        prop_assert_eq!(r.starvation_ticks(), 0);
+    }
+
+    #[test]
+    fn adding_processors_never_hurts_independent_jobs(
+        costs in prop::collection::vec(1u64..50, 1..40),
+        k in 1usize..8,
+    ) {
+        let run = |k: usize| {
+            let mut w = Jobs { costs: costs.clone(), next: 0, remaining: costs.len() };
+            simulate(&mut w, k, 0).makespan
+        };
+        prop_assert!(run(k + 1) <= run(k), "independent jobs: more processors can't slow down");
+    }
+
+    #[test]
+    fn lock_latency_only_adds_time(
+        costs in prop::collection::vec(1u64..50, 1..30),
+        k in 1usize..6,
+        latency in 0u64..5,
+    ) {
+        let run = |l: u64| {
+            let mut w = Jobs { costs: costs.clone(), next: 0, remaining: costs.len() };
+            simulate(&mut w, k, l)
+        };
+        let free = run(0);
+        let locked = run(latency);
+        prop_assert!(locked.makespan >= free.makespan);
+        // Every heap access (successful take, empty poll, completion) holds
+        // the lock for exactly `latency` ticks.
+        let accesses = 2 * costs.len() as u64 + locked.empty_polls;
+        prop_assert_eq!(locked.lock_service_ticks, accesses * latency);
+    }
+}

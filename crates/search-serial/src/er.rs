@@ -1,0 +1,507 @@
+//! Serial ER — the paper's Figure 8.
+//!
+//! ER decomposes search into *evaluating* one child per node (the e-child)
+//! and *refuting* the rest. For every node, `Eval_first` evaluates the
+//! node's first child (recursively, by full ER); with those tentative
+//! values in hand, ER sorts its children by tentative value and refutes
+//! them in order via `Refute_rest`. The child refuted first is effectively
+//! the e-child: its refutation is expected to fail, establishing the node's
+//! value cheaply, after which the remaining refutations usually succeed
+//! immediately.
+//!
+//! ## Pseudocode erratum
+//!
+//! Figure 8's `Refute_rest` begins with `value := α`, which would discard
+//! the tentative value installed by `Eval_first` (the contribution of the
+//! node's first child). If the first child is the node's best child and the
+//! refutation fails, the returned "exact" value would be too low and the
+//! parent would *overestimate* its own value. The prose (§5) makes clear
+//! tentative values persist, so we implement `value := max(value, α)`.
+//! This matches the worked example of Figure 7 and makes ER agree with
+//! negmax on every tree (see the equivalence tests and the crate-level
+//! property tests).
+
+use gametree::{GamePosition, SearchStats, Value};
+
+use crate::ordering::OrderPolicy;
+use crate::SearchResult;
+
+/// Configuration for serial ER.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ErConfig {
+    /// Ordering policy for children of *non*-e-nodes; it selects which
+    /// grandchild becomes the elder grandchild. Children of e-nodes are
+    /// never statically sorted — ER orders them by tentative search values
+    /// instead (§7: "Successors of e-nodes were also not sorted").
+    pub order: OrderPolicy,
+}
+
+impl ErConfig {
+    /// No static sorting anywhere (the paper's random-tree setting).
+    pub const NATURAL: ErConfig = ErConfig {
+        order: OrderPolicy::NATURAL,
+    };
+
+    /// The paper's Othello setting: sort above ply five.
+    pub const OTHELLO: ErConfig = ErConfig {
+        order: OrderPolicy::OTHELLO,
+    };
+}
+
+/// A node of the partially-materialized ER search tree. Children persist
+/// between `Eval_first` and `Refute_rest`, carrying their tentative values.
+struct ErNode<P: GamePosition> {
+    pos: P,
+    /// Remaining search depth below this node.
+    depth: u32,
+    /// Distance from the root (for the ordering policy).
+    ply: u32,
+    value: Value,
+    done: bool,
+    kids: Vec<ErNode<P>>,
+    expanded: bool,
+}
+
+impl<P: GamePosition> ErNode<P> {
+    fn new(pos: P, depth: u32, ply: u32) -> ErNode<P> {
+        ErNode {
+            pos,
+            depth,
+            ply,
+            value: Value::NEG_INF,
+            done: false,
+            kids: Vec::new(),
+            expanded: false,
+        }
+    }
+
+    /// Generates this node's children once, optionally sorted by static
+    /// value (ascending: likely-best first). Returns the number of children
+    /// (0 for terminals and depth-limit leaves).
+    fn expand(&mut self, sort: bool, stats: &mut SearchStats) -> usize {
+        if !self.expanded {
+            self.expanded = true;
+            if self.depth > 0 {
+                let mut kids: Vec<ErNode<P>> = self
+                    .pos
+                    .children()
+                    .into_iter()
+                    .map(|c| ErNode::new(c, self.depth - 1, self.ply + 1))
+                    .collect();
+                if !kids.is_empty() {
+                    stats.interior_nodes += 1;
+                    if sort && kids.len() > 1 {
+                        let mut keyed: Vec<(Value, ErNode<P>)> = kids
+                            .into_iter()
+                            .map(|k| {
+                                stats.eval_calls += 1;
+                                (k.pos.evaluate(), k)
+                            })
+                            .collect();
+                        stats.sorts += 1;
+                        keyed.sort_by_key(|(v, _)| *v);
+                        kids = keyed.into_iter().map(|(_, k)| k).collect();
+                    }
+                }
+                self.kids = kids;
+            }
+        }
+        self.kids.len()
+    }
+}
+
+/// Evaluates `pos` to `depth` plies with serial ER.
+pub fn er_search<P: GamePosition>(pos: &P, depth: u32, cfg: ErConfig) -> SearchResult {
+    er_search_window(pos, depth, gametree::Window::FULL, cfg, 0)
+}
+
+/// Serial ER with an explicit window and a starting ply.
+///
+/// The parallel engine calls this for subtrees below the serial-depth
+/// threshold (paper §6): `start_ply` keeps the ordering policy's ply limit
+/// anchored at the *global* root, and `window` carries the dynamic
+/// alpha-beta bounds known when the subtree job was taken. Fail-hard with
+/// respect to the window (the result is exact when inside it).
+pub fn er_search_window<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    window: gametree::Window,
+    cfg: ErConfig,
+    start_ply: u32,
+) -> SearchResult {
+    let mut stats = SearchStats::new();
+    let mut root = ErNode::new(pos.clone(), depth, start_ply);
+    let value = er(&mut root, window.alpha, window.beta, cfg, &mut stats);
+    SearchResult { value, stats }
+}
+
+/// `ER(P, α, β)`: full evaluation of an e-node.
+fn er<P: GamePosition>(
+    n: &mut ErNode<P>,
+    alpha: Value,
+    beta: Value,
+    cfg: ErConfig,
+    stats: &mut SearchStats,
+) -> Value {
+    n.value = alpha;
+    // Children of e-nodes are not statically sorted.
+    let d = n.expand(false, stats);
+    if d == 0 {
+        stats.leaf_nodes += 1;
+        stats.eval_calls += 1;
+        n.value = n.pos.evaluate();
+        n.done = true;
+        return n.value;
+    }
+
+    // Phase 1: Eval_first every child — evaluate the elder grandchildren.
+    for i in 0..d {
+        let bound = n.value;
+        let t = -eval_first(&mut n.kids[i], -beta, -bound, cfg, stats);
+        if n.kids[i].done {
+            if t > n.value {
+                n.value = t;
+            }
+            if n.value >= beta {
+                stats.cutoffs += 1;
+                n.done = true;
+                return n.value;
+            }
+        }
+    }
+
+    // sort(P): ascending tentative values — the child whose elder grandchild
+    // was largest (i.e. whose own tentative value is smallest) is refuted
+    // first; it is the de-facto e-child.
+    n.kids.sort_by_key(|k| k.value);
+
+    // Phase 2: Refute_rest each unfinished child in tentative order.
+    for i in 0..d {
+        if !n.kids[i].done {
+            let bound = n.value;
+            let t = -refute_rest(&mut n.kids[i], -beta, -bound, cfg, stats);
+            if t > n.value {
+                n.value = t;
+            }
+            if n.value >= beta {
+                stats.cutoffs += 1;
+                n.done = true;
+                return n.value;
+            }
+        }
+    }
+    n.done = true;
+    n.value
+}
+
+/// `Eval_first(P, α, β)`: evaluate P's first child (an e-node, recursively
+/// by ER), installing a tentative value for P. P is `done` if the bound
+/// already causes a cutoff or P has a single child.
+fn eval_first<P: GamePosition>(
+    n: &mut ErNode<P>,
+    alpha: Value,
+    beta: Value,
+    cfg: ErConfig,
+    stats: &mut SearchStats,
+) -> Value {
+    n.value = alpha;
+    // Non-e-node children are statically sorted per the ordering policy:
+    // this is what selects the elder grandchild.
+    let sort = cfg.order.sorts_at(n.ply);
+    let d = n.expand(sort, stats);
+    if d == 0 {
+        stats.leaf_nodes += 1;
+        stats.eval_calls += 1;
+        n.value = n.pos.evaluate();
+        n.done = true;
+        return n.value;
+    }
+    let bound = n.value;
+    let t = -er(&mut n.kids[0], -beta, -bound, cfg, stats);
+    if t > n.value {
+        n.value = t;
+    }
+    n.done = n.value >= beta || d == 1;
+    if n.value >= beta {
+        stats.cutoffs += 1;
+    }
+    n.value
+}
+
+/// `Refute_rest(P, α, β)`: examine P's remaining children (2..d), each via
+/// `Eval_first` + `Refute_rest`, until P is refuted (value ≥ β) or all
+/// children are exhausted (refutation failed; the value is then exact).
+fn refute_rest<P: GamePosition>(
+    n: &mut ErNode<P>,
+    alpha: Value,
+    beta: Value,
+    cfg: ErConfig,
+    stats: &mut SearchStats,
+) -> Value {
+    // Erratum fix (see module docs): retain the tentative value.
+    if alpha > n.value {
+        n.value = alpha;
+    }
+    let d = n.kids.len();
+    for i in 1..d {
+        let bound = n.value;
+        let mut t = -eval_first(&mut n.kids[i], -beta, -bound, cfg, stats);
+        if !n.kids[i].done {
+            let bound = n.value;
+            t = -refute_rest(&mut n.kids[i], -beta, -bound, cfg, stats);
+        }
+        if t > n.value {
+            n.value = t;
+        }
+        if n.value >= beta {
+            stats.cutoffs += 1;
+            n.done = true;
+            return n.value;
+        }
+    }
+    n.done = true;
+    n.value
+}
+
+/// Examines a node with the *refutation* discipline: `Eval_first` (fully
+/// evaluate the first child) and, if that does not already settle the
+/// node, `Refute_rest` over the remaining children — stopping at the first
+/// beta cutoff.
+///
+/// This is how serial ER examines every non-first child (Figure 8's main
+/// loop), and it is what the parallel engine's serial-frontier jobs run
+/// for r-nodes. Running full [`er_search_window`] there instead would
+/// evaluate *all* elder grandchildren up front — wasted work whenever the
+/// refutation succeeds after one child, which is the common case.
+pub fn er_eval_refute<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    window: gametree::Window,
+    cfg: ErConfig,
+    start_ply: u32,
+) -> SearchResult {
+    let mut stats = SearchStats::new();
+    let mut n = ErNode::new(pos.clone(), depth, start_ply);
+    let mut t = eval_first(&mut n, window.alpha, window.beta, cfg, &mut stats);
+    if !n.done {
+        t = refute_rest(&mut n, window.alpha, window.beta, cfg, &mut stats);
+    }
+    SearchResult { value: t, stats }
+}
+
+/// Continues the evaluation of a node whose *first* child has already been
+/// fully evaluated (to `-initial_value` from the node's point of view):
+/// examines `children[1..]` with the `Eval_first`/`Refute_rest` discipline
+/// under `window` and returns the node's final value.
+///
+/// This is the serial-frontier form of a promoted e-child in the parallel
+/// engine: its elder grandchild was evaluated earlier as its own unit of
+/// work, and the rest of the subtree is finished serially.
+pub fn er_refute_rest<P: GamePosition>(
+    children: &[P],
+    child_depth: u32,
+    child_ply: u32,
+    window: gametree::Window,
+    cfg: ErConfig,
+    initial_value: Value,
+) -> SearchResult {
+    let mut stats = SearchStats::new();
+    let beta = window.beta;
+    let mut value = window.alpha.max(initial_value);
+    for child in children.iter().skip(1) {
+        if value >= beta {
+            break;
+        }
+        let mut n = ErNode::new(child.clone(), child_depth, child_ply);
+        let mut t = -eval_first(&mut n, -beta, -value, cfg, &mut stats);
+        if !n.done {
+            t = -refute_rest(&mut n, -beta, -value, cfg, &mut stats);
+        }
+        if t > value {
+            value = t;
+        }
+        if value >= beta {
+            stats.cutoffs += 1;
+            break;
+        }
+    }
+    SearchResult { value, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabeta::alphabeta;
+    use crate::negmax::negmax;
+    use gametree::arena::{leaf, node, ArenaTree};
+    use gametree::ordered::OrderedTreeSpec;
+    use gametree::random::RandomTreeSpec;
+    use gametree::tictactoe::TicTacToe;
+
+    #[test]
+    fn equals_negmax_on_random_trees() {
+        for seed in 0..12 {
+            let root = RandomTreeSpec::new(seed, 4, 5).root();
+            assert_eq!(
+                er_search(&root, 5, ErConfig::NATURAL).value,
+                negmax(&root, 5).value,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn equals_negmax_on_wide_random_trees() {
+        for seed in 0..6 {
+            let root = RandomTreeSpec::new(seed, 8, 3).root();
+            assert_eq!(
+                er_search(&root, 3, ErConfig::NATURAL).value,
+                negmax(&root, 3).value,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn equals_negmax_on_ordered_trees_with_sorting() {
+        for seed in 0..6 {
+            let root = OrderedTreeSpec::strongly_ordered(seed, 4, 5).root();
+            assert_eq!(
+                er_search(&root, 5, ErConfig { order: OrderPolicy::ALWAYS }).value,
+                negmax(&root, 5).value,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn tictactoe_is_a_draw() {
+        assert_eq!(
+            er_search(&TicTacToe::initial(), 9, ErConfig::NATURAL).value,
+            Value::ZERO
+        );
+    }
+
+    #[test]
+    fn prunes_relative_to_negmax() {
+        for seed in 0..6 {
+            let root = RandomTreeSpec::new(seed, 4, 6).root();
+            let er = er_search(&root, 6, ErConfig::NATURAL);
+            let nm = negmax(&root, 6);
+            assert!(
+                er.stats.nodes() < nm.stats.nodes(),
+                "seed {seed}: ER must prune ({} vs {})",
+                er.stats.nodes(),
+                nm.stats.nodes()
+            );
+        }
+    }
+
+    #[test]
+    fn first_child_contribution_is_not_lost() {
+        // Regression test for the Figure 8 erratum. The root's second child
+        // R has its *first* child as its best (lowest) child; the refutation
+        // of R fails, and R's exact value must include the first child's
+        // contribution or the root value would be overestimated.
+        //
+        // Root children: A (value 5 via single leaf), R with children
+        // c1 (value -9: best for R... R = max(9, 2) from negation).
+        let r_node = node(vec![leaf(-9), leaf(-2)]);
+        // R's children values: -9 and -2; R = max(9, 2) = 9. Root's first
+        // child A = 5 (leaf). Root = max(-5, -9) = -5.
+        let root = ArenaTree::root_of(&node(vec![leaf(5), r_node]));
+        let exact = negmax(&root, 3).value;
+        assert_eq!(er_search(&root, 3, ErConfig::NATURAL).value, exact);
+    }
+
+    #[test]
+    fn deep_unbalanced_tree() {
+        let spec = node(vec![
+            node(vec![node(vec![leaf(1), leaf(2)]), leaf(3)]),
+            leaf(-4),
+            node(vec![leaf(5), node(vec![leaf(-6), leaf(7), leaf(8)]), leaf(9)]),
+        ]);
+        let root = ArenaTree::root_of(&spec);
+        assert_eq!(
+            er_search(&root, 10, ErConfig::NATURAL).value,
+            negmax(&root, 10).value
+        );
+    }
+
+    #[test]
+    fn depth_limited_search_matches_negmax() {
+        for depth in 0..=6 {
+            let root = RandomTreeSpec::new(9, 3, 6).root();
+            assert_eq!(
+                er_search(&root, depth, ErConfig::NATURAL).value,
+                negmax(&root, depth).value,
+                "depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn er_does_not_charge_sorting_evals_for_enode_children() {
+        // With the NATURAL policy, ER performs no static-evaluator calls
+        // beyond the leaf terminals (unlike sorted alpha-beta).
+        let root = RandomTreeSpec::new(2, 4, 5).root();
+        let r = er_search(&root, 5, ErConfig::NATURAL);
+        assert_eq!(r.stats.eval_calls, r.stats.leaf_nodes);
+    }
+
+    #[test]
+    fn sorted_alphabeta_charges_sorting_evals() {
+        // Contrast with the test above: this is the O1 anomaly's mechanism
+        // (§7) — sorting costs evaluator calls on interior nodes.
+        let root = RandomTreeSpec::new(2, 4, 5).root();
+        let r = alphabeta(&root, 5, OrderPolicy::ALWAYS);
+        assert!(r.stats.eval_calls > r.stats.leaf_nodes);
+    }
+
+    #[test]
+    fn refute_rest_continuation_matches_full_search() {
+        // Evaluating child 0 separately and finishing with er_refute_rest
+        // must give the same node value as evaluating the node whole.
+        use gametree::Window;
+        for seed in 0..8 {
+            let node_pos = RandomTreeSpec::new(seed, 4, 5).root();
+            let whole = negmax(&node_pos, 5).value;
+            let kids = node_pos.children();
+            let first = er_search(&kids[0], 4, ErConfig::NATURAL).value;
+            let r = er_refute_rest(
+                &kids,
+                4,
+                1,
+                Window::FULL,
+                ErConfig::NATURAL,
+                -first,
+            );
+            assert_eq!(r.value, whole, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn refute_rest_respects_beta_cutoff() {
+        use gametree::Window;
+        let node_pos = RandomTreeSpec::new(3, 4, 4).root();
+        let kids = node_pos.children();
+        let first = er_search(&kids[0], 3, ErConfig::NATURAL).value;
+        let tentative = -first;
+        // A beta at or below the tentative value refutes immediately: no
+        // further children are searched.
+        let w = Window::new(Value::NEG_INF, tentative);
+        let r = er_refute_rest(&kids, 3, 1, w, ErConfig::NATURAL, tentative);
+        assert!(r.value >= w.beta);
+        assert_eq!(r.stats.nodes(), 0, "no work when already refuted");
+    }
+
+    #[test]
+    fn single_child_chains() {
+        let spec = node(vec![node(vec![node(vec![leaf(7)])])]);
+        let root = ArenaTree::root_of(&spec);
+        assert_eq!(
+            er_search(&root, 5, ErConfig::NATURAL).value,
+            negmax(&root, 5).value
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Serial game-tree search algorithms (paper §2 and §5).
+//!
+//! * [`negmax::negmax`] — exhaustive negamax (§2, ground truth);
+//! * [`alphabeta::alphabeta`] — alpha-beta with deep cutoffs
+//!   (§2.1), the serial baseline of the experiments;
+//! * [`nodeep::alphabeta_nodeep`] — alpha-beta without
+//!   deep cutoffs (§2.2), MWF's reference algorithm;
+//! * [`aspiration::aspiration`] — serial aspiration search;
+//! * [`er::er_search`] — serial ER (Figure 8);
+//! * [`pvs::pvs`] — principal-variation (minimal-window) search, the
+//!   primitive behind the §4.4 footnote's pv-splitting variant.
+//!
+//! All algorithms return the same root value on the same tree (verified by
+//! the cross-crate property tests in the workspace `tests/` directory).
+
+#![warn(missing_docs)]
+
+pub mod alphabeta;
+pub mod aspiration;
+pub mod er;
+pub mod iterative;
+pub mod negmax;
+pub mod nodeep;
+pub mod ordering;
+pub mod pv;
+pub mod pvs;
+
+use gametree::{SearchStats, Value};
+
+/// The value and instrumentation produced by one search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Root value from the point of view of the player to move.
+    pub value: Value,
+    /// Node and evaluator counters.
+    pub stats: SearchStats,
+}
+
+pub use alphabeta::{alphabeta, alphabeta_window};
+pub use aspiration::{aspiration, aspiration_static};
+pub use er::{er_eval_refute, er_refute_rest, er_search, er_search_window, ErConfig};
+pub use iterative::{iterative_deepening, IterativeResult};
+pub use negmax::negmax;
+pub use nodeep::alphabeta_nodeep;
+pub use ordering::OrderPolicy;
+pub use pv::{alphabeta_pv, PvResult};
+pub use pvs::{pvs, pvs_window};

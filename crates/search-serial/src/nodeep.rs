@@ -1,0 +1,121 @@
+//! Alpha-beta *without* deep cutoffs (paper §2.2, Baudet 1978a).
+//!
+//! Each node's pruning bound comes only from its immediate parent's current
+//! value, never from more distant ancestors. Baudet showed the effect of
+//! deep cutoffs is second-order; several parallel algorithms (notably MWF)
+//! are built on this variant because its minimal tree contains only 1- and
+//! 2-nodes.
+
+use gametree::{GamePosition, SearchStats, Value};
+
+use crate::ordering::{ordered_children, OrderPolicy};
+use crate::SearchResult;
+
+/// Evaluates `pos` to `depth` plies by alpha-beta with shallow cutoffs only.
+pub fn alphabeta_nodeep<P: GamePosition>(pos: &P, depth: u32, policy: OrderPolicy) -> SearchResult {
+    let mut stats = SearchStats::new();
+    let value = rec(pos, depth, Value::INF, 0, policy, &mut stats);
+    SearchResult { value, stats }
+}
+
+/// `beta` is the only inherited bound: the negation of the parent's current
+/// value. Nothing deeper is passed down.
+fn rec<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    beta: Value,
+    ply: u32,
+    policy: OrderPolicy,
+    stats: &mut SearchStats,
+) -> Value {
+    if depth == 0 || pos.degree() == 0 {
+        stats.leaf_nodes += 1;
+        stats.eval_calls += 1;
+        return pos.evaluate();
+    }
+    stats.interior_nodes += 1;
+    let kids = ordered_children(pos, ply, policy, stats);
+    let mut m = Value::NEG_INF;
+    for child in &kids {
+        let t = -rec(child, depth - 1, -m, ply + 1, policy, stats);
+        m = m.max(t);
+        if m >= beta {
+            stats.cutoffs += 1;
+            return m;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabeta::alphabeta;
+    use crate::negmax::negmax;
+    use gametree::minimal::minimal_leaf_count_nodeep;
+    use gametree::ordered::OrderedTreeSpec;
+    use gametree::random::RandomTreeSpec;
+
+    #[test]
+    fn equals_negmax_on_random_trees() {
+        for seed in 0..8 {
+            let root = RandomTreeSpec::new(seed, 4, 5).root();
+            assert_eq!(
+                alphabeta_nodeep(&root, 5, OrderPolicy::NATURAL).value,
+                negmax(&root, 5).value,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn visits_at_least_as_many_nodes_as_full_alphabeta() {
+        for seed in 0..8 {
+            let root = RandomTreeSpec::new(seed, 4, 5).root();
+            let nodeep = alphabeta_nodeep(&root, 5, OrderPolicy::NATURAL);
+            let full = alphabeta(&root, 5, OrderPolicy::NATURAL);
+            assert!(
+                nodeep.stats.nodes() >= full.stats.nodes(),
+                "seed {seed}: {} < {}",
+                nodeep.stats.nodes(),
+                full.stats.nodes()
+            );
+        }
+    }
+
+    #[test]
+    fn nodeep_overhead_is_bounded() {
+        // Dropping deep cutoffs costs node visits but far less than
+        // dropping pruning altogether: no-deep stays within 2x of full
+        // alpha-beta here, while exhaustive negmax is an order of magnitude
+        // beyond both. (The exact gap on best-first trees is pinned by the
+        // minimal-tree tests; e.g. for d=4, h=6 it is 217 vs 127 leaves.)
+        for seed in 0..6 {
+            let root = RandomTreeSpec::new(seed, 4, 6).root();
+            let with = alphabeta(&root, 6, OrderPolicy::NATURAL).stats.nodes();
+            let without = alphabeta_nodeep(&root, 6, OrderPolicy::NATURAL).stats.nodes();
+            let exhaustive = negmax(&root, 6).stats.nodes();
+            assert!(
+                (without as f64) < (with as f64) * 2.0,
+                "seed {seed}: no-deep overhead too large: {without} vs {with}"
+            );
+            assert!(
+                without * 2 < exhaustive,
+                "seed {seed}: no-deep must still prune: {without} vs {exhaustive}"
+            );
+        }
+    }
+
+    #[test]
+    fn best_first_tree_searches_exactly_the_nodeep_minimal_tree() {
+        for (d, h) in [(2u32, 6u32), (3, 4), (4, 4)] {
+            let root = OrderedTreeSpec::best_first(5, d, h).root();
+            let r = alphabeta_nodeep(&root, h, OrderPolicy::NATURAL);
+            assert_eq!(
+                r.stats.leaf_nodes,
+                minimal_leaf_count_nodeep(d as u64, h),
+                "d={d} h={h}"
+            );
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Child-ordering policies.
+//!
+//! Alpha-beta's performance "depends critically on the order in which
+//! children of a node are expanded" (paper §2.2). The paper's Othello
+//! experiments sort children by static value, but "sorting was not
+//! performed below ply five \[and\] successors of e-nodes were also not
+//! sorted" (§7). Sorting is charged its true cost: one static-evaluator
+//! call per child plus the sort itself.
+
+use gametree::{GamePosition, SearchStats, Value};
+
+/// When to sort a node's children by static value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OrderPolicy {
+    /// Sort children of nodes at ply `< sort_ply_limit` (the root is ply 0).
+    /// Zero disables sorting entirely (the paper's random-tree setting).
+    pub sort_ply_limit: u32,
+}
+
+impl OrderPolicy {
+    /// No sorting anywhere — the paper's configuration for random trees.
+    pub const NATURAL: OrderPolicy = OrderPolicy { sort_ply_limit: 0 };
+
+    /// The paper's Othello configuration: sort above ply five.
+    pub const OTHELLO: OrderPolicy = OrderPolicy { sort_ply_limit: 5 };
+
+    /// Sort at every ply.
+    pub const ALWAYS: OrderPolicy = OrderPolicy {
+        sort_ply_limit: u32::MAX,
+    };
+
+    /// True iff children of a node at `ply` should be sorted.
+    #[inline]
+    pub fn sorts_at(&self, ply: u32) -> bool {
+        ply < self.sort_ply_limit
+    }
+}
+
+/// Generates `pos`'s children in search order under `policy`, charging
+/// sorting costs to `stats`.
+///
+/// Sorted order is ascending by the child's static value (from the child's
+/// point of view): the parent prefers the child with the *lowest* value, so
+/// the likely-best child comes first.
+pub fn ordered_children<P: GamePosition>(
+    pos: &P,
+    ply: u32,
+    policy: OrderPolicy,
+    stats: &mut SearchStats,
+) -> Vec<P> {
+    let mut kids = pos.children();
+    if policy.sorts_at(ply) && kids.len() > 1 {
+        let mut keyed: Vec<(Value, P)> = kids
+            .into_iter()
+            .map(|c| {
+                stats.eval_calls += 1;
+                (c.evaluate(), c)
+            })
+            .collect();
+        stats.sorts += 1;
+        keyed.sort_by_key(|(v, _)| *v);
+        kids = keyed.into_iter().map(|(_, c)| c).collect();
+    }
+    kids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gametree::arena::{leaf, node, ArenaTree};
+
+    #[test]
+    fn natural_policy_preserves_move_order() {
+        let root = ArenaTree::root_of(&node(vec![leaf(5), leaf(-3), leaf(9)]));
+        let mut stats = SearchStats::new();
+        let kids = ordered_children(&root, 0, OrderPolicy::NATURAL, &mut stats);
+        let vals: Vec<i32> = kids.iter().map(|k| k.evaluate().get()).collect();
+        assert_eq!(vals, vec![5, -3, 9]);
+        assert_eq!(stats.eval_calls, 0);
+        assert_eq!(stats.sorts, 0);
+    }
+
+    #[test]
+    fn sorting_is_ascending_by_static_value() {
+        let root = ArenaTree::root_of(&node(vec![leaf(5), leaf(-3), leaf(9)]));
+        let mut stats = SearchStats::new();
+        let kids = ordered_children(&root, 0, OrderPolicy::ALWAYS, &mut stats);
+        let vals: Vec<i32> = kids.iter().map(|k| k.evaluate().get()).collect();
+        assert_eq!(vals, vec![-3, 5, 9]);
+        assert_eq!(stats.eval_calls, 3);
+        assert_eq!(stats.sorts, 1);
+    }
+
+    #[test]
+    fn ply_limit_gates_sorting() {
+        let p = OrderPolicy { sort_ply_limit: 5 };
+        assert!(p.sorts_at(0));
+        assert!(p.sorts_at(4));
+        assert!(!p.sorts_at(5));
+        assert!(!p.sorts_at(9));
+    }
+
+    #[test]
+    fn sort_is_stable_for_equal_keys() {
+        let root = ArenaTree::root_of(&node(vec![leaf(1), leaf(1), leaf(0)]));
+        let mut stats = SearchStats::new();
+        let kids = ordered_children(&root, 0, OrderPolicy::ALWAYS, &mut stats);
+        // The zero comes first; the two equal leaves keep natural order.
+        assert_eq!(kids[0].evaluate().get(), 0);
+        assert_eq!(kids[1].index(), 1);
+        assert_eq!(kids[2].index(), 2);
+    }
+
+    #[test]
+    fn single_child_is_not_charged_a_sort() {
+        let root = ArenaTree::root_of(&node(vec![leaf(1)]));
+        let mut stats = SearchStats::new();
+        ordered_children(&root, 0, OrderPolicy::ALWAYS, &mut stats);
+        assert_eq!(stats.sorts, 0);
+        assert_eq!(stats.eval_calls, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Principal-variation extraction.
+//!
+//! The paper defines the principal variation as "the path from the root on
+//! which each player plays optimally" (§2). Game-playing drivers need the
+//! first move of that path; analysis wants the whole line. These wrappers
+//! run alpha-beta and keep the best line alongside the value.
+
+use gametree::{GamePosition, SearchStats, Value, Window};
+
+use crate::ordering::OrderPolicy;
+
+/// A search result carrying the principal variation.
+#[derive(Clone, Debug)]
+pub struct PvResult<M> {
+    /// Root value.
+    pub value: Value,
+    /// The principal variation, root move first. Empty only for terminal
+    /// or depth-0 roots.
+    pub pv: Vec<M>,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+impl<M: Clone> PvResult<M> {
+    /// The best root move, if any.
+    pub fn best_move(&self) -> Option<M> {
+        self.pv.first().cloned()
+    }
+}
+
+/// Full-window alpha-beta that also returns the principal variation.
+pub fn alphabeta_pv<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    policy: OrderPolicy,
+) -> PvResult<P::Move> {
+    let mut stats = SearchStats::new();
+    let mut pv = Vec::new();
+    let value = rec(pos, depth, Window::FULL, 0, policy, &mut stats, &mut pv);
+    PvResult { value, pv, stats }
+}
+
+fn rec<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    window: Window,
+    ply: u32,
+    policy: OrderPolicy,
+    stats: &mut SearchStats,
+    pv: &mut Vec<P::Move>,
+) -> Value {
+    let moves = pos.moves();
+    if depth == 0 || moves.is_empty() {
+        stats.leaf_nodes += 1;
+        stats.eval_calls += 1;
+        return pos.evaluate();
+    }
+    stats.interior_nodes += 1;
+    // Order positions while keeping the matching move alongside.
+    let mut kids: Vec<(P::Move, P)> = moves
+        .into_iter()
+        .map(|m| {
+            let c = pos.play(&m);
+            (m, c)
+        })
+        .collect();
+    if policy.sorts_at(ply) && kids.len() > 1 {
+        let mut keyed: Vec<(Value, (P::Move, P))> = kids
+            .into_iter()
+            .map(|mc| {
+                stats.eval_calls += 1;
+                (mc.1.evaluate(), mc)
+            })
+            .collect();
+        stats.sorts += 1;
+        keyed.sort_by_key(|(v, _)| *v);
+        kids = keyed.into_iter().map(|(_, mc)| mc).collect();
+    }
+
+    let mut m = Value::NEG_INF;
+    let mut w = window;
+    let mut child_pv: Vec<P::Move> = Vec::new();
+    for (mv, child) in &kids {
+        let mut line = Vec::new();
+        let t = -rec(child, depth - 1, w.negate(), ply + 1, policy, stats, &mut line);
+        if t > m {
+            m = t;
+            child_pv.clear();
+            child_pv.push(mv.clone());
+            child_pv.extend(line);
+        }
+        w = w.raise_alpha(m);
+        if m >= window.beta {
+            stats.cutoffs += 1;
+            *pv = child_pv;
+            return m;
+        }
+    }
+    *pv = child_pv;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabeta::alphabeta;
+    use crate::negmax::negmax;
+    use gametree::arena::{leaf, node, ArenaTree};
+    use gametree::random::RandomTreeSpec;
+    use gametree::tictactoe::TicTacToe;
+
+    #[test]
+    fn value_matches_plain_alphabeta() {
+        for seed in 0..6 {
+            let root = RandomTreeSpec::new(seed, 4, 5).root();
+            let pv = alphabeta_pv(&root, 5, OrderPolicy::NATURAL);
+            let ab = alphabeta(&root, 5, OrderPolicy::NATURAL);
+            assert_eq!(pv.value, ab.value, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pv_line_realizes_the_root_value() {
+        // Playing the PV from the root must land on a position whose
+        // static value (with sign alternation) equals the root value.
+        for seed in 0..6 {
+            let root = RandomTreeSpec::new(seed, 4, 6).root();
+            let r = alphabeta_pv(&root, 6, OrderPolicy::NATURAL);
+            assert_eq!(r.pv.len(), 6, "full-depth PV on a complete tree");
+            let mut pos = root;
+            for mv in &r.pv {
+                pos = pos.play(mv);
+            }
+            let leaf_value = pos.evaluate();
+            let signed = if r.pv.len().is_multiple_of(2) {
+                leaf_value
+            } else {
+                -leaf_value
+            };
+            assert_eq!(signed, r.value, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pv_is_empty_at_terminals() {
+        let root = ArenaTree::root_of(&leaf(4));
+        let r = alphabeta_pv(&root, 3, OrderPolicy::NATURAL);
+        assert!(r.pv.is_empty());
+        assert_eq!(r.value, Value::new(4));
+    }
+
+    #[test]
+    fn best_move_is_the_argmax_child() {
+        let root = ArenaTree::root_of(&node(vec![leaf(5), leaf(-9), leaf(2)]));
+        let r = alphabeta_pv(&root, 2, OrderPolicy::NATURAL);
+        // Root value = max(-5, 9, -2) = 9 via child index 1.
+        assert_eq!(r.value, Value::new(9));
+        assert_eq!(r.best_move(), Some(1));
+    }
+
+    #[test]
+    fn tictactoe_first_move_keeps_the_draw() {
+        let r = alphabeta_pv(&TicTacToe::initial(), 9, OrderPolicy::NATURAL);
+        assert_eq!(r.value, Value::ZERO);
+        let first = r.best_move().expect("nine moves available");
+        // Following the recommended move must preserve the draw.
+        let after = TicTacToe::initial().play(&first);
+        assert_eq!(negmax(&after, 8).value, Value::ZERO);
+    }
+
+    #[test]
+    fn depth_limited_pv_has_at_most_depth_moves() {
+        let root = RandomTreeSpec::new(3, 3, 7).root();
+        for depth in 1..=4 {
+            let r = alphabeta_pv(&root, depth, OrderPolicy::NATURAL);
+            assert_eq!(r.pv.len() as u32, depth);
+        }
+    }
+}

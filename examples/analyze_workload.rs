@@ -1,0 +1,54 @@
+//! Characterize a workload before searching it: branching factor and
+//! Marsland's strong-ordering metric (paper §4.4), which predict how each
+//! parallel algorithm will behave on it.
+//!
+//! ```sh
+//! cargo run --release --example analyze_workload
+//! ```
+
+use er_search::prelude::*;
+use gametree::analysis::measure_ordering;
+
+fn natural<P: GamePosition>(_: &P, _: u32, kids: Vec<P>) -> Vec<P> {
+    kids
+}
+
+fn sorted<P: GamePosition>(_: &P, _: u32, mut kids: Vec<P>) -> Vec<P> {
+    kids.sort_by_key(|c| c.evaluate());
+    kids
+}
+
+fn report<P: GamePosition>(name: &str, root: &P, depth: u32) {
+    let nat = measure_ordering(root, depth, natural);
+    let srt = measure_ordering(root, depth, sorted);
+    println!(
+        "{name:<22} degree {:>4.1}   natural: {:>3.0}%/{:>3.0}%   sorted: {:>3.0}%/{:>3.0}%   {}",
+        nat.mean_degree(),
+        100.0 * nat.first_best_rate(),
+        100.0 * nat.quarter_best_rate(),
+        100.0 * srt.first_best_rate(),
+        100.0 * srt.quarter_best_rate(),
+        if srt.is_strongly_ordered() {
+            "strongly ordered when sorted"
+        } else if nat.is_strongly_ordered() {
+            "strongly ordered naturally"
+        } else {
+            "weakly ordered"
+        }
+    );
+}
+
+fn main() {
+    println!("first-best% / best-in-first-quarter% (Marsland: strong = 70%/90%)\n");
+    report("random d4", &RandomTreeSpec::new(1, 4, 8).root(), 5);
+    report("random d8", &RandomTreeSpec::new(3, 8, 6).root(), 4);
+    report(
+        "incremental (ordered)",
+        &OrderedTreeSpec::strongly_ordered(7, 5, 6).root(),
+        4,
+    );
+    report("othello O1", &othello::configs::o1(), 4);
+    report("checkers C1", &checkers::c1(), 6);
+    println!("\nStrong ordering is the regime where ER's elder-grandchild ranking —");
+    println!("and every ordering-driven pruning idea — pays off most (EXPERIMENTS.md).");
+}

@@ -1,0 +1,66 @@
+//! Play a complete game of Othello: the engine against itself at a fixed
+//! search depth, using parallel ER to pick every move.
+//!
+//! ```sh
+//! cargo run --release --example othello_selfplay [depth]
+//! ```
+
+use er_search::prelude::*;
+use othello::Move;
+
+fn best_move(pos: &OthelloPos, depth: u32) -> Option<Move> {
+    let moves = pos.moves();
+    if moves.is_empty() {
+        return None;
+    }
+    moves
+        .into_iter()
+        .map(|m| {
+            let child = pos.play(&m);
+            // Each candidate is scored with parallel ER on 4 simulated
+            // processors; the root player maximizes the negation.
+            let r = run_er_sim(&child, depth - 1, 4, &ErParallelConfig::othello());
+            (-r.value, m)
+        })
+        .max_by_key(|(v, _)| *v)
+        .map(|(_, m)| m)
+}
+
+fn main() {
+    let depth: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    let mut pos = OthelloPos::initial();
+    let mut ply = 0u32;
+    // Black made the first move; 'x' in the rendering is always the side
+    // to move, so track colours explicitly for the final score.
+    println!("self-play at depth {depth}\n");
+    while let Some(m) = best_move(&pos, depth) {
+        let mover = if ply.is_multiple_of(2) { "Black" } else { "White" };
+        println!("{:>3}. {mover:<5} plays {m}", ply + 1);
+        pos = pos.play(&m);
+        ply += 1;
+        assert!(ply < 130, "runaway game");
+    }
+
+    println!("\nfinal position (from the last mover's opponent's view):");
+    println!("{}", pos.board.render());
+    let (own, opp) = (
+        pos.board.own.count_ones() as i32,
+        pos.board.opp.count_ones() as i32,
+    );
+    // `own` is the side to move at game over.
+    let to_move = if ply.is_multiple_of(2) { "Black" } else { "White" };
+    let other = if ply.is_multiple_of(2) { "White" } else { "Black" };
+    println!("{to_move}: {own} discs, {other}: {opp} discs");
+    println!(
+        "result: {}",
+        match own.cmp(&opp) {
+            std::cmp::Ordering::Greater => format!("{to_move} wins by {}", own - opp),
+            std::cmp::Ordering::Less => format!("{other} wins by {}", opp - own),
+            std::cmp::Ordering::Equal => "draw".to_string(),
+        }
+    );
+}

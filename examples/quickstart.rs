@@ -1,0 +1,72 @@
+//! Quickstart: search one game tree with every algorithm in the library
+//! and check they all agree.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use er_search::prelude::*;
+
+fn main() {
+    // A random uniform game tree, the paper's synthetic workload:
+    // branching factor 4, searched 8 plies deep.
+    let root = RandomTreeSpec::new(2024, 4, 8).root();
+    let depth = 8;
+
+    println!("searching a degree-4, 8-ply random tree\n");
+
+    // Exhaustive negamax: the ground truth (and the most work).
+    let nm = negmax(&root, depth);
+    println!(
+        "negmax      value {:>6}   nodes {:>8}",
+        nm.value,
+        nm.stats.nodes()
+    );
+
+    // Alpha-beta with deep cutoffs: the classic serial algorithm.
+    let ab = alphabeta(&root, depth, OrderPolicy::NATURAL);
+    println!(
+        "alpha-beta  value {:>6}   nodes {:>8}",
+        ab.value,
+        ab.stats.nodes()
+    );
+
+    // Serial ER: evaluate elder grandchildren first, then refute.
+    let er = er_search(&root, depth, ErConfig::NATURAL);
+    println!(
+        "serial ER   value {:>6}   nodes {:>8}",
+        er.value,
+        er.stats.nodes()
+    );
+
+    assert_eq!(nm.value, ab.value);
+    assert_eq!(nm.value, er.value);
+
+    // Parallel ER on simulated processors: same value, measured speedup.
+    let cost = CostModel::default();
+    let serial_ticks = cost
+        .serial_ticks(&ab.stats)
+        .min(cost.serial_ticks(&er.stats));
+    println!("\nparallel ER (deterministic simulation):");
+    for k in [1usize, 2, 4, 8, 16] {
+        let par = run_er_sim(&root, depth, k, &ErParallelConfig::random_tree(4));
+        assert_eq!(par.value, nm.value);
+        println!(
+            "  {k:>2} processors: speedup {:>5.2}  efficiency {:>4.2}  nodes {:>8}",
+            par.report.speedup(serial_ticks),
+            par.report.efficiency(serial_ticks),
+            par.stats.nodes()
+        );
+    }
+
+    // And on real threads (one thread per "processor"; on a multi-core
+    // host this is actual parallelism).
+    let threaded = er_parallel::run_er_threads(&root, depth, 4, &ErParallelConfig::random_tree(4));
+    assert_eq!(threaded.value, nm.value);
+    println!(
+        "\nthreaded ER (4 threads): value {}, {} nodes, {:?}",
+        threaded.value,
+        threaded.stats.nodes(),
+        threaded.elapsed
+    );
+}

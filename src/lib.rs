@@ -1,0 +1,66 @@
+//! # er-search
+//!
+//! A reproduction of Igor Steinberg and Marvin Solomon, *Searching Game
+//! Trees in Parallel* (ICPP 1990): the **ER** parallel game-tree search
+//! algorithm, every serial and parallel algorithm it is evaluated against,
+//! an Othello engine, synthetic game-tree generators, and a deterministic
+//! multiprocessor simulation that regenerates the paper's figures on a
+//! single-core host.
+//!
+//! ## Crate map
+//!
+//! * [`gametree`] — positions, values, windows, random/ordered synthetic
+//!   trees, tic-tac-toe, minimal-tree analysis;
+//! * [`othello`] — bitboard Othello engine and the O1–O3 benchmark roots;
+//! * [`checkers`] — English draughts (Fishburn's tree-splitting workload);
+//! * [`search_serial`] — negmax, alpha-beta (with and without deep
+//!   cutoffs), aspiration, and serial ER (paper Figure 8);
+//! * [`problem_heap`] — deterministic k-processor problem-heap simulation
+//!   and performance metrics;
+//! * [`er_parallel`] — parallel ER (simulated and real threads) plus the
+//!   §4 baselines: MWF, tree-splitting, pv-splitting, parallel aspiration.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use er_search::prelude::*;
+//!
+//! // A random uniform game tree: degree 4, 8 plies (paper §7).
+//! let root = RandomTreeSpec::new(42, 4, 8).root();
+//!
+//! // Serial reference searches.
+//! let ab = alphabeta(&root, 8, OrderPolicy::NATURAL);
+//! let er = er_search(&root, 8, ErConfig::NATURAL);
+//! assert_eq!(ab.value, er.value);
+//!
+//! // Parallel ER on 8 simulated processors.
+//! let par = run_er_sim(&root, 8, 8, &ErParallelConfig::random_tree(4));
+//! assert_eq!(par.value, ab.value);
+//! assert!(par.report.makespan > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use checkers;
+pub use er_parallel;
+pub use gametree;
+pub use othello;
+pub use problem_heap;
+pub use search_serial;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use er_parallel::{
+        run_er_sim, run_er_threads, ErParallelConfig, ErRunResult, Speculation,
+    };
+    pub use gametree::ordered::OrderedTreeSpec;
+    pub use gametree::random::RandomTreeSpec;
+    pub use gametree::{GamePosition, SearchStats, Value, Window};
+    pub use checkers::CheckersPos;
+    pub use othello::{Board, OthelloPos};
+    pub use problem_heap::{CostModel, SimReport};
+    pub use search_serial::{
+        alphabeta, alphabeta_nodeep, aspiration, er_search, negmax, ErConfig, OrderPolicy,
+        SearchResult,
+    };
+}

@@ -1,0 +1,141 @@
+//! Smoke and shape tests for the experiment harness: the figures can be
+//! regenerated and their headline shapes hold on the real benchmark trees
+//! (scaled-down where the full experiment would be slow for a test).
+
+use er_bench::experiments::{
+    ablation_curves, baseline_curves, er_curve, mwf_plateau, serial_reference,
+};
+use er_bench::trees::{othello_trees, random_trees, TreeSpec};
+use er_search::prelude::*;
+use problem_heap::CostModel;
+
+/// A scaled-down random tree (shape checks run in milliseconds).
+fn small_tree() -> TreeSpec<gametree::random::RandomPos> {
+    TreeSpec {
+        name: "small",
+        root: RandomTreeSpec::new(9, 4, 8).root(),
+        depth: 8,
+        serial_depth: 5,
+        order: OrderPolicy::NATURAL,
+    }
+}
+
+#[test]
+fn serial_reference_is_consistent() {
+    let cost = CostModel::default();
+    let s = serial_reference(&small_tree(), &cost);
+    assert!(s.best_ticks <= s.alphabeta.ticks);
+    assert!(s.best_ticks <= s.er.ticks);
+    assert_eq!(s.alphabeta.value, s.er.value);
+    assert!(s.alphabeta.nodes > 0 && s.er.nodes > 0);
+}
+
+#[test]
+fn er_curve_has_sane_shape() {
+    let cost = CostModel::default();
+    let c = er_curve(&small_tree(), &cost);
+    assert_eq!(c.points.len(), 9);
+    // Efficiency at 1 processor is below 1 (ER pays startup + queue costs
+    // and the serial baseline may be alpha-beta).
+    assert!(c.points[0].efficiency <= 1.05);
+    // Speedup at 16 clearly beats speedup at 1.
+    let s1 = c.points[0].speedup;
+    let s16 = c.points.last().unwrap().speedup;
+    assert!(s16 > 2.0 * s1, "16 processors must pay: {s1:.2} -> {s16:.2}");
+    // The alpha-beta reference line is at most 1.
+    assert!(c.alphabeta_efficiency <= 1.0 + 1e-9);
+}
+
+#[test]
+fn table3_trees_match_the_paper() {
+    let r = random_trees();
+    assert_eq!(r.len(), 3);
+    assert_eq!(
+        (r[0].depth, r[0].serial_depth),
+        (10, 7),
+        "R1 is 10 ply / serial 7"
+    );
+    assert_eq!((r[1].depth, r[1].serial_depth), (11, 7));
+    assert_eq!((r[2].depth, r[2].serial_depth), (7, 5));
+    let o = othello_trees();
+    assert_eq!(o.len(), 3);
+    for t in &o {
+        assert_eq!((t.depth, t.serial_depth), (7, 5));
+        assert_eq!(t.order, OrderPolicy::OTHELLO);
+    }
+}
+
+#[test]
+fn baselines_reproduce_the_ranking() {
+    // Averaged over several mid-size random trees, ER at 16 processors
+    // out-speeds every §4 baseline — the paper's central comparison. (On
+    // any single tree an individual baseline can get lucky; the paper's
+    // claim is the trend.)
+    let cost = CostModel::default();
+    let mut sums: std::collections::BTreeMap<String, f64> = Default::default();
+    for seed in [5u64, 9, 13] {
+        let spec = TreeSpec {
+            name: "avg",
+            root: RandomTreeSpec::new(seed, 4, 8).root(),
+            depth: 8,
+            serial_depth: 5,
+            order: OrderPolicy::NATURAL,
+        };
+        for c in baseline_curves(&spec, &cost) {
+            *sums.entry(c.algorithm.clone()).or_default() += c.points.last().unwrap().speedup;
+        }
+    }
+    let er = sums["ER"];
+    for other in ["MWF", "Aspiration", "TreeSplit", "PVSplit"] {
+        assert!(
+            er > sums[other],
+            "ER ({er:.2}) must beat {other} ({:.2}) at 16 processors on average",
+            sums[other]
+        );
+    }
+}
+
+#[test]
+fn mwf_plateau_shape() {
+    let cost = CostModel::default();
+    let plateau = mwf_plateau(&cost);
+    // The moderately-ordered instance rises early then flattens: the gain
+    // from 16 to 32 processors is small relative to the gain from 1 to 8.
+    let p = &plateau[0];
+    let s = |k: usize| p.points.iter().find(|(kk, _)| *kk == k).unwrap().1;
+    assert!(s(8) > 2.0 * s(1), "early rise");
+    assert!(
+        s(32) - s(16) < s(8) - s(1),
+        "late flattening: {} -> {} vs {} -> {}",
+        s(16),
+        s(32),
+        s(1),
+        s(8)
+    );
+}
+
+#[test]
+fn ablation_shows_speculation_matters() {
+    let cost = CostModel::default();
+    let curves = ablation_curves(&small_tree(), &cost);
+    let at16 = |name: &str| {
+        curves
+            .iter()
+            .find(|c| c.config == name)
+            .expect("config exists")
+            .points
+            .last()
+            .unwrap()
+    };
+    // No speculation at all: fewer nodes (little speculative loss) but far
+    // less speedup than the full configuration.
+    let none = at16("none");
+    let all = at16("all");
+    assert!(none.nodes <= all.nodes, "speculation costs nodes");
+    assert!(
+        all.speedup > none.speedup,
+        "speculation buys speedup: {:.2} vs {:.2}",
+        all.speedup,
+        none.speedup
+    );
+}

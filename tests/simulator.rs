@@ -1,0 +1,159 @@
+//! Cross-crate simulator invariants (DESIGN.md invariants 4–6): the
+//! discrete-event multiprocessor simulation is deterministic, its
+//! accounting is internally consistent, and its scheduling follows the
+//! paper's queue disciplines.
+
+use er_search::prelude::*;
+
+fn cfg(serial_depth: u32) -> ErParallelConfig {
+    ErParallelConfig::random_tree(serial_depth)
+}
+
+#[test]
+fn identical_runs_produce_identical_reports() {
+    let root = RandomTreeSpec::new(77, 4, 8).root();
+    for k in [1usize, 5, 16] {
+        let a = run_er_sim(&root, 8, k, &cfg(4));
+        let b = run_er_sim(&root, 8, k, &cfg(4));
+        assert_eq!(a.report, b.report, "k={k}");
+        assert_eq!(a.stats, b.stats, "k={k}");
+        assert_eq!(a.value, b.value, "k={k}");
+    }
+}
+
+#[test]
+fn accounting_identity_holds() {
+    // k * makespan >= work + lock service + lock wait, and starvation is
+    // exactly the difference (clamped).
+    let root = RandomTreeSpec::new(5, 4, 8).root();
+    for k in [1usize, 4, 16] {
+        let r = run_er_sim(&root, 8, k, &cfg(4));
+        let total = k as u64 * r.report.makespan;
+        let used = r.report.work_ticks + r.report.lock_service_ticks + r.report.lock_wait_ticks;
+        assert_eq!(
+            r.report.starvation_ticks(),
+            total.saturating_sub(used),
+            "k={k}"
+        );
+        if k == 1 {
+            // One processor never starves between take and complete beyond
+            // rounding at termination.
+            assert!(
+                r.report.starvation_ticks() < r.report.makespan / 10,
+                "single processor mostly busy"
+            );
+        }
+    }
+}
+
+#[test]
+fn makespan_never_increases_with_processors_on_average() {
+    // Individual k -> k+1 steps can regress (scheduling anomalies are real
+    // and the paper discusses them), but doubling the machine from 1 to 16
+    // must pay off on every tree we test.
+    for seed in 0..5 {
+        let root = RandomTreeSpec::new(seed, 4, 8).root();
+        let m1 = run_er_sim(&root, 8, 1, &cfg(4)).report.makespan;
+        let m16 = run_er_sim(&root, 8, 16, &cfg(4)).report.makespan;
+        assert!(
+            m16 < m1,
+            "seed {seed}: 16 processors must beat 1 ({m16} vs {m1})"
+        );
+    }
+}
+
+#[test]
+fn single_processor_matches_serial_work_profile() {
+    // k=1 parallel ER schedules serial ER's phases; its total work ticks
+    // are close to the serial tick count (within a modest factor — the
+    // scheduling is not identical but must not blow up).
+    let cost = CostModel::default();
+    for seed in 0..4 {
+        let root = RandomTreeSpec::new(seed, 4, 8).root();
+        let serial = er_search(&root, 8, ErConfig::NATURAL);
+        let serial_ticks = cost.serial_ticks(&serial.stats);
+        let par = run_er_sim(&root, 8, 1, &cfg(4));
+        let ratio = par.report.makespan as f64 / serial_ticks as f64;
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "seed {seed}: k=1 makespan ratio {ratio:.2}"
+        );
+    }
+}
+
+#[test]
+fn nodes_examined_grow_then_plateau() {
+    // The headline shape of Figures 12/13, averaged over several trees to
+    // damp single-instance noise: 4-processor runs examine notably more
+    // nodes than 1-processor runs, while 16-processor runs examine only
+    // moderately more than 4-processor runs.
+    let mut n1 = 0.0;
+    let mut n4 = 0.0;
+    let mut n16 = 0.0;
+    for seed in 0..5 {
+        let root = RandomTreeSpec::new(seed, 4, 8).root();
+        n1 += run_er_sim(&root, 8, 1, &cfg(4)).stats.nodes() as f64;
+        n4 += run_er_sim(&root, 8, 4, &cfg(4)).stats.nodes() as f64;
+        n16 += run_er_sim(&root, 8, 16, &cfg(4)).stats.nodes() as f64;
+    }
+    assert!(n4 > n1 * 1.02, "speculation shows up by 4 processors");
+    assert!(
+        n16 / n4 < n4 / n1 * 2.0 && n16 / n4 < 1.6,
+        "speculative loss must plateau: 1->4 grew {:.2}x, 4->16 grew {:.2}x",
+        n4 / n1,
+        n16 / n4
+    );
+}
+
+#[test]
+fn starvation_dominates_when_speculation_is_disabled() {
+    // §3's tradeoff, measured: without speculative work the pool of
+    // mandatory work cannot feed 16 processors.
+    let root = RandomTreeSpec::new(11, 4, 8).root();
+    let none = ErParallelConfig {
+        spec: Speculation::NONE,
+        ..cfg(4)
+    };
+    let with = run_er_sim(&root, 8, 16, &cfg(4));
+    let without = run_er_sim(&root, 8, 16, &none);
+    let starve_with = with.report.starvation_ticks() as f64
+        / (16 * with.report.makespan) as f64;
+    let starve_without = without.report.starvation_ticks() as f64
+        / (16 * without.report.makespan) as f64;
+    assert!(
+        starve_without > starve_with,
+        "disabling speculation must increase starvation share: {starve_without:.2} vs {starve_with:.2}"
+    );
+}
+
+#[test]
+fn threaded_and_simulated_backends_agree_on_value() {
+    for seed in 0..4 {
+        let root = RandomTreeSpec::new(seed, 4, 7).root();
+        let sim = run_er_sim(&root, 7, 4, &cfg(3));
+        let thr = er_parallel::run_er_threads(&root, 7, 4, &cfg(3));
+        assert_eq!(sim.value, thr.value, "seed {seed}");
+    }
+}
+
+#[test]
+fn trace_is_consistent_with_report() {
+    let root = RandomTreeSpec::new(3, 4, 8).root();
+    let r = run_er_sim(&root, 8, 8, &cfg(4));
+    // The trace records taken jobs; the report counts completions. Work
+    // still in flight when the root finished explains any excess, so the
+    // traced total can never be below the completed total.
+    let trace_work: u64 = r.trace.iter().map(|j| j.cost).sum();
+    assert!(
+        trace_work >= r.report.work_ticks,
+        "taken {trace_work} < completed {}",
+        r.report.work_ticks
+    );
+    assert!(r.trace.len() as u64 + 1 >= r.report.items_completed);
+    // Every traced job starts within the makespan, and no single job is
+    // longer than the makespan itself.
+    for j in &r.trace {
+        assert!(j.start <= r.report.makespan);
+        assert!(j.cost <= r.report.makespan);
+    }
+}
