@@ -60,7 +60,9 @@ fn bench_perft(c: &mut Criterion) {
     let mut g = c.benchmark_group("othello_perft");
     g.sample_size(10);
     let init = othello::OthelloPos::initial();
-    g.bench_function("perft_5", |b| b.iter(|| black_box(perft(black_box(&init), 5))));
+    g.bench_function("perft_5", |b| {
+        b.iter(|| black_box(perft(black_box(&init), 5)))
+    });
     g.finish();
 }
 

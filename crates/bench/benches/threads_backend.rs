@@ -1,0 +1,71 @@
+//! Criterion benchmark of the threaded back-end's batched locking: R1 at
+//! batch sizes 1 and 8, on 1 and 4 threads. Alongside the timing, the
+//! contention counters are asserted so a regression in the decomposed-lock
+//! design fails the bench rather than silently shifting the numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_bench::trees::random_trees;
+use er_parallel::{run_er_threads_with, ErParallelConfig, ErThreadsResult, Speculation};
+use problem_heap::CostModel;
+use std::hint::black_box;
+
+fn r1_config() -> ErParallelConfig {
+    let r1 = &random_trees()[0];
+    ErParallelConfig {
+        serial_depth: r1.serial_depth,
+        order: r1.order,
+        spec: Speculation::ALL,
+        cost: CostModel::default(),
+    }
+}
+
+/// Runs R1 once and checks the counter invariants of the batched design.
+fn checked_run(threads: usize, batch: usize) -> ErThreadsResult {
+    let r1 = &random_trees()[0];
+    let r = run_er_threads_with(&r1.root, r1.depth, threads, batch, &r1_config());
+    let c = r.counters();
+    assert_eq!(
+        c.jobs_executed, c.outcomes_applied,
+        "every executed job must be applied exactly once"
+    );
+    // Fused select+apply must undercut the seed's two acquisitions per job;
+    // parks are the only acquisitions not amortized by a batch.
+    assert!(
+        c.lock_acquisitions <= c.jobs_executed + c.idle_parks + threads as u64 + 1,
+        "acquisitions ({}) exceed the one-per-round bound (jobs {}, parks {})",
+        c.lock_acquisitions,
+        c.jobs_executed,
+        c.idle_parks
+    );
+    r
+}
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    // Batch amortization is visible in acquisition counts even before
+    // timing: check once per (threads, batch) point, outside the timed loop.
+    for &threads in &[1usize, 4] {
+        let b1 = checked_run(threads, 1).counters();
+        let b8 = checked_run(threads, 8).counters();
+        assert!(
+            b8.lock_acquisitions < b1.lock_acquisitions,
+            "{threads} threads: batch=8 must need fewer acquisitions than \
+             batch=1 ({} vs {})",
+            b8.lock_acquisitions,
+            b1.lock_acquisitions
+        );
+    }
+    let mut g = c.benchmark_group("er_threads_r1_batch");
+    g.sample_size(10);
+    for &threads in &[1usize, 4] {
+        for &batch in &[1usize, 8] {
+            let id = BenchmarkId::new(&format!("t{threads}"), format!("b{batch}"));
+            g.bench_with_input(id, &(threads, batch), |bench, &(t, b)| {
+                bench.iter(|| black_box(checked_run(black_box(t), black_box(b))))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_sizes);
+criterion_main!(benches);

@@ -9,6 +9,9 @@
 //! repro baselines   §4/§8: ER vs MWF / aspiration / tree-splitting /
 //!                   pv-splitting, plus Akl's MWF plateau
 //! repro ablation    §5: contribution of each speculation mechanism
+//! repro threads     real-thread back-end: contention counters and
+//!                   memoized-evaluation savings (writes
+//!                   BENCH_threads.json at the repo root)
 //! repro all         everything above
 //! ```
 //!
@@ -24,11 +27,11 @@ use er_bench::experiments::{
 use er_bench::trees::{degree_label, othello_trees, random_trees};
 use problem_heap::CostModel;
 
-fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+fn save_json<T: er_bench::json::ToJson>(name: &str, value: &T) {
     fs::create_dir_all("results").expect("create results/");
     let path = format!("results/{name}.json");
     let mut f = fs::File::create(&path).expect("create json");
-    let s = serde_json::to_string_pretty(value).expect("serialize");
+    let s = er_bench::json::to_pretty(value);
     f.write_all(s.as_bytes()).expect("write json");
     println!("  -> {path}");
 }
@@ -143,10 +146,7 @@ fn fig(which: u32) {
     let cost = CostModel::default();
     match which {
         10 | 12 => {
-            let curves: Vec<ErCurve> = othello_trees()
-                .iter()
-                .map(|t| er_curve(t, &cost))
-                .collect();
+            let curves: Vec<ErCurve> = othello_trees().iter().map(|t| er_curve(t, &cost)).collect();
             if which == 10 {
                 print_efficiency_figure("Figure 10: efficiency of ER, Othello trees", &curves);
                 save_json("fig10", &curves);
@@ -156,10 +156,7 @@ fn fig(which: u32) {
             }
         }
         11 | 13 => {
-            let curves: Vec<ErCurve> = random_trees()
-                .iter()
-                .map(|t| er_curve(t, &cost))
-                .collect();
+            let curves: Vec<ErCurve> = random_trees().iter().map(|t| er_curve(t, &cost)).collect();
             if which == 11 {
                 print_efficiency_figure("Figure 11: efficiency of ER, random trees", &curves);
                 save_json("fig11", &curves);
@@ -279,7 +276,10 @@ fn overhead() {
         "{:<5} {:>6} {:>10} {:>10} {:>12} {:>10} {:>8}",
         "tree", "procs", "mandatory", "examined", "speculative", "skipped", "spec%"
     );
-    for rows in [overhead_rows(&random[0], &cost), overhead_rows(&othello[0], &cost)] {
+    for rows in [
+        overhead_rows(&random[0], &cost),
+        overhead_rows(&othello[0], &cost),
+    ] {
         for r in &rows {
             println!(
                 "{:<5} {:>6} {:>10} {:>10} {:>12} {:>10} {:>7.1}%",
@@ -359,6 +359,80 @@ fn ordering() {
     save_json("ordering", &rows);
 }
 
+fn threads() {
+    use er_bench::experiments::threads_rows;
+    println!("\n=== Threaded back-end: contention and memoization (R1, O1) ===");
+    let rows = threads_rows();
+    println!(
+        "{:<5} {:>5} {:>6} {:>7} {:>5} {:>8} {:>7} {:>7} {:>7} {:>9} {:>8} {:>6} {:>8}",
+        "tree",
+        "depth",
+        "sdepth",
+        "threads",
+        "batch",
+        "nodes",
+        "evals",
+        "cached",
+        "locks",
+        "seedlocks",
+        "ratio",
+        "parks",
+        "ms"
+    );
+    for r in &rows {
+        println!(
+            "{:<5} {:>5} {:>6} {:>7} {:>5} {:>8} {:>7} {:>7} {:>7} {:>9} {:>7.1}x {:>6} {:>8.1}",
+            r.tree,
+            r.depth,
+            r.serial_depth,
+            r.threads,
+            r.batch,
+            r.nodes,
+            r.eval_calls,
+            r.cached_leaf_hits,
+            r.lock_acquisitions,
+            r.seed_acquisitions,
+            r.acquisition_ratio,
+            r.idle_parks,
+            r.elapsed_ms
+        );
+    }
+    // The issue's acceptance bar: R1 at 4 threads with the default batch
+    // must need at most half the acquisitions of the seed's
+    // lock-per-select + lock-per-apply design, and the memoized O1 run
+    // must make strictly fewer evaluator calls than the seed would.
+    let r1 = rows
+        .iter()
+        .find(|r| r.tree == "R1" && r.threads == 4 && r.batch == 8)
+        .expect("R1 4-thread batch-8 row");
+    assert!(
+        r1.acquisition_ratio >= 2.0,
+        "R1@4 threads: expected >=2x acquisition drop, got {:.2}x",
+        r1.acquisition_ratio
+    );
+    let o1 = rows
+        .iter()
+        .find(|r| r.tree == "O1" && r.serial_depth == 0 && r.threads == 4 && r.batch == 8)
+        .expect("O1 memo row");
+    assert!(
+        o1.eval_calls < o1.seed_eval_calls,
+        "O1: memoization must cut evaluator calls ({} vs seed {})",
+        o1.eval_calls,
+        o1.seed_eval_calls
+    );
+    println!(
+        "\nR1 @ 4 threads, batch 8: {:.1}x fewer lock acquisitions than the \
+         seed back-end; O1 (fully parallel leaves): {} of {} evaluator calls \
+         served from memoized sorting probes.",
+        r1.acquisition_ratio, o1.cached_leaf_hits, o1.seed_eval_calls
+    );
+    save_json("threads", &rows);
+    let mut f = fs::File::create("BENCH_threads.json").expect("create BENCH_threads.json");
+    f.write_all(er_bench::json::to_pretty(&rows).as_bytes())
+        .expect("write BENCH_threads.json");
+    println!("  -> BENCH_threads.json");
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     match arg.as_str() {
@@ -373,6 +447,7 @@ fn main() {
         "sweep" => sweep(),
         "ordering" => ordering(),
         "gantt" => gantt(),
+        "threads" => threads(),
         "all" => {
             table3();
             fig(10);
@@ -385,11 +460,13 @@ fn main() {
             sweep();
             ordering();
             gantt();
+            threads();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; use \
-                 table3|fig10|fig11|fig12|fig13|baselines|ablation|overhead|sweep|ordering|gantt|all"
+                 table3|fig10|fig11|fig12|fig13|baselines|ablation|overhead|sweep|ordering|\
+                 gantt|threads|all"
             );
             std::process::exit(2);
         }

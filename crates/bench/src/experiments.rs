@@ -8,7 +8,8 @@
 use gametree::{GamePosition, Value};
 use problem_heap::CostModel;
 use search_serial::{alphabeta, er_search, ErConfig, OrderPolicy};
-use serde::Serialize;
+
+use crate::json::impl_to_json;
 
 use er_parallel::baselines::{
     run_aspiration_guess, run_mwf, run_pv_split, run_tree_split, ProcShape,
@@ -22,7 +23,7 @@ use crate::trees::TreeSpec;
 pub const PROCESSOR_COUNTS: [usize; 9] = [1, 2, 4, 6, 8, 10, 12, 14, 16];
 
 /// One serial algorithm's cost on a tree.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SerialCost {
     /// Nodes examined.
     pub nodes: u64,
@@ -37,7 +38,7 @@ pub struct SerialCost {
 /// Serial reference data for a tree: alpha-beta (sorted per policy) and
 /// serial ER, and the better of the two ("the fastest serial algorithm",
 /// §3).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SerialReference {
     /// Sorted alpha-beta with deep cutoffs.
     pub alphabeta: SerialCost,
@@ -51,7 +52,11 @@ pub struct SerialReference {
 pub fn serial_reference<P: GamePosition>(spec: &TreeSpec<P>, cost: &CostModel) -> SerialReference {
     let ab = alphabeta(&spec.root, spec.depth, spec.order);
     let er = er_search(&spec.root, spec.depth, ErConfig { order: spec.order });
-    assert_eq!(ab.value, er.value, "{}: serial algorithms disagree", spec.name);
+    assert_eq!(
+        ab.value, er.value,
+        "{}: serial algorithms disagree",
+        spec.name
+    );
     let abc = SerialCost {
         nodes: ab.stats.nodes(),
         evals: ab.stats.eval_calls,
@@ -72,7 +77,7 @@ pub fn serial_reference<P: GamePosition>(spec: &TreeSpec<P>, cost: &CostModel) -
 }
 
 /// One point of an ER efficiency/node curve.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ErPoint {
     /// Simulated processors.
     pub processors: usize,
@@ -89,7 +94,7 @@ pub struct ErPoint {
 }
 
 /// One tree's full ER curve (Figures 10–13 series).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ErCurve {
     /// Tree name.
     pub tree: String,
@@ -142,7 +147,7 @@ pub fn er_curve<P: GamePosition>(spec: &TreeSpec<P>, cost: &CostModel) -> ErCurv
 }
 
 /// One point of a baseline-comparison curve.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct BaselinePoint {
     /// Processors requested (tree-shaped algorithms may use fewer; see
     /// `actual`).
@@ -156,7 +161,7 @@ pub struct BaselinePoint {
 }
 
 /// A baseline algorithm's curve on one tree.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BaselineCurve {
     /// Algorithm name.
     pub algorithm: String,
@@ -234,7 +239,8 @@ pub fn baseline_curves<P: GamePosition>(
         points: PROCESSOR_COUNTS
             .iter()
             .map(|&k| {
-                let r = run_aspiration_guess(&spec.root, spec.depth, guess, k, 60, spec.order, cost);
+                let r =
+                    run_aspiration_guess(&spec.root, spec.depth, guess, k, 60, spec.order, cost);
                 assert_eq!(r.value, expected);
                 BaselinePoint {
                     requested: k,
@@ -281,7 +287,7 @@ pub fn baseline_curves<P: GamePosition>(
 }
 
 /// One ablation configuration's curve.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationCurve {
     /// Which mechanisms were on.
     pub config: String,
@@ -356,7 +362,7 @@ pub fn ablation_curves<P: GamePosition>(
 /// Akl-style wide shallow tree where MWF exhibits its classic
 /// rises-then-plateaus shape (§4.2 reports simulations on "four-ply
 /// random game trees of various fixed degrees" plateauing near six).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct MwfPlateau {
     /// Tree degree.
     pub degree: u32,
@@ -406,7 +412,7 @@ pub fn mwf_plateau(cost: &CostModel) -> Vec<MwfPlateau> {
 }
 
 /// One row of the work-classification table (`repro overhead`).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct OverheadRow {
     /// Tree name.
     pub tree: String,
@@ -427,10 +433,7 @@ pub struct OverheadRow {
 /// Classifies parallel ER's work against serial alpha-beta's node set on
 /// one tree across processor counts (forced fully in-tree; see
 /// `er_parallel::mandatory`).
-pub fn overhead_rows<P: GamePosition>(
-    spec: &TreeSpec<P>,
-    cost: &CostModel,
-) -> Vec<OverheadRow> {
+pub fn overhead_rows<P: GamePosition>(spec: &TreeSpec<P>, cost: &CostModel) -> Vec<OverheadRow> {
     let cfg = ErParallelConfig {
         serial_depth: 0,
         order: spec.order,
@@ -455,7 +458,7 @@ pub fn overhead_rows<P: GamePosition>(
 }
 
 /// One row of the parameter sweep (`repro sweep`).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SweepRow {
     /// Serial depth used.
     pub serial_depth: u32,
@@ -511,7 +514,7 @@ pub fn sweep_rows() -> Vec<SweepRow> {
 }
 
 /// One row of the workload-characterization table (`repro ordering`).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct OrderingRow {
     /// Workload name.
     pub tree: String,
@@ -529,12 +532,7 @@ pub struct OrderingRow {
     pub strongly_ordered: bool,
 }
 
-fn ordering_row<P: GamePosition>(
-    name: &str,
-    root: &P,
-    depth: u32,
-    sorted: bool,
-) -> OrderingRow {
+fn ordering_row<P: GamePosition>(name: &str, root: &P, depth: u32, sorted: bool) -> OrderingRow {
     let stats = if sorted {
         gametree::analysis::measure_ordering(root, depth, |_, _, mut kids: Vec<P>| {
             kids.sort_by_key(|c| c.evaluate());
@@ -574,3 +572,234 @@ pub fn ordering_rows() -> Vec<OrderingRow> {
     rows.push(ordering_row(c.name, &c.root, 6, true));
     rows
 }
+
+/// One threaded back-end measurement: a tree searched with real OS
+/// threads at a given (threads, batch) setting, with the contention
+/// counters that justify the decomposed-lock design.
+#[derive(Clone, Debug)]
+pub struct ThreadsRow {
+    /// Table 3 tree name.
+    pub tree: String,
+    /// Search depth in plies.
+    pub depth: u32,
+    /// Serial depth (0 = every leaf flows through the heap, making the
+    /// memoized-evaluation savings directly countable).
+    pub serial_depth: u32,
+    /// OS threads used.
+    pub threads: usize,
+    /// Jobs taken per lock acquisition.
+    pub batch: usize,
+    /// Root value (asserted equal to serial alpha-beta before recording).
+    pub value: i32,
+    /// Nodes examined (may vary with thread scheduling; the value never).
+    pub nodes: u64,
+    /// Static-evaluator calls actually made.
+    pub eval_calls: u64,
+    /// Leaves settled from memoized sorting probes — evaluator calls the
+    /// seed back-end would have made twice.
+    pub cached_leaf_hits: u64,
+    /// Evaluator calls the seed back-end would have made for the same heap
+    /// jobs: every cached-leaf hit re-charged.
+    pub seed_eval_calls: u64,
+    /// Mutex acquisitions across all threads.
+    pub lock_acquisitions: u64,
+    /// Selection batches refilled.
+    pub select_batches: u64,
+    /// Jobs executed outside the lock.
+    pub jobs_executed: u64,
+    /// Targeted `notify_one` wake-ups issued.
+    pub wakeups: u64,
+    /// Times a thread parked on the idle condvar.
+    pub idle_parks: u64,
+    /// Acquisitions the seed design (lock per select + lock per apply)
+    /// would have needed for the same jobs: `2 * jobs_executed`.
+    pub seed_acquisitions: u64,
+    /// `seed_acquisitions / lock_acquisitions` — the contention reduction.
+    pub acquisition_ratio: f64,
+    /// Wall-clock milliseconds.
+    pub elapsed_ms: f64,
+}
+
+fn threads_row<P: GamePosition>(
+    name: &str,
+    root: &P,
+    depth: u32,
+    serial_depth: u32,
+    order: OrderPolicy,
+    threads: usize,
+    batch: usize,
+) -> ThreadsRow {
+    use er_parallel::run_er_threads_with;
+    let cfg = ErParallelConfig {
+        serial_depth,
+        order,
+        spec: Speculation::ALL,
+        cost: CostModel::default(),
+    };
+    let r = run_er_threads_with(root, depth, threads, batch, &cfg);
+    let exact = alphabeta(root, depth, order).value;
+    assert_eq!(
+        r.value, exact,
+        "{name}: threaded back-end disagrees with alpha-beta"
+    );
+    let c = r.counters();
+    let seed_acquisitions = 2 * c.jobs_executed;
+    ThreadsRow {
+        tree: name.to_string(),
+        depth,
+        serial_depth,
+        threads,
+        batch,
+        value: r.value.get(),
+        nodes: r.stats.nodes(),
+        eval_calls: r.stats.eval_calls,
+        cached_leaf_hits: r.cached_leaf_hits,
+        seed_eval_calls: r.stats.eval_calls + r.cached_leaf_hits,
+        lock_acquisitions: c.lock_acquisitions,
+        select_batches: c.select_batches,
+        jobs_executed: c.jobs_executed,
+        wakeups: c.wakeups,
+        idle_parks: c.idle_parks,
+        seed_acquisitions,
+        acquisition_ratio: seed_acquisitions as f64 / c.lock_acquisitions.max(1) as f64,
+        elapsed_ms: r.elapsed.as_secs_f64() * 1e3,
+    }
+}
+
+/// The threaded back-end grid.
+///
+/// * **R1 at Table 3 settings** (no sorting): the pure locking win —
+///   `acquisition_ratio` records how far fused + batched acquisitions
+///   undercut the seed's two-locks-per-job design.
+/// * **O1 at Table 3 settings** (sorted above ply five): the real Othello
+///   workload on real threads.
+/// * **O1 at `serial_depth = 0`, reduced depth**: every leaf flows
+///   through the heap, so `cached_leaf_hits` counts exactly the evaluator
+///   calls the seed would have made twice — `eval_calls` vs
+///   `seed_eval_calls` is the memoization win.
+///
+/// Each at 1 and 4 threads with batch sizes 1 and 8.
+pub fn threads_rows() -> Vec<ThreadsRow> {
+    let mut rows = Vec::new();
+    let r1 = &crate::trees::random_trees()[0];
+    let o1 = &crate::trees::othello_trees()[0];
+    for &threads in &[1usize, 4] {
+        for &batch in &[1usize, 8] {
+            rows.push(threads_row(
+                r1.name,
+                &r1.root,
+                r1.depth,
+                r1.serial_depth,
+                r1.order,
+                threads,
+                batch,
+            ));
+            rows.push(threads_row(
+                o1.name,
+                &o1.root,
+                o1.depth,
+                o1.serial_depth,
+                o1.order,
+                threads,
+                batch,
+            ));
+            rows.push(threads_row(
+                o1.name, &o1.root, 5, 0, o1.order, threads, batch,
+            ));
+        }
+    }
+    rows
+}
+
+impl_to_json!(SerialCost {
+    nodes,
+    evals,
+    ticks,
+    value
+});
+impl_to_json!(SerialReference {
+    alphabeta,
+    er,
+    best_ticks
+});
+impl_to_json!(ErPoint {
+    processors,
+    speedup,
+    efficiency,
+    nodes,
+    makespan,
+    starvation
+});
+impl_to_json!(ErCurve {
+    tree,
+    serial,
+    alphabeta_efficiency,
+    points
+});
+impl_to_json!(BaselinePoint {
+    requested,
+    actual,
+    speedup,
+    nodes
+});
+impl_to_json!(BaselineCurve {
+    algorithm,
+    tree,
+    points
+});
+impl_to_json!(AblationCurve {
+    config,
+    tree,
+    points
+});
+impl_to_json!(MwfPlateau {
+    degree,
+    noise,
+    points
+});
+impl_to_json!(OverheadRow {
+    tree,
+    processors,
+    mandatory,
+    examined,
+    speculative,
+    mandatory_skipped,
+    speculative_fraction
+});
+impl_to_json!(SweepRow {
+    serial_depth,
+    heap_latency,
+    eval_cost,
+    processors,
+    speedup,
+    nodes
+});
+impl_to_json!(OrderingRow {
+    tree,
+    depth,
+    sorted,
+    first_best,
+    quarter_best,
+    mean_degree,
+    strongly_ordered
+});
+impl_to_json!(ThreadsRow {
+    tree,
+    depth,
+    serial_depth,
+    threads,
+    batch,
+    value,
+    nodes,
+    eval_calls,
+    cached_leaf_hits,
+    seed_eval_calls,
+    lock_acquisitions,
+    select_batches,
+    jobs_executed,
+    wakeups,
+    idle_parks,
+    seed_acquisitions,
+    acquisition_ratio,
+    elapsed_ms
+});

@@ -5,4 +5,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod trees;

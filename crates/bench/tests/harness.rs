@@ -19,10 +19,7 @@ fn ordering_rows_cover_every_workload() {
         assert!(r.mean_degree >= 1.0);
     }
     // Sorted real-game trees are strongly ordered; unsorted random are not.
-    assert!(rows
-        .iter()
-        .filter(|r| r.sorted)
-        .all(|r| r.strongly_ordered));
+    assert!(rows.iter().filter(|r| r.sorted).all(|r| r.strongly_ordered));
     assert!(rows
         .iter()
         .filter(|r| !r.sorted && r.tree.starts_with('R'))
@@ -42,7 +39,10 @@ fn sweep_rows_cover_the_grid() {
     let get = |sd: u32, hl: u64, ec: u64, k: usize| {
         rows.iter()
             .find(|r| {
-                r.serial_depth == sd && r.heap_latency == hl && r.eval_cost == ec && r.processors == k
+                r.serial_depth == sd
+                    && r.heap_latency == hl
+                    && r.eval_cost == ec
+                    && r.processors == k
             })
             .unwrap()
             .speedup

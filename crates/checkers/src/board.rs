@@ -146,7 +146,14 @@ impl Board {
 
     /// Extends a jump sequence from `sq`; pushes every maximal-by-rule
     /// continuation into `out`. `captured` is the mask already jumped.
-    fn extend_jumps(&self, sq: u8, king: bool, path: &mut Vec<u8>, captured: u32, out: &mut Vec<Move>) {
+    fn extend_jumps(
+        &self,
+        sq: u8,
+        king: bool,
+        path: &mut Vec<u8>,
+        captured: u32,
+        out: &mut Vec<Move>,
+    ) {
         let dirs: &[usize] = if king { &[0, 1, 2, 3] } else { &[0, 1] };
         let mut extended = false;
         for &d in dirs {
@@ -377,7 +384,11 @@ mod tests {
         assert_eq!(moves[0].path, vec![start, land1, land2]);
         assert_eq!(moves[0].captures.count_ones(), 2);
         let after = b.play(&moves[0]);
-        assert_eq!(after.opp().count_ones(), 1, "mover's piece survives, flipped");
+        assert_eq!(
+            after.opp().count_ones(),
+            1,
+            "mover's piece survives, flipped"
+        );
         assert_eq!(after.own().count_ones(), 0, "both enemy men are gone");
     }
 

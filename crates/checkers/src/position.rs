@@ -37,8 +37,7 @@ pub fn evaluate(board: &Board) -> Value {
     if board.legal_moves().is_empty() {
         return Value::new(-LOSS);
     }
-    let material = MAN
-        * (board.own_men.count_ones() as i32 - board.opp_men.count_ones() as i32)
+    let material = MAN * (board.own_men.count_ones() as i32 - board.opp_men.count_ones() as i32)
         + KING * (board.own_kings.count_ones() as i32 - board.opp_kings.count_ones() as i32);
 
     // Advancement: men further up the board are worth a little more. Own

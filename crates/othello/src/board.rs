@@ -12,14 +12,14 @@ const FILE_H: u64 = 0x8080_8080_8080_8080;
 /// The eight ray directions as (shift, pre-shift mask) pairs. A positive
 /// shift is a left shift, negative is right.
 const DIRECTIONS: [(i8, u64); 8] = [
-    (1, !FILE_H),         // east
-    (-1, !FILE_A),        // west
-    (8, !0),              // south (towards row 8)
-    (-8, !0),             // north
-    (9, !FILE_H),         // south-east
-    (7, !FILE_A),         // south-west
-    (-7, !FILE_H),        // north-east
-    (-9, !FILE_A),        // north-west
+    (1, !FILE_H),  // east
+    (-1, !FILE_A), // west
+    (8, !0),       // south (towards row 8)
+    (-8, !0),      // north
+    (9, !FILE_H),  // south-east
+    (7, !FILE_A),  // south-west
+    (-7, !FILE_H), // north-east
+    (-9, !FILE_A), // north-west
 ];
 
 #[inline]
@@ -57,7 +57,12 @@ impl Board {
     pub fn from_str_board(s: &str) -> Board {
         let mut own = 0u64;
         let mut opp = 0u64;
-        for (i, ch) in s.chars().filter(|c| !c.is_whitespace()).take(64).enumerate() {
+        for (i, ch) in s
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .take(64)
+            .enumerate()
+        {
             match ch {
                 'x' | 'X' => own |= 1 << i,
                 'o' | 'O' => opp |= 1 << i,

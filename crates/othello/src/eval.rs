@@ -60,8 +60,7 @@ pub fn evaluate(board: &Board) -> Value {
     let mobility = 8 * (own_mob - opp_mob);
 
     let corner = 25
-        * ((board.own & CORNERS).count_ones() as i32
-            - (board.opp & CORNERS).count_ones() as i32);
+        * ((board.own & CORNERS).count_ones() as i32 - (board.opp & CORNERS).count_ones() as i32);
 
     // Disc count is nearly irrelevant early and decisive late.
     let material = if occ >= 48 {

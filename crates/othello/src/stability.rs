@@ -47,10 +47,10 @@ fn nbr(b: u64, dir: i8) -> u64 {
 /// (dir, squares with no `-dir` neighbour, squares with no `+dir`
 /// neighbour).
 const LINES: [(i8, u64, u64); 4] = [
-    (1, FILE_A, FILE_H),                       // horizontal
-    (8, RANK_1, RANK_8),                       // vertical
-    (9, RANK_1 | FILE_A, RANK_8 | FILE_H),     // a1–h8 diagonals
-    (7, RANK_1 | FILE_H, RANK_8 | FILE_A),     // h1–a8 diagonals
+    (1, FILE_A, FILE_H),                   // horizontal
+    (8, RANK_1, RANK_8),                   // vertical
+    (9, RANK_1 | FILE_A, RANK_8 | FILE_H), // a1–h8 diagonals
+    (7, RANK_1 | FILE_H, RANK_8 | FILE_A), // h1–a8 diagonals
 ];
 
 /// Computes a sound under-approximation of the stable discs of `side`

@@ -77,7 +77,11 @@ pub fn run_aspiration_guess<P: GamePosition>(
     let mut makespan = 0u64;
     let mut value = None;
     for i in 0..k {
-        let alpha = if i == 0 { Value::NEG_INF } else { bounds[i - 1] };
+        let alpha = if i == 0 {
+            Value::NEG_INF
+        } else {
+            bounds[i - 1]
+        };
         let beta = if i == k - 1 { Value::INF } else { bounds[i] };
         let w = Window::new(alpha, beta);
         let r = alphabeta_window(pos, depth, w, order);

@@ -195,8 +195,9 @@ impl<P: GamePosition> MwfWorker<P> {
 
             let pn = &self.nodes[p];
             let refuted = pn.kind == MwfKind::Two && pn.value >= self.beta(p);
-            let exhausted =
-                pn.kids.is_some() && pn.next_child == pn.kids.as_ref().unwrap().len() && pn.active == 0;
+            let exhausted = pn.kids.is_some()
+                && pn.next_child == pn.kids.as_ref().unwrap().len()
+                && pn.active == 0;
             if refuted || exhausted {
                 self.nodes[p].done = true;
                 if refuted {

@@ -121,8 +121,7 @@ fn pv_rec<P: GamePosition>(
         }
         w = window.raise_alpha(m);
         if next < kids.len() {
-            let (value, finish) =
-                search_sibling(ctx, &kids[next], depth - 1, w, slave_shape, end);
+            let (value, finish) = search_sibling(ctx, &kids[next], depth - 1, w, slave_shape, end);
             pending.push(Reverse((finish, seq, value.get() as i64)));
             seq += 1;
             next += 1;
@@ -150,7 +149,14 @@ fn search_sibling<P: GamePosition>(
         return (r.value, assign + r.makespan);
     }
     let null = Window::new(w.alpha, Value::new(w.alpha.get() + 1));
-    let probe = run_tree_split_window(child, depth, null.negate(), slave_shape, ctx.order, ctx.cost);
+    let probe = run_tree_split_window(
+        child,
+        depth,
+        null.negate(),
+        slave_shape,
+        ctx.order,
+        ctx.cost,
+    );
     ctx.stats.merge(&probe.stats);
     let pv = -probe.value;
     let mut finish = assign + probe.makespan;
@@ -241,8 +247,7 @@ mod tests {
                     height: 2,
                 },
             ] {
-                let r =
-                    run_pv_split(&root, 6, shape, OrderPolicy::NATURAL, &CostModel::default());
+                let r = run_pv_split(&root, 6, shape, OrderPolicy::NATURAL, &CostModel::default());
                 assert_eq!(r.value, exact, "seed {seed} shape {shape:?}");
             }
         }
@@ -309,15 +314,10 @@ mod tests {
             pv += run_pv_split(&root, 8, shape, OrderPolicy::ALWAYS, &cm)
                 .stats
                 .nodes();
-            ts += super::super::tree_split::run_tree_split(
-                &root,
-                8,
-                shape,
-                OrderPolicy::ALWAYS,
-                &cm,
-            )
-            .stats
-            .nodes();
+            ts +=
+                super::super::tree_split::run_tree_split(&root, 8, shape, OrderPolicy::ALWAYS, &cm)
+                    .stats
+                    .nodes();
         }
         assert!(pv < ts, "pv-splitting must prune better: {pv} vs {ts}");
     }

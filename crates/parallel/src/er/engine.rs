@@ -25,19 +25,33 @@ use std::cmp::Reverse;
 use gametree::{GamePosition, SearchStats, Value, Window};
 use problem_heap::{simulate, HeapWorker, StableQueue, TakenWork};
 use search_serial::er::{er_search_window, ErConfig};
-use search_serial::ordering::{ordered_children, OrderPolicy};
+use search_serial::ordering::{ordered_children_with_evals, OrderPolicy};
 
 use super::{ErParallelConfig, ErRunResult};
 use crate::tree::{Kind, NodeId, SearchTree, ROOT};
 
 /// What must be computed for a taken node, outside the heap lock.
+///
+/// Tasks carry no position: the executor borrows (simulator) or clones
+/// (threaded back-end) the node's position only when [`Task::needs_pos`]
+/// says the task actually reads it, so bookkeeping-only tasks and
+/// cached-leaf hits never pay for a position copy.
 #[allow(missing_docs)]
-pub enum Task<P: GamePosition> {
+#[derive(Clone, Copy, Debug)]
+pub enum Task {
     /// Static-evaluate a terminal (game over or depth 0).
-    Leaf { pos: P },
+    Leaf,
+    /// The terminal's static value is already memoized (the parent's
+    /// sorting probe evaluated it): no evaluator call, no position access.
+    CachedLeaf(Value),
     /// Generate (and possibly sort) the node's children. `enode` children
-    /// are never statically sorted (§7).
-    Movegen { pos: P, ply: u32, enode: bool },
+    /// are never statically sorted (§7). `cached` carries the node's own
+    /// memoized static value for the childless-terminal case.
+    Movegen {
+        ply: u32,
+        enode: bool,
+        cached: Option<Value>,
+    },
     /// Spawn the next child of an r-node (move list already exists).
     NextChild,
     /// Spawn the remaining children of a promoted e-child.
@@ -46,7 +60,6 @@ pub enum Task<P: GamePosition> {
     /// e-node gets a full ER evaluation, a fresh r-node the cheaper
     /// `Eval_first`/`Refute_rest` discipline.
     Serial {
-        pos: P,
         depth: u32,
         window: Window,
         ply: u32,
@@ -54,22 +67,43 @@ pub enum Task<P: GamePosition> {
     },
 }
 
+impl Task {
+    /// True iff [`execute_task`] reads the node's position for this task.
+    /// The threaded back-end clones the position (under the lock) only when
+    /// this holds; `NextChild`/`ExpandRest`/`CachedLeaf` skip the copy.
+    pub fn needs_pos(&self) -> bool {
+        match self {
+            Task::Leaf | Task::Movegen { .. } | Task::Serial { .. } => true,
+            Task::CachedLeaf(_) | Task::NextChild | Task::ExpandRest => false,
+        }
+    }
+}
+
 /// A unit of work selected from the problem heap.
-pub struct Job<P: GamePosition> {
+#[derive(Clone, Copy, Debug)]
+pub struct Job {
     /// The node the job belongs to.
     pub id: NodeId,
     /// The computation to perform outside the lock.
-    pub task: Task<P>,
+    pub task: Task,
 }
 
 /// Result of [`execute_task`], applied under the lock.
 #[allow(missing_docs)]
 pub enum Outcome<P: GamePosition> {
-    /// The node is a terminal with this static value.
+    /// The node is a terminal with this static value, freshly evaluated.
     Leaf(Value),
-    /// Generated children in search order, plus evaluator calls charged
-    /// for sorting.
-    Moves { kids: Vec<P>, sort_evals: u64 },
+    /// The node is a terminal whose static value was memoized — counts as
+    /// an examined leaf but charges no evaluator call.
+    CachedLeaf(Value),
+    /// Generated children in search order, the static values computed for
+    /// sorting (memoized onto spawned children), and the evaluator calls
+    /// charged for sorting.
+    Moves {
+        kids: Vec<P>,
+        evals: Option<Vec<Value>>,
+        sort_evals: u64,
+    },
     /// `NextChild` / `ExpandRest` carry no payload.
     Unit,
     /// Serial subtree result.
@@ -77,9 +111,9 @@ pub enum Outcome<P: GamePosition> {
 }
 
 /// Outcome of trying to select work.
-pub enum Select<P: GamePosition> {
+pub enum Select {
     /// A job to execute.
-    Job(Job<P>),
+    Job(Job),
     /// The computation finished during selection (a cutoff cascade
     /// completed the root).
     JustFinished,
@@ -88,37 +122,52 @@ pub enum Select<P: GamePosition> {
 }
 
 /// Executes a task. Pure with respect to the shared tree: callable outside
-/// any lock.
-pub fn execute_task<P: GamePosition>(task: Task<P>, order: OrderPolicy) -> Outcome<P> {
-    match task {
-        Task::Leaf { pos } => Outcome::Leaf(pos.evaluate()),
-        Task::Movegen { pos, ply, enode } => {
-            let (kids, sort_evals) = if enode {
-                (pos.children(), 0)
+/// any lock. `pos` must be `Some` when [`Task::needs_pos`] holds; it is a
+/// borrow so the simulator can point straight into the tree and the
+/// threaded back-end can pass a clone made under the lock.
+pub fn execute_task<P: GamePosition>(
+    task: &Task,
+    pos: Option<&P>,
+    order: OrderPolicy,
+) -> Outcome<P> {
+    match *task {
+        Task::Leaf => Outcome::Leaf(pos.expect("leaf task reads its position").evaluate()),
+        Task::CachedLeaf(v) => Outcome::CachedLeaf(v),
+        Task::Movegen { ply, enode, cached } => {
+            let pos = pos.expect("movegen task reads its position");
+            let (kids, evals, sort_evals) = if enode {
+                (pos.children(), None, 0)
             } else {
                 let mut s = SearchStats::new();
-                let kids = ordered_children(&pos, ply, order, &mut s);
-                (kids, s.eval_calls)
+                let (kids, evals) = ordered_children_with_evals(pos, ply, order, &mut s);
+                (kids, evals, s.eval_calls)
             };
             if kids.is_empty() {
-                Outcome::Leaf(pos.evaluate())
+                match cached {
+                    Some(v) => Outcome::CachedLeaf(v),
+                    None => Outcome::Leaf(pos.evaluate()),
+                }
             } else {
-                Outcome::Moves { kids, sort_evals }
+                Outcome::Moves {
+                    kids,
+                    evals,
+                    sort_evals,
+                }
             }
         }
         Task::NextChild | Task::ExpandRest => Outcome::Unit,
         Task::Serial {
-            pos,
             depth,
             window,
             ply,
             refute,
         } => {
+            let pos = pos.expect("serial task reads its position");
             let cfg = ErConfig { order };
             let r = if refute {
-                search_serial::er_eval_refute(&pos, depth, window, cfg, ply)
+                search_serial::er_eval_refute(pos, depth, window, cfg, ply)
             } else {
-                er_search_window(&pos, depth, window, cfg, ply)
+                er_search_window(pos, depth, window, cfg, ply)
             };
             Outcome::Serial {
                 value: r.value,
@@ -142,6 +191,9 @@ pub struct ErWorker<P: GamePosition> {
     /// serial-frontier subtree roots appear as one key). Meaningful for
     /// work classification when `serial_depth == 0`.
     pub examined_keys: Vec<u64>,
+    /// Leaves settled from a memoized static value instead of a fresh
+    /// evaluator call (each one is an `eval` the seed engine paid twice).
+    pub cached_leaf_hits: u64,
     finished: bool,
     /// Root value once finished.
     pub root_value: Option<Value>,
@@ -157,6 +209,7 @@ impl<P: GamePosition> ErWorker<P> {
             cfg,
             totals: SearchStats::new(),
             examined_keys: Vec::new(),
+            cached_leaf_hits: 0,
             finished: false,
             root_value: None,
         };
@@ -167,6 +220,17 @@ impl<P: GamePosition> ErWorker<P> {
     /// True once the root has combined.
     pub fn is_finished(&self) -> bool {
         self.finished
+    }
+
+    /// The position at node `id` (borrowed; executors clone it only when
+    /// the task needs it).
+    pub fn node_pos(&self, id: NodeId) -> &P {
+        &self.tree.node(id).pos
+    }
+
+    /// The ply of node `id` (trace labeling).
+    pub fn node_ply(&self, id: NodeId) -> u32 {
+        self.tree.node(id).ply
     }
 
     fn spec_enabled(&self) -> bool {
@@ -321,15 +385,22 @@ impl<P: GamePosition> ErWorker<P> {
     /// all at once under parallel refutation, one at a time otherwise,
     /// best tentative value first in both cases.
     fn advance_refutation(&mut self, p: NodeId) {
-        let children: Vec<NodeId> = self.tree.node(p).children.clone();
+        // Indexed iteration over `children` — no clone of the child list on
+        // this per-combine hot path.
+        let n_children = self.tree.node(p).children.len();
         if self.cfg.spec.parallel_refutation {
-            let mut undecided: Vec<NodeId> = children
-                .iter()
-                .copied()
-                .filter(|&c| self.tree.node(c).kind == Kind::Undecided && !self.tree.node(c).done)
-                .collect();
-            undecided.sort_by_key(|&c| self.tree.node(c).value);
-            for c in undecided {
+            let mut undecided: Vec<(Value, NodeId)> = Vec::new();
+            for i in 0..n_children {
+                let c = self.tree.node(p).children[i];
+                let n = self.tree.node(c);
+                if n.kind == Kind::Undecided && !n.done {
+                    undecided.push((n.value, c));
+                }
+            }
+            // Child ids increase in generation order, so the (value, id)
+            // key reproduces the stable best-tentative-first order.
+            undecided.sort_unstable_by_key(|&(v, c)| (v, c));
+            for (_, c) in undecided {
                 self.tree.node_mut(c).kind = Kind::RNode;
                 let n = self.tree.node(c);
                 if !n.queued && !n.in_flight && n.active_children == 0 {
@@ -337,21 +408,22 @@ impl<P: GamePosition> ErWorker<P> {
                 }
             }
         } else {
-            let busy = children
-                .iter()
-                .any(|&c| self.tree.node(c).kind == Kind::RNode && !self.tree.node(c).done);
-            if busy {
-                return;
+            let mut next: Option<(Value, NodeId)> = None;
+            for i in 0..n_children {
+                let c = self.tree.node(p).children[i];
+                let n = self.tree.node(c);
+                if n.kind == Kind::RNode && !n.done {
+                    return; // a refutation is already in progress
+                }
+                if n.kind == Kind::Undecided && !n.done && n.elder_counted {
+                    // Strict `<` keeps the earliest-generated child on ties,
+                    // matching the previous stable min_by_key.
+                    if next.is_none_or(|(bv, _)| n.value < bv) {
+                        next = Some((n.value, c));
+                    }
+                }
             }
-            let next = children
-                .iter()
-                .copied()
-                .filter(|&c| {
-                    let n = self.tree.node(c);
-                    n.kind == Kind::Undecided && !n.done && n.elder_counted
-                })
-                .min_by_key(|&c| self.tree.node(c).value);
-            if let Some(c) = next {
+            if let Some((_, c)) = next {
                 self.tree.node_mut(c).kind = Kind::RNode;
                 let n = self.tree.node(c);
                 if !n.queued && !n.in_flight && n.active_children == 0 {
@@ -400,7 +472,7 @@ impl<P: GamePosition> ErWorker<P> {
 
     /// Selects the next job per Table 1, resolving cutoffs and dead work.
     /// Must be called under the heap lock.
-    pub fn select(&mut self) -> Select<P> {
+    pub fn select(&mut self) -> Select {
         if self.finished {
             return Select::Empty;
         }
@@ -423,16 +495,13 @@ impl<P: GamePosition> ErWorker<P> {
             if self.spec_enabled() {
                 if let Some(p) = self.spec.pop() {
                     self.tree.node_mut(p).on_spec = false;
-                    if self.tree.node(p).done
-                        || self.tree.node(p).refuting
-                        || self.tree.is_dead(p)
+                    if self.tree.node(p).done || self.tree.node(p).refuting || self.tree.is_dead(p)
                     {
                         continue;
                     }
                     if let Some(c) = self.tree.best_candidate(p) {
                         self.promote(p, c);
-                        if self.cfg.spec.multiple_enodes && self.tree.best_candidate(p).is_some()
-                        {
+                        if self.cfg.spec.multiple_enodes && self.tree.best_candidate(p).is_some() {
                             self.push_spec(p);
                         }
                     }
@@ -444,7 +513,7 @@ impl<P: GamePosition> ErWorker<P> {
     }
 
     /// Decides the Table 1 action for a freshly taken (live) node.
-    fn job_for(&mut self, id: NodeId) -> Job<P> {
+    fn job_for(&mut self, id: NodeId) -> Job {
         self.tree.node_mut(id).in_flight = true;
         let node = self.tree.node(id);
         let depth = node.depth;
@@ -471,11 +540,9 @@ impl<P: GamePosition> ErWorker<P> {
         let at_frontier = depth > 0 && depth <= serial_limit;
         if at_frontier && !expanded && kind != Kind::Undecided {
             let window = self.tree.window(id);
-            let node = self.tree.node(id);
             return Job {
                 id,
                 task: Task::Serial {
-                    pos: node.pos.clone(),
                     depth,
                     window,
                     ply: node.ply,
@@ -483,8 +550,7 @@ impl<P: GamePosition> ErWorker<P> {
                 },
             };
         }
-        let enode_frontier =
-            depth > 0 && depth <= self.cfg.serial_depth.saturating_sub(1);
+        let enode_frontier = depth > 0 && depth <= self.cfg.serial_depth.saturating_sub(1);
         if enode_frontier && expanded && kind == Kind::ENode {
             // A promoted frontier e-child: its first child is already
             // evaluated. Examine the remaining children one at a time (the
@@ -497,21 +563,23 @@ impl<P: GamePosition> ErWorker<P> {
         }
 
         if depth == 0 {
-            return Job {
-                id,
-                task: Task::Leaf {
-                    pos: node.pos.clone(),
-                },
+            // A leaf whose parent sorted its moves already knows its static
+            // value: settle it from the memo, no evaluator call, no
+            // position copy.
+            let task = match node.static_eval {
+                Some(v) => Task::CachedLeaf(v),
+                None => Task::Leaf,
             };
+            return Job { id, task };
         }
 
         match kind {
             Kind::ENode | Kind::Undecided | Kind::RNode if !expanded => Job {
                 id,
                 task: Task::Movegen {
-                    pos: node.pos.clone(),
                     ply: node.ply,
                     enode: kind == Kind::ENode,
+                    cached: node.static_eval,
                 },
             },
             Kind::ENode => Job {
@@ -532,6 +600,8 @@ impl<P: GamePosition> ErWorker<P> {
     pub fn cost_of(&self, outcome: &Outcome<P>) -> u64 {
         match outcome {
             Outcome::Leaf(_) => self.cfg.cost.eval,
+            // A memoized leaf is a table lookup, not an evaluator call.
+            Outcome::CachedLeaf(_) => 1,
             Outcome::Moves { sort_evals, .. } => {
                 self.cfg.cost.expand + sort_evals * self.cfg.cost.eval
             }
@@ -560,6 +630,20 @@ impl<P: GamePosition> ErWorker<P> {
                     self.on_done(id);
                 }
             }
+            Outcome::CachedLeaf(v) => {
+                // Same examined leaf as above, but the evaluator call was
+                // already charged by the sorting probe that memoized `v`.
+                self.totals.leaf_nodes += 1;
+                self.cached_leaf_hits += 1;
+                self.examined_keys.push(self.tree.node(id).path_key);
+                if !self.tree.is_dead(id) {
+                    let n = self.tree.node_mut(id);
+                    n.value = v;
+                    n.done = true;
+                    n.moves = Some(Vec::new());
+                    self.on_done(id);
+                }
+            }
             Outcome::Serial { value, stats } => {
                 self.totals.merge(&stats);
                 self.examined_keys.push(self.tree.node(id).path_key);
@@ -571,14 +655,24 @@ impl<P: GamePosition> ErWorker<P> {
                     self.on_done(id);
                 }
             }
-            Outcome::Moves { kids, sort_evals } => {
+            Outcome::Moves {
+                kids,
+                evals,
+                sort_evals,
+            } => {
                 self.totals.interior_nodes += 1;
                 self.totals.eval_calls += sort_evals;
                 self.totals.sorts += u64::from(sort_evals > 0);
                 self.examined_keys.push(self.tree.node(id).path_key);
                 if !self.tree.is_dead(id) {
                     let kind = self.tree.node(id).kind;
-                    self.tree.node_mut(id).moves = Some(kids);
+                    {
+                        let n = self.tree.node_mut(id);
+                        n.moves = Some(kids);
+                        // Children spawned later inherit these as memoized
+                        // static values.
+                        n.move_evals = evals;
+                    }
                     match kind {
                         Kind::ENode => {
                             // Table 1 row 1: all children, undecided.
@@ -661,9 +755,10 @@ pub struct JobTrace {
     pub kind: &'static str,
 }
 
-fn task_kind<P: GamePosition>(task: &Task<P>) -> &'static str {
+fn task_kind(task: &Task) -> &'static str {
     match task {
-        Task::Leaf { .. } => "leaf",
+        Task::Leaf => "leaf",
+        Task::CachedLeaf(_) => "cached-leaf",
         Task::Movegen { .. } => "movegen",
         Task::NextChild => "next-child",
         Task::ExpandRest => "expand-rest",
@@ -689,9 +784,15 @@ impl<P: GamePosition> HeapWorker for SimAdapter<P> {
                 Some(TakenWork { token, cost: 0 })
             }
             Select::Job(job) => {
-                let ply = self.worker.tree.node(job.id).ply;
+                let ply = self.worker.node_ply(job.id);
                 let kind = task_kind(&job.task);
-                let outcome = execute_task(job.task, self.worker.order());
+                // Borrow the position straight out of the tree: the
+                // simulator never clones a position per job.
+                let outcome = execute_task(
+                    &job.task,
+                    Some(self.worker.node_pos(job.id)),
+                    self.worker.order(),
+                );
                 let cost = self.worker.cost_of(&outcome);
                 let token = self.inflight.len() as u64;
                 self.inflight.push(Some((job.id, outcome)));

@@ -18,4 +18,5 @@ pub mod mandatory;
 pub mod schedule;
 pub mod tree;
 
+pub use er::threads::{run_er_threads_with, ErThreadsResult, DEFAULT_BATCH};
 pub use er::{run_er_sim, run_er_threads, ErParallelConfig, ErRunResult, Speculation};

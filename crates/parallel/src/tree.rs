@@ -63,6 +63,13 @@ pub struct Node<P: GamePosition> {
     /// Ordered successor positions, generated once ("determine the child
     /// positions"); `None` until first needed.
     pub moves: Option<Vec<P>>,
+    /// Static values of `moves`, aligned index-for-index, when the ordering
+    /// policy evaluated them for sorting. Spawned children inherit their
+    /// entry as `static_eval` so no position is evaluated twice.
+    pub move_evals: Option<Vec<Value>>,
+    /// Memoized static evaluation of `pos`, if some earlier phase (a
+    /// sorting probe in the parent's move generation) already computed it.
+    pub static_eval: Option<Value>,
     /// How many children have been spawned as tree nodes.
     pub next_child: usize,
     /// Spawned children, in generation order.
@@ -109,6 +116,8 @@ impl<P: GamePosition> Node<P> {
             value: Value::NEG_INF,
             done: false,
             moves: None,
+            move_evals: None,
+            static_eval: None,
             next_child: 0,
             children: Vec::new(),
             active_children: 0,
@@ -182,14 +191,16 @@ impl<P: GamePosition> SearchTree<P> {
         let p = &mut self.nodes[parent as usize];
         let idx = p.next_child;
         let pos = p.moves.as_ref().expect("move list exists")[idx].clone();
+        let static_eval = p.move_evals.as_ref().map(|e| e[idx]);
         let depth = p.depth - 1;
         let ply = p.ply + 1;
         let key = child_path_key(p.path_key, idx);
         p.next_child += 1;
         p.children.push(id);
         p.active_children += 1;
-        self.nodes
-            .push(Node::new(pos, Some(parent), depth, ply, kind, key));
+        let mut node = Node::new(pos, Some(parent), depth, ply, kind, key);
+        node.static_eval = static_eval;
+        self.nodes.push(node);
         id
     }
 
@@ -198,25 +209,19 @@ impl<P: GamePosition> SearchTree<P> {
     /// down: `beta(n) = -alpha(parent)`, `alpha(n) = max(value(n),
     /// -beta(parent))`, with the root's window starting at `(value, +inf)`.
     pub fn window(&self, id: NodeId) -> Window {
-        // Collect the root→id path.
-        let mut path = Vec::with_capacity(self.nodes[id as usize].ply as usize + 1);
-        let mut cur = Some(id);
-        while let Some(c) = cur {
-            path.push(c);
-            cur = self.nodes[c as usize].parent;
-        }
-        let mut alpha = Value::NEG_INF;
-        let mut beta = Value::INF;
-        for &n in path.iter().rev() {
-            // Entering node n from its parent: swap-and-negate the parent's
-            // (alpha, beta), then raise alpha by n's own combined value.
-            if self.nodes[n as usize].parent.is_some() {
-                let t = alpha;
-                alpha = -beta;
-                beta = -t;
+        // Recurse up the ancestor chain (depth bounded by the search depth)
+        // rather than materializing the path: entering a node from its
+        // parent swap-negates the parent's (alpha, beta), then raises alpha
+        // by the node's own combined value.
+        let n = &self.nodes[id as usize];
+        let (mut alpha, beta) = match n.parent {
+            Some(p) => {
+                let pw = self.window(p);
+                (-pw.beta, -pw.alpha)
             }
-            alpha = alpha.max(self.nodes[n as usize].value);
-        }
+            None => (Value::NEG_INF, Value::INF),
+        };
+        alpha = alpha.max(n.value);
         Window { alpha, beta }
     }
 
@@ -254,10 +259,17 @@ impl<P: GamePosition> SearchTree<P> {
 
     /// The best e-child candidate: the one with the most optimistic bound
     /// for the parent, i.e. the lowest tentative value (ties: generation
-    /// order, which preserves static-sort order).
+    /// order, which preserves static-sort order). Allocation-free — this
+    /// runs under the heap lock on every speculative-queue pop.
     pub fn best_candidate(&self, id: NodeId) -> Option<NodeId> {
-        self.echild_candidates(id)
-            .into_iter()
+        self.nodes[id as usize]
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let n = &self.nodes[c as usize];
+                n.kind == Kind::Undecided && !n.done && n.elder_counted
+            })
             .min_by_key(|&c| self.nodes[c as usize].value)
     }
 }
@@ -322,10 +334,7 @@ mod tests {
         // root(value 5) -> b -> c: c's beta must reflect the root bound two
         // plies up: beta(b) = -5, alpha(c) = -beta(b) = 5; if c's value
         // reaches... rather, c's window is (5, +inf)-negated appropriately.
-        let root = ArenaTree::root_of(&node(vec![node(vec![node(vec![
-            leaf(1),
-            leaf(2),
-        ])])]));
+        let root = ArenaTree::root_of(&node(vec![node(vec![node(vec![leaf(1), leaf(2)])])]));
         let mut t = SearchTree::new(root, 3);
         expand_all(&mut t, ROOT, Kind::Undecided);
         t.node_mut(ROOT).value = Value::new(5);

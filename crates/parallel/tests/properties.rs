@@ -3,7 +3,7 @@
 //! step-by-step checks of the Table 1/2 scheduling rules.
 
 use er_parallel::er::engine::{execute_task, ErWorker, Select, Task};
-use er_parallel::{run_er_sim, run_er_threads, ErParallelConfig, Speculation};
+use er_parallel::{run_er_sim, run_er_threads_with, ErParallelConfig, Speculation};
 use gametree::arena::{leaf, node, ArenaTree, TreeSpec};
 use gametree::random::RandomTreeSpec;
 use gametree::{GamePosition, Value};
@@ -45,10 +45,15 @@ proptest! {
     #[test]
     fn threads_match_negmax_on_random_trees(
         seed in any::<u64>(),
-        threads in 1usize..5,
+        threads_idx in 0usize..4,
+        batch_idx in 0usize..3,
     ) {
+        let threads = [1usize, 2, 4, 8][threads_idx];
+        let batch = [1usize, 4, 16][batch_idx];
         let root = RandomTreeSpec::new(seed, 3, 5).root();
-        let r = run_er_threads(&root, 5, threads, &ErParallelConfig::random_tree(2));
+        let r = run_er_threads_with(
+            &root, 5, threads, batch, &ErParallelConfig::random_tree(2),
+        );
         prop_assert_eq!(r.value, negmax(&root, 5).value);
     }
 
@@ -80,7 +85,8 @@ fn drive_labels<P: GamePosition>(
             Select::Empty | Select::JustFinished => break,
             Select::Job(job) => {
                 labels.push(match &job.task {
-                    Task::Leaf { .. } => "leaf",
+                    Task::Leaf => "leaf",
+                    Task::CachedLeaf(_) => "cached-leaf",
                     Task::Movegen { enode: true, .. } => "movegen-e",
                     Task::Movegen { enode: false, .. } => "movegen",
                     Task::NextChild => "next-child",
@@ -88,7 +94,8 @@ fn drive_labels<P: GamePosition>(
                     Task::Serial { refute: false, .. } => "serial-eval",
                     Task::Serial { refute: true, .. } => "serial-refute",
                 });
-                let outcome = execute_task(job.task, cfg.order);
+                let pos = job.task.needs_pos().then(|| w.node_pos(job.id).clone());
+                let outcome = execute_task(&job.task, pos.as_ref(), cfg.order);
                 if w.apply(job.id, outcome) {
                     break;
                 }
@@ -106,7 +113,10 @@ fn table1_schedule_starts_with_root_expansion_then_undecided_children() {
     let root = RandomTreeSpec::new(5, 3, 4).root();
     let labels = drive_labels(&root, 4, ErParallelConfig::random_tree(0), 3);
     assert_eq!(labels[0], "movegen-e", "Table 1 row 1 at the root");
-    assert_eq!(labels[1], "movegen", "undecided child generates first child");
+    assert_eq!(
+        labels[1], "movegen",
+        "undecided child generates first child"
+    );
     // Deepest-first: the freshly spawned e-node grandchild goes next.
     assert_eq!(labels[2], "movegen-e", "elder grandchild expands as e-node");
 }
@@ -152,6 +162,64 @@ fn trivial_roots_finish_in_one_job() {
     let chain = ArenaTree::root_of(&node(vec![node(vec![leaf(-3)])]));
     let r = run_er_sim(&chain, 8, 4, &ErParallelConfig::random_tree(0));
     assert_eq!(r.value, Value::new(-3));
+}
+
+#[test]
+fn threads_full_matrix_matches_negmax() {
+    // The exact {1,2,4,8} threads x {1,4,16} batch matrix of the issue, on
+    // one fixed irregular tree: every combination agrees with negamax.
+    let root = RandomTreeSpec::new(77, 4, 6).root();
+    let exact = negmax(&root, 6).value;
+    for threads in [1usize, 2, 4, 8] {
+        for batch in [1usize, 4, 16] {
+            let r =
+                run_er_threads_with(&root, 6, threads, batch, &ErParallelConfig::random_tree(3));
+            assert_eq!(r.value, exact, "threads {threads} batch {batch}");
+        }
+    }
+}
+
+#[test]
+fn threads_match_negmax_on_shallow_othello() {
+    // O1's root at reduced depth: a real game with sorting (OTHELLO policy),
+    // so the memoized-evaluation path is exercised under real threads.
+    let (_, root) = othello::configs::all().remove(0);
+    // serial_depth 0: every leaf flows through the heap's depth-0 path, so
+    // the memoized static evaluations are observable as cached-leaf hits.
+    let cfg = ErParallelConfig {
+        serial_depth: 0,
+        order: search_serial::OrderPolicy::OTHELLO,
+        spec: Speculation::ALL,
+        cost: problem_heap::CostModel::default(),
+    };
+    let exact = negmax(&root, 4).value;
+    for threads in [1usize, 4] {
+        for batch in [1usize, 8] {
+            let r = run_er_threads_with(&root, 4, threads, batch, &cfg);
+            assert_eq!(r.value, exact, "threads {threads} batch {batch}");
+            assert!(
+                r.cached_leaf_hits > 0,
+                "sorted Othello search must settle some leaves from cache"
+            );
+        }
+    }
+}
+
+#[test]
+fn threads_match_negmax_on_shallow_checkers() {
+    // C1's root at reduced depth, with forced-capture move generation.
+    let root = checkers::c1();
+    let cfg = ErParallelConfig {
+        serial_depth: 3,
+        order: search_serial::OrderPolicy::OTHELLO,
+        spec: Speculation::ALL,
+        cost: problem_heap::CostModel::default(),
+    };
+    let exact = negmax(&root, 5).value;
+    for threads in [1usize, 4] {
+        let r = run_er_threads_with(&root, 5, threads, 8, &cfg);
+        assert_eq!(r.value, exact, "threads {threads}");
+    }
 }
 
 #[test]

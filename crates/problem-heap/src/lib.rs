@@ -19,6 +19,6 @@ pub mod metrics;
 pub mod queue;
 pub mod sim;
 
-pub use metrics::{CostModel, SimReport};
+pub use metrics::{CostModel, SimReport, ThreadCounters};
 pub use queue::StableQueue;
 pub use sim::{simulate, HeapWorker, TakenWork};

@@ -44,6 +44,47 @@ impl CostModel {
     }
 }
 
+/// Contention counters maintained by one worker thread of a real-thread
+/// problem-heap back-end. Everything is counted locally (no shared-cache
+/// traffic) and merged after the threads join.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadCounters {
+    /// Times the heap/tree mutex was acquired.
+    pub lock_acquisitions: u64,
+    /// Lock acquisitions that performed a (possibly empty) selection batch.
+    pub select_batches: u64,
+    /// Jobs executed outside the lock.
+    pub jobs_executed: u64,
+    /// Outcomes applied to the shared tree.
+    pub outcomes_applied: u64,
+    /// Targeted `notify_one` wake-ups issued for parked siblings.
+    pub wakeups: u64,
+    /// Times this thread parked on the idle condition variable.
+    pub idle_parks: u64,
+}
+
+impl ThreadCounters {
+    /// Accumulates another thread's counters into this one.
+    pub fn merge(&mut self, other: &ThreadCounters) {
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.select_batches += other.select_batches;
+        self.jobs_executed += other.jobs_executed;
+        self.outcomes_applied += other.outcomes_applied;
+        self.wakeups += other.wakeups;
+        self.idle_parks += other.idle_parks;
+    }
+
+    /// Mean jobs obtained per lock acquisition — the batching win the
+    /// decomposed lock design exists to maximize.
+    pub fn jobs_per_acquisition(&self) -> f64 {
+        if self.lock_acquisitions == 0 {
+            0.0
+        } else {
+            self.jobs_executed as f64 / self.lock_acquisitions as f64
+        }
+    }
+}
+
 /// Outcome of one simulated parallel run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimReport {
@@ -131,6 +172,32 @@ mod tests {
             empty_polls: 0,
         };
         assert_eq!(r.starvation_ticks(), 0);
+    }
+
+    #[test]
+    fn thread_counters_merge_and_ratio() {
+        let mut a = ThreadCounters {
+            lock_acquisitions: 10,
+            select_batches: 10,
+            jobs_executed: 40,
+            outcomes_applied: 40,
+            wakeups: 3,
+            idle_parks: 1,
+        };
+        let b = ThreadCounters {
+            lock_acquisitions: 5,
+            select_batches: 4,
+            jobs_executed: 10,
+            outcomes_applied: 10,
+            wakeups: 0,
+            idle_parks: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.lock_acquisitions, 15);
+        assert_eq!(a.jobs_executed, 50);
+        assert_eq!(a.idle_parks, 3);
+        assert!((a.jobs_per_acquisition() - 50.0 / 15.0).abs() < 1e-12);
+        assert_eq!(ThreadCounters::default().jobs_per_acquisition(), 0.0);
     }
 
     #[test]

@@ -55,6 +55,28 @@ impl<K: Ord, T> StableQueue<K, T> {
         item
     }
 
+    /// The lowest-keyed, earliest-inserted item, without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        let Reverse((_, _, slot)) = self.heap.peek()?;
+        let item = self.items[*slot].as_ref();
+        debug_assert!(item.is_some(), "queue slots are single-use");
+        item
+    }
+
+    /// Removes and returns up to `n` items in pop order (ascending key,
+    /// FIFO among equal keys) — the batched form of [`StableQueue::pop`]
+    /// that lets a caller drain several items per critical section.
+    pub fn pop_batch(&mut self, n: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(n.min(self.live));
+        while out.len() < n {
+            match self.pop() {
+                Some(item) => out.push(item),
+                None => break,
+            }
+        }
+        out
+    }
+
     /// Number of queued items.
     pub fn len(&self) -> usize {
         self.live
@@ -137,6 +159,69 @@ mod tests {
         assert_eq!(q.pop(), Some(5));
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn peek_returns_next_without_removing() {
+        let mut q = StableQueue::new();
+        assert_eq!(q.peek(), None::<&i32>);
+        q.push(2, 20);
+        q.push(1, 10);
+        assert_eq!(q.peek(), Some(&10));
+        assert_eq!(q.len(), 2, "peek must not remove");
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.peek(), Some(&20));
+    }
+
+    #[test]
+    fn peek_matches_pop_under_ties() {
+        let mut q = StableQueue::new();
+        q.push(0, "first");
+        q.push(0, "second");
+        assert_eq!(q.peek(), Some(&"first"));
+        assert_eq!(q.pop(), Some("first"));
+        assert_eq!(q.peek(), Some(&"second"));
+    }
+
+    #[test]
+    fn pop_batch_drains_in_pop_order() {
+        let mut q = StableQueue::new();
+        q.push(3, "c");
+        q.push(1, "a");
+        q.push(1, "a2");
+        q.push(2, "b");
+        assert_eq!(q.pop_batch(3), vec!["a", "a2", "b"]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some("c"));
+    }
+
+    #[test]
+    fn pop_batch_stops_at_empty() {
+        let mut q = StableQueue::new();
+        q.push(1, 1);
+        assert_eq!(q.pop_batch(10), vec![1]);
+        assert!(q.pop_batch(10).is_empty());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_zero_is_a_noop() {
+        let mut q = StableQueue::new();
+        q.push(1, 1);
+        assert!(q.pop_batch(0).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_batch_interleaves_with_push_and_pop() {
+        let mut q = StableQueue::new();
+        for i in [5, 2, 9, 2] {
+            q.push(i, i);
+        }
+        assert_eq!(q.pop_batch(2), vec![2, 2]);
+        q.push(1, 1);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop_batch(5), vec![5, 9]);
     }
 
     #[test]

@@ -75,10 +75,7 @@ pub fn simulate<W: HeapWorker>(worker: &mut W, processors: usize, heap_latency: 
 
     // Acquire the heap lock at time `t`; returns the time the critical
     // section ends.
-    let acquire = |t: u64,
-                   lock_free_at: &mut u64,
-                   report: &mut SimReport|
-     -> u64 {
+    let acquire = |t: u64, lock_free_at: &mut u64, report: &mut SimReport| -> u64 {
         let start = t.max(*lock_free_at);
         report.lock_wait_ticks += start - t;
         report.lock_service_ticks += heap_latency;

@@ -13,10 +13,7 @@ enum Op {
 
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
-        prop_oneof![
-            (-20i32..20).prop_map(Op::Push),
-            Just(Op::Pop),
-        ],
+        prop_oneof![(-20i32..20).prop_map(Op::Push), Just(Op::Pop),],
         0..200,
     )
 }

@@ -72,7 +72,10 @@ mod tests {
             let ab = alphabeta(&root, 5, OrderPolicy::NATURAL);
             let nm = negmax(&root, 5);
             assert_eq!(ab.value, nm.value, "seed {seed}");
-            assert!(ab.stats.nodes() <= nm.stats.nodes(), "pruning never adds nodes");
+            assert!(
+                ab.stats.nodes() <= nm.stats.nodes(),
+                "pruning never adds nodes"
+            );
         }
     }
 
@@ -80,10 +83,7 @@ mod tests {
     fn shallow_cutoff_of_figure_2a() {
         // Figure 2(a): A's first child is -7 so A >= 7; B's first child is 5
         // so B >= -5 and B's remaining children are cut off.
-        let root = ArenaTree::root_of(&node(vec![
-            leaf(-7),
-            node(vec![leaf(5), leaf(-100)]),
-        ]));
+        let root = ArenaTree::root_of(&node(vec![leaf(-7), node(vec![leaf(5), leaf(-100)])]));
         let r = alphabeta(&root, 2, OrderPolicy::NATURAL);
         assert_eq!(r.value, Value::new(7));
         // Nodes: root, leaf -7, node B, leaf 5 — the -100 leaf is pruned.

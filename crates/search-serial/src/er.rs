@@ -60,6 +60,10 @@ struct ErNode<P: GamePosition> {
     done: bool,
     kids: Vec<ErNode<P>>,
     expanded: bool,
+    /// Memoized static evaluation of `pos`, installed when the parent's
+    /// sorting probe already evaluated this position — a later leaf
+    /// evaluation reuses it instead of calling the evaluator again.
+    static_eval: Option<Value>,
 }
 
 impl<P: GamePosition> ErNode<P> {
@@ -72,6 +76,19 @@ impl<P: GamePosition> ErNode<P> {
             done: false,
             kids: Vec::new(),
             expanded: false,
+            static_eval: None,
+        }
+    }
+
+    /// The node's static value, from the memo when a sorting probe already
+    /// paid for it, charging `stats` only for fresh evaluator calls.
+    fn leaf_value(&self, stats: &mut SearchStats) -> Value {
+        match self.static_eval {
+            Some(v) => v,
+            None => {
+                stats.eval_calls += 1;
+                self.pos.evaluate()
+            }
         }
     }
 
@@ -91,16 +108,21 @@ impl<P: GamePosition> ErNode<P> {
                 if !kids.is_empty() {
                     stats.interior_nodes += 1;
                     if sort && kids.len() > 1 {
-                        let mut keyed: Vec<(Value, ErNode<P>)> = kids
-                            .into_iter()
-                            .map(|k| {
-                                stats.eval_calls += 1;
-                                (k.pos.evaluate(), k)
-                            })
-                            .collect();
+                        // Evaluate once, memoize on the child, and sort on
+                        // the cached (value, index) key — unstable sort made
+                        // FIFO-stable by the index component.
+                        for k in &mut kids {
+                            stats.eval_calls += 1;
+                            k.static_eval = Some(k.pos.evaluate());
+                        }
                         stats.sorts += 1;
-                        keyed.sort_by_key(|(v, _)| *v);
-                        kids = keyed.into_iter().map(|(_, k)| k).collect();
+                        let mut keyed: Vec<(Value, usize, ErNode<P>)> = kids
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, k)| (k.static_eval.unwrap(), i, k))
+                            .collect();
+                        keyed.sort_unstable_by_key(|&(v, i, _)| (v, i));
+                        kids = keyed.into_iter().map(|(_, _, k)| k).collect();
                     }
                 }
                 self.kids = kids;
@@ -148,8 +170,7 @@ fn er<P: GamePosition>(
     let d = n.expand(false, stats);
     if d == 0 {
         stats.leaf_nodes += 1;
-        stats.eval_calls += 1;
-        n.value = n.pos.evaluate();
+        n.value = n.leaf_value(stats);
         n.done = true;
         return n.value;
     }
@@ -211,8 +232,7 @@ fn eval_first<P: GamePosition>(
     let d = n.expand(sort, stats);
     if d == 0 {
         stats.leaf_nodes += 1;
-        stats.eval_calls += 1;
-        n.value = n.pos.evaluate();
+        n.value = n.leaf_value(stats);
         n.done = true;
         return n.value;
     }
@@ -367,7 +387,14 @@ mod tests {
         for seed in 0..6 {
             let root = OrderedTreeSpec::strongly_ordered(seed, 4, 5).root();
             assert_eq!(
-                er_search(&root, 5, ErConfig { order: OrderPolicy::ALWAYS }).value,
+                er_search(
+                    &root,
+                    5,
+                    ErConfig {
+                        order: OrderPolicy::ALWAYS
+                    }
+                )
+                .value,
                 negmax(&root, 5).value,
                 "seed {seed}"
             );
@@ -419,7 +446,11 @@ mod tests {
         let spec = node(vec![
             node(vec![node(vec![leaf(1), leaf(2)]), leaf(3)]),
             leaf(-4),
-            node(vec![leaf(5), node(vec![leaf(-6), leaf(7), leaf(8)]), leaf(9)]),
+            node(vec![
+                leaf(5),
+                node(vec![leaf(-6), leaf(7), leaf(8)]),
+                leaf(9),
+            ]),
         ]);
         let root = ArenaTree::root_of(&spec);
         assert_eq!(
@@ -450,6 +481,25 @@ mod tests {
     }
 
     #[test]
+    fn sorting_probes_memoize_leaf_evaluations() {
+        // Depth-2, degree-3 uniform tree under ALWAYS: every leaf was
+        // already probed by its parent's sort, so leaf evaluation charges
+        // no second evaluator call — eval_calls is exactly the probes,
+        // three per sorted expansion.
+        let root = RandomTreeSpec::new(6, 3, 2).root();
+        let r = er_search(
+            &root,
+            2,
+            ErConfig {
+                order: OrderPolicy::ALWAYS,
+            },
+        );
+        assert!(r.stats.leaf_nodes > 0);
+        assert_eq!(r.stats.eval_calls, 3 * r.stats.sorts);
+        assert_eq!(r.value, negmax(&root, 2).value);
+    }
+
+    #[test]
     fn sorted_alphabeta_charges_sorting_evals() {
         // Contrast with the test above: this is the O1 anomaly's mechanism
         // (§7) — sorting costs evaluator calls on interior nodes.
@@ -468,14 +518,7 @@ mod tests {
             let whole = negmax(&node_pos, 5).value;
             let kids = node_pos.children();
             let first = er_search(&kids[0], 4, ErConfig::NATURAL).value;
-            let r = er_refute_rest(
-                &kids,
-                4,
-                1,
-                Window::FULL,
-                ErConfig::NATURAL,
-                -first,
-            );
+            let r = er_refute_rest(&kids, 4, 1, Window::FULL, ErConfig::NATURAL, -first);
             assert_eq!(r.value, whole, "seed {seed}");
         }
     }

@@ -93,7 +93,9 @@ mod tests {
         for seed in 0..6 {
             let root = RandomTreeSpec::new(seed, 4, 6).root();
             let with = alphabeta(&root, 6, OrderPolicy::NATURAL).stats.nodes();
-            let without = alphabeta_nodeep(&root, 6, OrderPolicy::NATURAL).stats.nodes();
+            let without = alphabeta_nodeep(&root, 6, OrderPolicy::NATURAL)
+                .stats
+                .nodes();
             let exhaustive = negmax(&root, 6).stats.nodes();
             assert!(
                 (without as f64) < (with as f64) * 2.0,

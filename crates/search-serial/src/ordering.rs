@@ -48,20 +48,41 @@ pub fn ordered_children<P: GamePosition>(
     policy: OrderPolicy,
     stats: &mut SearchStats,
 ) -> Vec<P> {
-    let mut kids = pos.children();
+    ordered_children_with_evals(pos, ply, policy, stats).0
+}
+
+/// [`ordered_children`], additionally returning the static values computed
+/// for sorting (aligned index-for-index with the children), or `None` when
+/// the policy did not sort. Callers that will later evaluate the same
+/// positions — a leaf expansion after a sorting probe — can reuse the
+/// values instead of re-invoking the evaluator.
+pub fn ordered_children_with_evals<P: GamePosition>(
+    pos: &P,
+    ply: u32,
+    policy: OrderPolicy,
+    stats: &mut SearchStats,
+) -> (Vec<P>, Option<Vec<Value>>) {
+    let kids = pos.children();
     if policy.sorts_at(ply) && kids.len() > 1 {
-        let mut keyed: Vec<(Value, P)> = kids
+        // Evaluate each child exactly once, then sort on the cached keys;
+        // the (value, original index) compound key makes the unstable sort
+        // FIFO-stable for equal values.
+        let mut keyed: Vec<(Value, usize, P)> = kids
             .into_iter()
-            .map(|c| {
+            .enumerate()
+            .map(|(i, c)| {
                 stats.eval_calls += 1;
-                (c.evaluate(), c)
+                (c.evaluate(), i, c)
             })
             .collect();
         stats.sorts += 1;
-        keyed.sort_by_key(|(v, _)| *v);
-        kids = keyed.into_iter().map(|(_, c)| c).collect();
+        keyed.sort_unstable_by_key(|&(v, i, _)| (v, i));
+        let evals = keyed.iter().map(|&(v, _, _)| v).collect();
+        let sorted = keyed.into_iter().map(|(_, _, c)| c).collect();
+        (sorted, Some(evals))
+    } else {
+        (kids, None)
     }
-    kids
 }
 
 #[cfg(test)]
@@ -109,6 +130,21 @@ mod tests {
         assert_eq!(kids[0].evaluate().get(), 0);
         assert_eq!(kids[1].index(), 1);
         assert_eq!(kids[2].index(), 2);
+    }
+
+    #[test]
+    fn with_evals_returns_aligned_cached_values() {
+        let root = ArenaTree::root_of(&node(vec![leaf(5), leaf(-3), leaf(9)]));
+        let mut stats = SearchStats::new();
+        let (kids, evals) = ordered_children_with_evals(&root, 0, OrderPolicy::ALWAYS, &mut stats);
+        let evals = evals.expect("sorting policy caches evals");
+        assert_eq!(kids.len(), evals.len());
+        for (k, v) in kids.iter().zip(&evals) {
+            assert_eq!(k.evaluate(), *v, "cached eval must match the child");
+        }
+        // Without sorting there is nothing to cache.
+        let (_, none) = ordered_children_with_evals(&root, 0, OrderPolicy::NATURAL, &mut stats);
+        assert!(none.is_none());
     }
 
     #[test]

@@ -82,7 +82,15 @@ fn rec<P: GamePosition>(
     let mut child_pv: Vec<P::Move> = Vec::new();
     for (mv, child) in &kids {
         let mut line = Vec::new();
-        let t = -rec(child, depth - 1, w.negate(), ply + 1, policy, stats, &mut line);
+        let t = -rec(
+            child,
+            depth - 1,
+            w.negate(),
+            ply + 1,
+            policy,
+            stats,
+            &mut line,
+        );
         if t > m {
             m = t;
             child_pv.clear();

@@ -22,7 +22,13 @@ fn main() {
 
     let cost = CostModel::default();
     let ab = alphabeta(&pos, depth, OrderPolicy::OTHELLO);
-    let er = er_search(&pos, depth, ErConfig { order: OrderPolicy::OTHELLO });
+    let er = er_search(
+        &pos,
+        depth,
+        ErConfig {
+            order: OrderPolicy::OTHELLO,
+        },
+    );
     assert_eq!(ab.value, er.value);
     let serial_best = cost
         .serial_ticks(&ab.stats)

@@ -38,7 +38,11 @@ fn main() {
     // to move, so track colours explicitly for the final score.
     println!("self-play at depth {depth}\n");
     while let Some(m) = best_move(&pos, depth) {
-        let mover = if ply.is_multiple_of(2) { "Black" } else { "White" };
+        let mover = if ply.is_multiple_of(2) {
+            "Black"
+        } else {
+            "White"
+        };
         println!("{:>3}. {mover:<5} plays {m}", ply + 1);
         pos = pos.play(&m);
         ply += 1;
@@ -52,8 +56,16 @@ fn main() {
         pos.board.opp.count_ones() as i32,
     );
     // `own` is the side to move at game over.
-    let to_move = if ply.is_multiple_of(2) { "Black" } else { "White" };
-    let other = if ply.is_multiple_of(2) { "White" } else { "Black" };
+    let to_move = if ply.is_multiple_of(2) {
+        "Black"
+    } else {
+        "White"
+    };
+    let other = if ply.is_multiple_of(2) {
+        "White"
+    } else {
+        "Black"
+    };
     println!("{to_move}: {own} discs, {other}: {opp} discs");
     println!(
         "result: {}",

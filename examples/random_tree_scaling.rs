@@ -39,7 +39,10 @@ fn main() {
         spec: Speculation::ALL,
         cost,
     };
-    println!("\n{:>6} {:>9} {:>11} {:>9} {:>11}", "procs", "speedup", "efficiency", "nodes", "starvation");
+    println!(
+        "\n{:>6} {:>9} {:>11} {:>9} {:>11}",
+        "procs", "speedup", "efficiency", "nodes", "starvation"
+    );
     for k in [1usize, 2, 4, 6, 8, 10, 12, 14, 16, 24, 32] {
         let r = run_er_sim(&root, height, k, &cfg);
         assert_eq!(r.value, ab.value);

@@ -1,0 +1,472 @@
+//! A minimal, deterministic stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the subset of proptest's API its test suites use:
+//! the [`Strategy`] trait with `prop_map` / `prop_recursive`, range and
+//! [`any`] strategies, `prop::collection::vec`, [`Just`], `prop_oneof!`,
+//! and the `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic**: inputs are generated from a SplitMix64 stream
+//!   seeded by the test's name and case index, so every run sees the same
+//!   cases (no `PROPTEST_` env handling, no `proptest-regressions` files).
+//! * **No shrinking**: a failing case panics with the generated inputs
+//!   left to the assertion message.
+//!
+//! Both are acceptable for this repository: the suites assert algebraic
+//! equivalences over many cases, and reproducibility matters more here
+//! than minimal counterexamples.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Deterministic generator handed to strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+/// SplitMix64 step (same finalizer the workspace's random trees use).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// An rng for one test case, seeded by test name and case index.
+    pub fn for_case(test_name: &str, case: u64) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: splitmix64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Per-test configuration (only the case count is honoured).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategy: `self` generates leaves, `recurse` wraps an
+    /// inner strategy into one for the next level up. `depth` bounds the
+    /// recursion; the size/branch hints are accepted for API compatibility
+    /// and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: BoxedStrategy::new(self),
+            depth,
+            recurse: Rc::new(move |s| BoxedStrategy::new(recurse(s))),
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::new(self)
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> BoxedStrategy<T> {
+    /// Boxes `s`.
+    pub fn new<S: Strategy<Value = T> + 'static>(s: S) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::new(s))
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    depth: u32,
+    recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // Pick a nesting depth per case so both shallow and deep shapes
+        // appear, then build the nested strategy bottom-up.
+        let levels = rng.below(self.depth as u64 + 1) as u32;
+        let mut s = self.base.clone();
+        for _ in 0..levels {
+            s = (self.recurse)(s);
+        }
+        s.generate(rng)
+    }
+}
+
+/// Strategy yielding a clone of a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Types with a full-range default strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over `T`'s whole domain.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: the unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Uniform choice among boxed alternatives (built by `prop_oneof!`).
+pub struct OneOf<T> {
+    alternatives: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// A strategy choosing uniformly among `alternatives`.
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(!alternatives.is_empty());
+        OneOf { alternatives }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.alternatives.len() as u64) as usize;
+        self.alternatives[i].generate(rng)
+    }
+}
+
+/// `prop::collection` namespace, as re-exported by the prelude.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for vectors with element strategy `S` and a length
+        /// drawn from `range`.
+        pub struct VecStrategy<S> {
+            element: S,
+            range: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.range.end - self.range.start).max(1) as u64;
+                let len = self.range.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `vec(element, len_range)`: vectors of generated elements.
+        pub fn vec<S: Strategy>(element: S, range: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, range }
+        }
+    }
+}
+
+/// Defines property tests: each function runs its body over generated
+/// inputs. Mirrors proptest's surface syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut prop_rng =
+                    $crate::TestRng::for_case(concat!(module_path!(), "::", stringify!($name)), case as u64);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut prop_rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Property-scoped assertion (plain `assert!` here: no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-scoped equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-scoped inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// Expands to `continue` targeting the per-case loop, so it must be used
+/// from the body's top level (as the suites here do).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// The commonly-imported surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(-5i32..7), &mut rng);
+            assert!((-5..7).contains(&v));
+            let u = Strategy::generate(&(1usize..2), &mut rng);
+            assert_eq!(u, 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<u64> = (0..20)
+            .map(|c| TestRng::for_case("det", c).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..20)
+            .map(|c| TestRng::for_case("det", c).next_u64())
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let s = prop::collection::vec(0i32..10, 2..5);
+        let mut rng = TestRng::for_case("vec", 1);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_alternatives() {
+        let s = prop_oneof![Just(1), Just(2), Just(3)];
+        let mut rng = TestRng::for_case("oneof", 2);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn recursive_strategy_terminates_and_nests() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        enum T {
+            Leaf(i32),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(k) => 1 + k.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = (0i32..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 10, 3, |inner| {
+                prop::collection::vec(inner, 1..4).prop_map(T::Node)
+            });
+        let mut rng = TestRng::for_case("rec", 3);
+        let mut max_depth = 0;
+        for _ in 0..100 {
+            max_depth = max_depth.max(depth(&s.generate(&mut rng)));
+        }
+        assert!(max_depth >= 1, "nesting never appeared");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0i32..10, b in 0i32..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+            prop_assert!(a + b >= 0);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -37,6 +37,12 @@
 //! let par = run_er_sim(&root, 8, 8, &ErParallelConfig::random_tree(4));
 //! assert_eq!(par.value, ab.value);
 //! assert!(par.report.makespan > 0);
+//!
+//! // Parallel ER on 4 real OS threads, batching up to 16 jobs per lock
+//! // acquisition; the result carries per-thread contention counters.
+//! let thr = run_er_threads_with(&root, 8, 4, 16, &ErParallelConfig::random_tree(4));
+//! assert_eq!(thr.value, ab.value);
+//! assert_eq!(thr.counters().jobs_executed, thr.counters().outcomes_applied);
 //! ```
 
 #![warn(missing_docs)]
@@ -50,14 +56,16 @@ pub use search_serial;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use checkers::CheckersPos;
     pub use er_parallel::{
-        run_er_sim, run_er_threads, ErParallelConfig, ErRunResult, Speculation,
+        run_er_sim, run_er_threads, run_er_threads_with, ErParallelConfig, ErRunResult,
+        ErThreadsResult, Speculation,
     };
     pub use gametree::ordered::OrderedTreeSpec;
     pub use gametree::random::RandomTreeSpec;
     pub use gametree::{GamePosition, SearchStats, Value, Window};
-    pub use checkers::CheckersPos;
     pub use othello::{Board, OthelloPos};
+    pub use problem_heap::ThreadCounters;
     pub use problem_heap::{CostModel, SimReport};
     pub use search_serial::{
         alphabeta, alphabeta_nodeep, aspiration, er_search, negmax, ErConfig, OrderPolicy,

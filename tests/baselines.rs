@@ -148,8 +148,7 @@ fn er_beats_every_baseline_on_checkers_at_sixteen() {
     let er = run_er_sim(&pos, depth, 16, &cfg);
     let er_speedup = er.report.speedup(sb);
 
-    let mwf = sb as f64
-        / run_mwf(&pos, depth, 16, 5, order, &cm).report.makespan as f64;
+    let mwf = sb as f64 / run_mwf(&pos, depth, 16, 5, order, &cm).report.makespan as f64;
     let shape = ProcShape::best_for(16);
     let ts = sb as f64 / run_tree_split(&pos, depth, shape, order, &cm).makespan as f64;
     let pv = sb as f64 / run_pv_split(&pos, depth, shape, order, &cm).makespan as f64;

@@ -180,7 +180,12 @@ fn all_algorithms_agree_on_checkers() {
     assert_all_agree(&pos, 5, 3, OrderPolicy::OTHELLO);
     // Including from the opening position, where forced captures are
     // absent at the root.
-    assert_all_agree(&checkers::CheckersPos::initial(), 5, 2, OrderPolicy::NATURAL);
+    assert_all_agree(
+        &checkers::CheckersPos::initial(),
+        5,
+        2,
+        OrderPolicy::NATURAL,
+    );
 }
 
 #[test]

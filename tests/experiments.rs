@@ -41,7 +41,10 @@ fn er_curve_has_sane_shape() {
     // Speedup at 16 clearly beats speedup at 1.
     let s1 = c.points[0].speedup;
     let s16 = c.points.last().unwrap().speedup;
-    assert!(s16 > 2.0 * s1, "16 processors must pay: {s1:.2} -> {s16:.2}");
+    assert!(
+        s16 > 2.0 * s1,
+        "16 processors must pay: {s1:.2} -> {s16:.2}"
+    );
     // The alpha-beta reference line is at most 1.
     assert!(c.alphabeta_efficiency <= 1.0 + 1e-9);
 }

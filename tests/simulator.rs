@@ -116,10 +116,9 @@ fn starvation_dominates_when_speculation_is_disabled() {
     };
     let with = run_er_sim(&root, 8, 16, &cfg(4));
     let without = run_er_sim(&root, 8, 16, &none);
-    let starve_with = with.report.starvation_ticks() as f64
-        / (16 * with.report.makespan) as f64;
-    let starve_without = without.report.starvation_ticks() as f64
-        / (16 * without.report.makespan) as f64;
+    let starve_with = with.report.starvation_ticks() as f64 / (16 * with.report.makespan) as f64;
+    let starve_without =
+        without.report.starvation_ticks() as f64 / (16 * without.report.makespan) as f64;
     assert!(
         starve_without > starve_with,
         "disabling speculation must increase starvation share: {starve_without:.2} vs {starve_with:.2}"
