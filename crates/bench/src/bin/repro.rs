@@ -12,6 +12,9 @@
 //! repro threads     real-thread back-end: contention counters and
 //!                   memoized-evaluation savings (writes
 //!                   BENCH_threads.json at the repo root)
+//! repro tt          shared transposition table on/off across worker
+//!                   counts (accepts --tt-bits N; writes BENCH_tt.json
+//!                   at the repo root)
 //! repro all         everything above
 //! ```
 //!
@@ -433,6 +436,126 @@ fn threads() {
     println!("  -> BENCH_threads.json");
 }
 
+fn tt() {
+    use er_bench::experiments::tt_rows;
+    let mut bits = tt::DEFAULT_BITS;
+    let mut args = std::env::args().skip(2);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tt-bits" => {
+                bits = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tt-bits needs an integer in 2..=30");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown tt option '{other}'; use --tt-bits N");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("\n=== Transposition table: R1/O1, table off vs on (2^{bits} entries) ===");
+    let rows = tt_rows(bits);
+    println!(
+        "{:<8} {:<5} {:>5} {:>7} {:>7} {:>9} {:>8} {:>9} {:>8} {:>9} {:>7} {:>8} {:>8}",
+        "backend",
+        "tree",
+        "depth",
+        "workers",
+        "tt",
+        "nodes",
+        "evals",
+        "probes",
+        "hits",
+        "hitrate",
+        "exact",
+        "hints",
+        "ms"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:<5} {:>5} {:>7} {:>7} {:>9} {:>8} {:>9} {:>8} {:>8.1}% {:>7} {:>8} {:>8.1}",
+            r.backend,
+            r.tree,
+            r.depth,
+            r.threads,
+            if r.tt_bits == 0 {
+                "off".to_string()
+            } else {
+                format!("2^{}", r.tt_bits)
+            },
+            r.nodes,
+            r.eval_calls,
+            r.probes,
+            r.hits,
+            100.0 * r.hit_rate,
+            r.exact_hits,
+            r.hint_hits,
+            r.elapsed_ms
+        );
+    }
+    // The issue's acceptance bar, split by what each back-end can attest
+    // deterministically. Node counts: the simulated back-end executes an
+    // identical job schedule every run, so TT-on vs TT-off node counts
+    // compare exactly — on the transposing O1 tree the table must drop
+    // total nodes at every simulated worker count. (Threaded node counts
+    // drift a few percent run-to-run with OS scheduling; their rows are
+    // reported above and value-checked against alpha-beta, not
+    // node-compared. R1 random trees never transpose — their rows bound
+    // the overhead of a useless table.)
+    for workers in [1usize, 4, 16] {
+        let off = rows
+            .iter()
+            .find(|r| {
+                r.backend == "sim" && r.tree == "O1" && r.threads == workers && r.tt_bits == 0
+            })
+            .expect("O1 sim off row");
+        let on = rows
+            .iter()
+            .find(|r| {
+                r.backend == "sim" && r.tree == "O1" && r.threads == workers && r.tt_bits != 0
+            })
+            .expect("O1 sim on row");
+        assert!(
+            on.nodes < off.nodes,
+            "O1 sim@{workers}: table must cut nodes ({} vs {} off)",
+            on.nodes,
+            off.nodes
+        );
+        println!(
+            "O1 sim @ {:>2} workers: {:>8} nodes with table vs {:>8} without \
+             ({:.1}% saved, hit rate {:.1}%)",
+            workers,
+            on.nodes,
+            off.nodes,
+            100.0 * (1.0 - on.nodes as f64 / off.nodes as f64),
+            100.0 * on.hit_rate
+        );
+    }
+    // Contention evidence: 16 real threads sharing one table must still
+    // record hits (XOR validation admits no torn entries; see the tt
+    // crate's release-mode concurrency tests).
+    let o16 = rows
+        .iter()
+        .find(|r| r.backend == "threads" && r.tree == "O1" && r.threads == 16 && r.tt_bits != 0)
+        .expect("O1 16-thread tt row");
+    assert!(
+        o16.hit_rate > 0.0,
+        "O1@16: shared table must record hits under contention"
+    );
+    println!(
+        "O1 threads @ 16: hit rate {:.1}% ({} hits / {} probes) with exact root value",
+        100.0 * o16.hit_rate,
+        o16.hits,
+        o16.probes
+    );
+    save_json("tt", &rows);
+    let mut f = fs::File::create("BENCH_tt.json").expect("create BENCH_tt.json");
+    f.write_all(er_bench::json::to_pretty(&rows).as_bytes())
+        .expect("write BENCH_tt.json");
+    println!("  -> BENCH_tt.json");
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     match arg.as_str() {
@@ -448,6 +571,7 @@ fn main() {
         "ordering" => ordering(),
         "gantt" => gantt(),
         "threads" => threads(),
+        "tt" => tt(),
         "all" => {
             table3();
             fig(10);
@@ -461,12 +585,13 @@ fn main() {
             ordering();
             gantt();
             threads();
+            tt();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; use \
                  table3|fig10|fig11|fig12|fig13|baselines|ablation|overhead|sweep|ordering|\
-                 gantt|threads|all"
+                 gantt|threads|tt|all"
             );
             std::process::exit(2);
         }

@@ -711,6 +711,169 @@ pub fn threads_rows() -> Vec<ThreadsRow> {
     rows
 }
 
+/// One transposition-table measurement: a Table 3 tree searched with the
+/// shared table on (`tt_bits > 0`) or off (`tt_bits == 0`), at a given
+/// worker count, by either back-end.
+#[derive(Clone, Debug)]
+pub struct TtRow {
+    /// Which back-end ran: `"sim"` (deterministic virtual processors —
+    /// node counts compare exactly) or `"threads"` (real OS threads —
+    /// node counts vary with scheduling, values never).
+    pub backend: String,
+    /// Table 3 tree name.
+    pub tree: String,
+    /// Search depth in plies.
+    pub depth: u32,
+    /// Serial depth (Table 3 setting).
+    pub serial_depth: u32,
+    /// OS threads sharing the one table.
+    pub threads: usize,
+    /// log2 of table capacity in entries; 0 means the table is off.
+    pub tt_bits: u32,
+    /// Root value (asserted equal to serial alpha-beta before recording).
+    pub value: i32,
+    /// Nodes examined.
+    pub nodes: u64,
+    /// Static-evaluator calls actually made.
+    pub eval_calls: u64,
+    /// Table probes over the run (0 when off).
+    pub probes: u64,
+    /// Probes that validated an entry.
+    pub hits: u64,
+    /// Hits carrying an exact value.
+    pub exact_hits: u64,
+    /// Stored best moves spliced to the front of a child ordering.
+    pub hint_hits: u64,
+    /// Store calls.
+    pub stores: u64,
+    /// Stores overwriting a live entry.
+    pub replacements: u64,
+    /// Live same-generation entries evicted by a different key.
+    pub collisions: u64,
+    /// `hits / probes` (0 when off).
+    pub hit_rate: f64,
+    /// Wall-clock milliseconds.
+    pub elapsed_ms: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn tt_row<P: GamePosition + tt::Zobrist>(
+    backend: &str,
+    name: &str,
+    root: &P,
+    depth: u32,
+    serial_depth: u32,
+    order: OrderPolicy,
+    threads: usize,
+    bits: u32,
+) -> TtRow {
+    use er_parallel::{run_er_sim_tt, run_er_threads_tt, run_er_threads_with, DEFAULT_BATCH};
+    let cfg = ErParallelConfig {
+        serial_depth,
+        order,
+        spec: Speculation::ALL,
+        cost: CostModel::default(),
+    };
+    // A fresh table per configuration keeps rows independent.
+    let table = tt::TranspositionTable::with_bits(bits.max(2));
+    let (value, stats, tt_stats, elapsed_ms) = match (backend, bits) {
+        ("sim", 0) => {
+            let r = er_parallel::run_er_sim(root, depth, threads, &cfg);
+            (r.value, r.stats, tt::TtStats::default(), 0.0)
+        }
+        ("sim", _) => {
+            let r = run_er_sim_tt(root, depth, threads, &cfg, &table);
+            (r.value, r.stats, table.stats(), 0.0)
+        }
+        (_, 0) => {
+            let r = run_er_threads_with(root, depth, threads, DEFAULT_BATCH, &cfg);
+            (
+                r.value,
+                r.stats,
+                tt::TtStats::default(),
+                r.elapsed.as_secs_f64() * 1e3,
+            )
+        }
+        _ => {
+            let r = run_er_threads_tt(root, depth, threads, DEFAULT_BATCH, &cfg, &table);
+            (
+                r.value,
+                r.stats,
+                r.tt.unwrap_or_default(),
+                r.elapsed.as_secs_f64() * 1e3,
+            )
+        }
+    };
+    let exact = alphabeta(root, depth, order).value;
+    assert_eq!(
+        value, exact,
+        "{name}: {backend} tt={bits} workers={threads} disagrees with alpha-beta"
+    );
+    TtRow {
+        backend: backend.to_string(),
+        tree: name.to_string(),
+        depth,
+        serial_depth,
+        threads,
+        tt_bits: bits,
+        value: value.get(),
+        nodes: stats.nodes(),
+        eval_calls: stats.eval_calls,
+        probes: tt_stats.probes,
+        hits: tt_stats.hits,
+        exact_hits: tt_stats.exact_hits,
+        hint_hits: tt_stats.hint_hits,
+        stores: tt_stats.stores,
+        replacements: tt_stats.replacements,
+        collisions: tt_stats.collisions,
+        hit_rate: tt_stats.hit_rate(),
+        elapsed_ms,
+    }
+}
+
+/// The transposition-table grid: R1 and O1 at Table 3 settings, table
+/// off vs on (`bits`), each at 1, 4 and 16 workers sharing one table —
+/// on both back-ends. The deterministic simulation gives exactly
+/// reproducible node counts (the TT-on vs TT-off comparison); the real
+/// threads give genuine concurrent-table traffic (the contention and
+/// hit-rate evidence).
+///
+/// Random trees never transpose (their hash is the path key), so R1
+/// bounds the overhead of a useless table; O1 measures the node savings
+/// on a real transposing game.
+pub fn tt_rows(bits: u32) -> Vec<TtRow> {
+    let r1 = &crate::trees::random_trees()[0];
+    let o1 = &crate::trees::othello_trees()[0];
+    let mut rows = Vec::new();
+    for backend in ["sim", "threads"] {
+        for &b in &[0u32, bits] {
+            for &threads in &[1usize, 4, 16] {
+                rows.push(tt_row(
+                    backend,
+                    r1.name,
+                    &r1.root,
+                    r1.depth,
+                    r1.serial_depth,
+                    r1.order,
+                    threads,
+                    b,
+                ));
+                rows.push(tt_row(
+                    backend,
+                    o1.name,
+                    &o1.root,
+                    o1.depth,
+                    o1.serial_depth,
+                    o1.order,
+                    threads,
+                    b,
+                ));
+            }
+        }
+    }
+    rows
+}
+
 impl_to_json!(SerialCost {
     nodes,
     evals,
@@ -782,6 +945,26 @@ impl_to_json!(OrderingRow {
     quarter_best,
     mean_degree,
     strongly_ordered
+});
+impl_to_json!(TtRow {
+    backend,
+    tree,
+    depth,
+    serial_depth,
+    threads,
+    tt_bits,
+    value,
+    nodes,
+    eval_calls,
+    probes,
+    hits,
+    exact_hits,
+    hint_hits,
+    stores,
+    replacements,
+    collisions,
+    hit_rate,
+    elapsed_ms
 });
 impl_to_json!(ThreadsRow {
     tree,

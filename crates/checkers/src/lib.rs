@@ -9,6 +9,7 @@
 
 pub mod board;
 pub mod position;
+pub mod zobrist;
 
 pub use board::{Board, Move};
 pub use position::{benchmark_position, c1, c2, c3, evaluate, CheckersPos};

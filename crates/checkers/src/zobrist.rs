@@ -1,0 +1,78 @@
+//! Zobrist hashing for checkers positions (transposition-table support).
+//!
+//! Four 32-entry compile-time key tables — (own/opp) × (man/king) — folded
+//! over the mover-relative bitboards. As with Othello, the board
+//! representation swaps sides every ply, so identical mover-relative
+//! structure means an identical search problem and no side-to-move key is
+//! required. Multi-jumps remove arbitrary sets of pieces, so the hash is a
+//! popcount-bounded fold over the four boards rather than an incremental
+//! per-move delta.
+
+use tt::{fold_bits, zobrist_keys, Zobrist};
+
+use crate::position::CheckersPos;
+
+/// Per-square keys: own men, own kings, opp men, opp kings.
+const KEYS: [[u64; 32]; 4] = [
+    zobrist_keys::<32>(0x636b_5f6f_776e_6d01),
+    zobrist_keys::<32>(0x636b_5f6f_776e_6b02),
+    zobrist_keys::<32>(0x636b_5f6f_7070_6d03),
+    zobrist_keys::<32>(0x636b_5f6f_7070_6b04),
+];
+
+impl Zobrist for CheckersPos {
+    fn zobrist(&self) -> u64 {
+        let b = &self.board;
+        let mut h = fold_bits(0, u64::from(b.own_men), &KEYS[0]);
+        h = fold_bits(h, u64::from(b.own_kings), &KEYS[1]);
+        h = fold_bits(h, u64::from(b.opp_men), &KEYS[2]);
+        fold_bits(h, u64::from(b.opp_kings), &KEYS[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gametree::GamePosition;
+
+    #[test]
+    fn equal_positions_hash_equal_and_children_differ() {
+        let p = CheckersPos::initial();
+        assert_eq!(p.zobrist(), CheckersPos::initial().zobrist());
+        let kids = p.children();
+        for (i, a) in kids.iter().enumerate() {
+            assert_ne!(a.zobrist(), p.zobrist());
+            for b in &kids[i + 1..] {
+                assert_ne!(a.zobrist(), b.zobrist());
+            }
+        }
+    }
+
+    #[test]
+    fn kings_hash_differently_from_men() {
+        use crate::board::Board;
+        let men = CheckersPos::new(Board {
+            own_men: 1 << 13,
+            own_kings: 0,
+            opp_men: 1 << 20,
+            opp_kings: 0,
+        });
+        let kings = CheckersPos::new(Board {
+            own_men: 0,
+            own_kings: 1 << 13,
+            opp_men: 1 << 20,
+            opp_kings: 0,
+        });
+        assert_ne!(men.zobrist(), kings.zobrist());
+    }
+
+    #[test]
+    fn benchmark_roots_hash_distinctly() {
+        let ps = crate::position::all();
+        for (i, (_, a)) in ps.iter().enumerate() {
+            for (_, b) in &ps[i + 1..] {
+                assert_ne!(a.zobrist(), b.zobrist());
+            }
+        }
+    }
+}

@@ -90,6 +90,12 @@ impl OrderedPos {
     pub fn score(self) -> i32 {
         self.score
     }
+
+    /// The node's path key, updated incrementally by [`GamePosition::play`]
+    /// (one `splitmix64` per move). Identifies the node within its tree.
+    pub fn key(self) -> u64 {
+        self.key
+    }
 }
 
 impl GamePosition for OrderedPos {

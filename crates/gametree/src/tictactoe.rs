@@ -67,6 +67,12 @@ impl TicTacToe {
     pub fn full(&self) -> bool {
         (self.own | self.opp) == FULL
     }
+
+    /// The mover's and opponent's stone bitboards (9 bits each), for
+    /// hashing and display.
+    pub fn bitboards(&self) -> (u16, u16) {
+        (self.own, self.opp)
+    }
 }
 
 impl GamePosition for TicTacToe {

@@ -13,6 +13,7 @@ pub mod configs;
 pub mod eval;
 pub mod position;
 pub mod stability;
+pub mod zobrist;
 
 pub use board::Board;
 pub use eval::evaluate;

@@ -1,0 +1,64 @@
+//! Zobrist hashing for Othello positions (transposition-table support).
+//!
+//! Two 64-entry compile-time key tables, one per side, XOR-folded over the
+//! mover-relative bitboards. Because [`crate::Board`] swaps `own`/`opp` on
+//! every move, two positions with identical mover-relative discs are the
+//! same search problem and hash identically — no side-to-move key is
+//! needed. Othello flips rewrite whole runs of discs per move, so the hash
+//! is recomputed from the bitboards (a popcount-bounded fold) rather than
+//! updated incrementally; the synthetic trees in `tt` show the incremental
+//! form where the representation allows it.
+
+use tt::{fold_bits, zobrist_keys, Zobrist};
+
+use crate::position::OthelloPos;
+
+/// Per-square keys for the mover's discs.
+const OWN_KEYS: [u64; 64] = zobrist_keys::<64>(0x6f74_685f_6f77_6e00);
+/// Per-square keys for the opponent's discs.
+const OPP_KEYS: [u64; 64] = zobrist_keys::<64>(0x6f74_685f_6f70_7000);
+
+impl Zobrist for OthelloPos {
+    fn zobrist(&self) -> u64 {
+        let h = fold_bits(0, self.board.own, &OWN_KEYS);
+        fold_bits(h, self.board.opp, &OPP_KEYS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gametree::GamePosition;
+
+    #[test]
+    fn equal_positions_hash_equal_and_children_differ() {
+        let p = OthelloPos::initial();
+        assert_eq!(p.zobrist(), OthelloPos::initial().zobrist());
+        let kids = p.children();
+        for (i, a) in kids.iter().enumerate() {
+            assert_ne!(a.zobrist(), p.zobrist());
+            for b in &kids[i + 1..] {
+                assert_ne!(a.zobrist(), b.zobrist());
+            }
+        }
+    }
+
+    #[test]
+    fn side_swap_changes_the_hash() {
+        // A pass swaps own/opp without moving a disc; the resulting
+        // position is a different search problem and must hash differently.
+        let p = OthelloPos::initial();
+        let swapped = OthelloPos::new(p.board.swapped());
+        assert_ne!(p.zobrist(), swapped.zobrist());
+    }
+
+    #[test]
+    fn transpositions_collide_by_construction() {
+        // Any two paths reaching the same mover-relative board hash
+        // equal — the hash is a pure function of the bitboards.
+        let p = OthelloPos::initial();
+        let a = p.play(&p.moves()[0]);
+        let b = OthelloPos::new(a.board);
+        assert_eq!(a.zobrist(), b.zobrist());
+    }
+}

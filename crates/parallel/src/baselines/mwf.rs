@@ -18,8 +18,9 @@ use std::cmp::Reverse;
 
 use gametree::{GamePosition, SearchStats, Value};
 use problem_heap::{simulate, CostModel, HeapWorker, StableQueue, TakenWork};
-use search_serial::alphabeta::alphabeta_window;
-use search_serial::ordering::{ordered_children, OrderPolicy};
+use search_serial::alphabeta::alphabeta_window_with;
+use search_serial::ordering::{ordered_children_indexed, splice_hint, OrderPolicy};
+use tt::{Bound, TranspositionTable, TtAccess, Zobrist};
 
 /// MWF node type (no-deep-cutoff classification: types 1 and 2 only).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,8 +59,9 @@ enum Job {
     Serial(usize, Value),
 }
 
-/// The MWF problem-heap worker.
-struct MwfWorker<P: GamePosition> {
+/// The MWF problem-heap worker, generic over the (possibly absent)
+/// transposition-table handle its serial units and expansions share.
+struct MwfWorker<P: GamePosition, T: TtAccess<P>> {
     nodes: Vec<MwfNode<P>>,
     queue: StableQueue<Reverse<u32>, usize>,
     inflight: Vec<Option<Job>>,
@@ -69,10 +71,18 @@ struct MwfWorker<P: GamePosition> {
     totals: SearchStats,
     finished: bool,
     root_value: Option<Value>,
+    tt: T,
 }
 
-impl<P: GamePosition> MwfWorker<P> {
-    fn new(pos: P, depth: u32, serial_depth: u32, order: OrderPolicy, cost: CostModel) -> Self {
+impl<P: GamePosition, T: TtAccess<P>> MwfWorker<P, T> {
+    fn new(
+        pos: P,
+        depth: u32,
+        serial_depth: u32,
+        order: OrderPolicy,
+        cost: CostModel,
+        tt: T,
+    ) -> Self {
         let mut w = MwfWorker {
             nodes: vec![MwfNode {
                 pos,
@@ -97,6 +107,7 @@ impl<P: GamePosition> MwfWorker<P> {
             totals: SearchStats::new(),
             finished: false,
             root_value: None,
+            tt,
         };
         w.queue.push(Reverse(0), 0);
         w
@@ -203,6 +214,16 @@ impl<P: GamePosition> MwfWorker<P> {
                 if refuted {
                     self.totals.cutoffs += 1;
                 }
+                // With shallow windows a refuted 2-node's value is a lower
+                // bound; an exhausted node's max is exact (fail-high
+                // children can never have raised it past an exact sibling).
+                let bound = if exhausted {
+                    Bound::Exact
+                } else {
+                    Bound::Lower
+                };
+                let pn = &self.nodes[p];
+                self.tt.store(&pn.pos, pn.depth, pn.value, bound, None);
                 id = p;
                 continue;
             }
@@ -216,7 +237,7 @@ impl<P: GamePosition> MwfWorker<P> {
     }
 }
 
-impl<P: GamePosition> HeapWorker for MwfWorker<P> {
+impl<P: GamePosition, T: TtAccess<P>> HeapWorker for MwfWorker<P, T> {
     fn take(&mut self, _now: u64) -> Option<TakenWork> {
         loop {
             let id = self.queue.pop()?;
@@ -228,6 +249,8 @@ impl<P: GamePosition> HeapWorker for MwfWorker<P> {
             if self.nodes[id].value >= self.beta(id) && self.nodes[id].parent.is_some() {
                 self.totals.cutoffs += 1;
                 self.nodes[id].done = true;
+                let n = &self.nodes[id];
+                self.tt.store(&n.pos, n.depth, n.value, Bound::Lower, None);
                 self.on_done(id);
                 if self.finished {
                     let token = self.inflight.len() as u64;
@@ -248,7 +271,7 @@ impl<P: GamePosition> HeapWorker for MwfWorker<P> {
                 // Frontier 1-node: one serial alpha-beta unit with the
                 // current shallow bound.
                 let w = gametree::Window::new(Value::NEG_INF, self.beta(id));
-                let r = alphabeta_window(&n.pos, n.depth, w, self.order);
+                let r = alphabeta_window_with(&n.pos, n.depth, w, self.order, self.tt);
                 self.totals.merge(&r.stats);
                 cost = self.cost.serial_ticks(&r.stats);
                 job = Job::Serial(id, r.value);
@@ -263,7 +286,7 @@ impl<P: GamePosition> HeapWorker for MwfWorker<P> {
                 // Shallow window: the child is refuted when its value
                 // reaches -P.value; no deeper bounds are inherited.
                 let w = gametree::Window::new(Value::NEG_INF, -n.value);
-                let r = alphabeta_window(&child_pos, n.depth - 1, w, self.order);
+                let r = alphabeta_window_with(&child_pos, n.depth - 1, w, self.order, self.tt);
                 self.totals.merge(&r.stats);
                 cost = self.cost.serial_ticks(&r.stats);
                 let c = self.spawn(id, MwfKind::Two);
@@ -285,6 +308,10 @@ impl<P: GamePosition> HeapWorker for MwfWorker<P> {
         match job {
             Job::Leaf(id) => {
                 let v = self.nodes[id].pos.evaluate();
+                // A terminal's static value is its exact value at any
+                // remaining depth, so the stored-depth claim holds.
+                let n = &self.nodes[id];
+                self.tt.store(&n.pos, n.depth, v, Bound::Exact, None);
                 self.nodes[id].value = v;
                 self.nodes[id].done = true;
                 self.on_done(id);
@@ -301,9 +328,28 @@ impl<P: GamePosition> HeapWorker for MwfWorker<P> {
                 if self.nodes[id].done {
                     return self.finished;
                 }
+                // Probe before expansion: an equal-depth entry usable
+                // against the current shallow window closes the node
+                // outright; otherwise its move hint seeds child ordering.
+                let mut hint = None;
+                if let Some(p) = self.tt.probe(&self.nodes[id].pos) {
+                    let w = gametree::Window::new(Value::NEG_INF, self.beta(id));
+                    if let Some(v) = p.cutoff(self.nodes[id].depth, w) {
+                        let nv = self.nodes[id].value.max(v);
+                        self.nodes[id].value = nv;
+                        self.nodes[id].done = true;
+                        self.on_done(id);
+                        return self.finished;
+                    }
+                    hint = p.hint;
+                }
                 let n = &self.nodes[id];
                 let mut s = SearchStats::new();
-                let kids = ordered_children(&n.pos, n.ply, self.order, &mut s);
+                let mut indexed = ordered_children_indexed(&n.pos, n.ply, self.order, &mut s);
+                if splice_hint(&mut indexed, hint) {
+                    self.tt.note_hint_used();
+                }
+                let kids: Vec<P> = indexed.into_iter().map(|k| k.pos).collect();
                 self.totals.merge(&s);
                 self.totals.interior_nodes += 1;
                 self.nodes[id].kids = Some(kids);
@@ -359,7 +405,36 @@ pub fn run_mwf<P: GamePosition>(
     order: OrderPolicy,
     cost: &CostModel,
 ) -> MwfResult {
-    let mut w = MwfWorker::new(pos.clone(), depth, serial_depth, order, *cost);
+    run_mwf_gen(pos, depth, processors, serial_depth, order, cost, ())
+}
+
+/// Runs MWF with every serial unit and expansion sharing `table`:
+/// expansions probe for cutoffs and move hints, completed nodes store
+/// their bound, and the serial alpha-beta units probe/store throughout
+/// their subtrees.
+pub fn run_mwf_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    processors: usize,
+    serial_depth: u32,
+    order: OrderPolicy,
+    cost: &CostModel,
+    table: &TranspositionTable,
+) -> MwfResult {
+    run_mwf_gen(pos, depth, processors, serial_depth, order, cost, table)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_mwf_gen<P: GamePosition, T: TtAccess<P>>(
+    pos: &P,
+    depth: u32,
+    processors: usize,
+    serial_depth: u32,
+    order: OrderPolicy,
+    cost: &CostModel,
+    tt: T,
+) -> MwfResult {
+    let mut w = MwfWorker::new(pos.clone(), depth, serial_depth, order, *cost, tt);
     let report = simulate(&mut w, processors, cost.heap_latency);
     MwfResult {
         value: w.root_value.expect("MWF finished"),

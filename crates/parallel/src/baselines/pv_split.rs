@@ -16,7 +16,9 @@ use std::collections::BinaryHeap;
 
 use gametree::{GamePosition, SearchStats, Value, Window};
 use problem_heap::CostModel;
-use search_serial::ordering::{ordered_children, OrderPolicy};
+use search_serial::fail_soft_bound;
+use search_serial::ordering::{ordered_children_indexed, splice_hint, OrderPolicy};
+use tt::{Bound, TranspositionTable, TtAccess, Zobrist};
 
 use super::tree_split::{run_tree_split_window, ProcShape, TreeSplitResult};
 
@@ -44,13 +46,16 @@ struct Ctx<'a> {
 }
 
 /// Tree-splits `pos` with the full processor tree, as a helper that merges
-/// stats into the context and offsets time.
-fn split_here<P: GamePosition>(
+/// stats into the context and offsets time. The frontier result is
+/// recorded in the table (classified against the window it was searched
+/// under) so later PV descents can reuse it.
+fn split_here<P: GamePosition, T: TtAccess<P>>(
     ctx: &mut Ctx<'_>,
     pos: &P,
     depth: u32,
     window: Window,
     start: u64,
+    tt: T,
 ) -> (Value, u64) {
     // Reuse the tree-splitting simulation; its internal ply only matters
     // for the ordering policy, which pv-splitting applies from its own
@@ -63,34 +68,63 @@ fn split_here<P: GamePosition>(
         ..
     } = run_tree_split_window(pos, depth, window, ctx.shape, ctx.order, ctx.cost);
     ctx.stats.merge(&stats);
+    tt.store(pos, depth, value, fail_soft_bound(value, window), None);
     (value, start + makespan)
 }
 
-fn pv_rec<P: GamePosition>(
+fn pv_rec<P: GamePosition, T: TtAccess<P>>(
     ctx: &mut Ctx<'_>,
     pos: &P,
     depth: u32,
     window: Window,
     ply: u32,
     start: u64,
+    tt: T,
 ) -> (Value, u64) {
+    // The master recursion is serial, so the node's true window is in hand
+    // and a stored equal-depth bound can answer it outright for the cost
+    // of a lookup (no virtual ticks).
+    let hint = match tt.probe(pos) {
+        Some(p) => {
+            if let Some(v) = p.cutoff(depth, window) {
+                return (v, start);
+            }
+            p.hint
+        }
+        None => None,
+    };
     if depth <= ctx.shape.height || depth == 0 {
-        return split_here(ctx, pos, depth, window, start);
+        return split_here(ctx, pos, depth, window, start, tt);
     }
-    let kids = ordered_children(pos, ply, ctx.order, &mut ctx.stats);
+    let mut kids = ordered_children_indexed(pos, ply, ctx.order, &mut ctx.stats);
+    if splice_hint(&mut kids, hint) {
+        tt.note_hint_used();
+    }
     if kids.is_empty() {
         ctx.stats.leaf_nodes += 1;
         ctx.stats.eval_calls += 1;
-        return (pos.evaluate(), start + ctx.cost.eval);
+        let v = pos.evaluate();
+        tt.store(pos, depth, v, Bound::Exact, None);
+        return (v, start + ctx.cost.eval);
     }
     ctx.stats.interior_nodes += 1;
     let t0 = start + ctx.cost.expand;
 
     // Descend the candidate principal variation first.
-    let (v1, t1) = pv_rec(ctx, &kids[0], depth - 1, window.negate(), ply + 1, t0);
+    let (v1, t1) = pv_rec(
+        ctx,
+        &kids[0].pos,
+        depth - 1,
+        window.negate(),
+        ply + 1,
+        t0,
+        tt,
+    );
     let mut m = -v1;
+    let mut best = Some(kids[0].nat);
     if m >= window.beta {
         ctx.stats.cutoffs += 1;
+        tt.store(pos, depth, m, Bound::Lower, best);
         return (m, t1);
     }
 
@@ -101,32 +135,39 @@ fn pv_rec<P: GamePosition>(
         height: ctx.shape.height.saturating_sub(1),
     };
     let slaves = ctx.shape.branching;
-    let mut pending: BinaryHeap<Reverse<(u64, usize, i64)>> = BinaryHeap::new();
+    let mut pending: BinaryHeap<Reverse<(u64, usize, i64, u16)>> = BinaryHeap::new();
     let mut next = 1usize;
     let mut seq = 0usize;
     let mut w = window.raise_alpha(m);
     for _ in 0..slaves.min(kids.len().saturating_sub(1)) {
-        let (value, finish) = search_sibling(ctx, &kids[next], depth - 1, w, slave_shape, t1);
-        pending.push(Reverse((finish, seq, value.get() as i64)));
+        let (value, finish) = search_sibling(ctx, &kids[next].pos, depth - 1, w, slave_shape, t1);
+        pending.push(Reverse((finish, seq, value.get() as i64, kids[next].nat)));
         seq += 1;
         next += 1;
     }
     let mut last_end = t1;
-    while let Some(Reverse((end, _, raw))) = pending.pop() {
+    while let Some(Reverse((end, _, raw, nat))) = pending.pop() {
         last_end = end;
-        m = m.max(-Value::new(raw as i32));
+        let v = -Value::new(raw as i32);
+        if v > m {
+            m = v;
+            best = Some(nat);
+        }
         if m >= window.beta {
             ctx.stats.cutoffs += 1;
+            tt.store(pos, depth, m, Bound::Lower, best);
             return (m, end);
         }
         w = window.raise_alpha(m);
         if next < kids.len() {
-            let (value, finish) = search_sibling(ctx, &kids[next], depth - 1, w, slave_shape, end);
-            pending.push(Reverse((finish, seq, value.get() as i64)));
+            let (value, finish) =
+                search_sibling(ctx, &kids[next].pos, depth - 1, w, slave_shape, end);
+            pending.push(Reverse((finish, seq, value.get() as i64, kids[next].nat)));
             seq += 1;
             next += 1;
         }
     }
+    tt.store(pos, depth, m, fail_soft_bound(m, window), best);
     (m, last_end)
 }
 
@@ -186,7 +227,7 @@ pub fn run_pv_split<P: GamePosition>(
     order: OrderPolicy,
     cost: &CostModel,
 ) -> PvSplitResult {
-    run_pv_split_impl(pos, depth, shape, order, cost, false)
+    run_pv_split_impl(pos, depth, shape, order, cost, false, ())
 }
 
 /// The §4.4 footnote variant: pv-splitting with parallel minimal-window
@@ -198,16 +239,33 @@ pub fn run_pv_split_mw<P: GamePosition>(
     order: OrderPolicy,
     cost: &CostModel,
 ) -> PvSplitResult {
-    run_pv_split_impl(pos, depth, shape, order, cost, true)
+    run_pv_split_impl(pos, depth, shape, order, cost, true, ())
 }
 
-fn run_pv_split_impl<P: GamePosition>(
+/// [`run_pv_split`] sharing `table`: the serial master recursion probes
+/// each PV node before expanding it (equal-depth bounds cut off outright),
+/// seeds the child order with stored best moves, and stores every PV-node
+/// and frontier result.
+pub fn run_pv_split_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    shape: ProcShape,
+    order: OrderPolicy,
+    cost: &CostModel,
+    table: &TranspositionTable,
+) -> PvSplitResult {
+    run_pv_split_impl(pos, depth, shape, order, cost, false, table)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_pv_split_impl<P: GamePosition, T: TtAccess<P>>(
     pos: &P,
     depth: u32,
     shape: ProcShape,
     order: OrderPolicy,
     cost: &CostModel,
     minimal_window: bool,
+    tt: T,
 ) -> PvSplitResult {
     let mut ctx = Ctx {
         order,
@@ -216,7 +274,7 @@ fn run_pv_split_impl<P: GamePosition>(
         shape,
         minimal_window,
     };
-    let (value, makespan) = pv_rec(&mut ctx, pos, depth, Window::FULL, 0, 0);
+    let (value, makespan) = pv_rec(&mut ctx, pos, depth, Window::FULL, 0, 0, tt);
     PvSplitResult {
         value,
         makespan,

@@ -24,8 +24,9 @@ use std::cmp::Reverse;
 
 use gametree::{GamePosition, SearchStats, Value, Window};
 use problem_heap::{simulate, HeapWorker, StableQueue, TakenWork};
-use search_serial::er::{er_search_window, ErConfig};
-use search_serial::ordering::{ordered_children_with_evals, OrderPolicy};
+use search_serial::er::{er_eval_refute_with, er_search_window_with, ErConfig};
+use search_serial::ordering::{ordered_children_indexed, splice_hint, OrderPolicy};
+use tt::{Bound, TtAccess};
 
 use super::{ErParallelConfig, ErRunResult};
 use crate::tree::{Kind, NodeId, SearchTree, ROOT};
@@ -46,9 +47,11 @@ pub enum Task {
     CachedLeaf(Value),
     /// Generate (and possibly sort) the node's children. `enode` children
     /// are never statically sorted (§7). `cached` carries the node's own
-    /// memoized static value for the childless-terminal case.
+    /// memoized static value for the childless-terminal case; `depth` is
+    /// the node's remaining depth (transposition-table probe/store key).
     Movegen {
         ply: u32,
+        depth: u32,
         enode: bool,
         cached: Option<Value>,
     },
@@ -97,17 +100,21 @@ pub enum Outcome<P: GamePosition> {
     /// an examined leaf but charges no evaluator call.
     CachedLeaf(Value),
     /// Generated children in search order, the static values computed for
-    /// sorting (memoized onto spawned children), and the evaluator calls
-    /// charged for sorting.
+    /// sorting (memoized onto spawned children), the natural (pre-sort)
+    /// index of each child, and the evaluator calls charged for sorting.
     Moves {
         kids: Vec<P>,
         evals: Option<Vec<Value>>,
+        nats: Vec<u16>,
         sort_evals: u64,
     },
     /// `NextChild` / `ExpandRest` carry no payload.
     Unit,
     /// Serial subtree result.
     Serial { value: Value, stats: SearchStats },
+    /// An equal-depth `Exact` transposition-table entry answered the node
+    /// before expansion: the stored value is the node's exact value.
+    TtExact(Value),
 }
 
 /// Outcome of trying to select work.
@@ -125,33 +132,81 @@ pub enum Select {
 /// any lock. `pos` must be `Some` when [`Task::needs_pos`] holds; it is a
 /// borrow so the simulator can point straight into the tree and the
 /// threaded back-end can pass a clone made under the lock.
-pub fn execute_task<P: GamePosition>(
+///
+/// `tt` is the (possibly absent) shared transposition table: all table
+/// traffic happens here, outside the heap lock. Probes can only use the
+/// window-free part of an entry — an equal-depth `Exact` value (the
+/// dynamic alpha-beta window lives in the tree, which this function must
+/// not read) — plus the stored best move as an ordering hint; stores come
+/// from the serial-frontier searches and freshly evaluated terminals.
+pub fn execute_task<P: GamePosition, T: TtAccess<P>>(
     task: &Task,
     pos: Option<&P>,
     order: OrderPolicy,
+    tt: T,
 ) -> Outcome<P> {
     match *task {
-        Task::Leaf => Outcome::Leaf(pos.expect("leaf task reads its position").evaluate()),
+        Task::Leaf => {
+            let pos = pos.expect("leaf task reads its position");
+            if let Some(p) = tt.probe(pos) {
+                if p.depth == 0 && p.bound == Bound::Exact {
+                    return Outcome::CachedLeaf(p.value);
+                }
+            }
+            let v = pos.evaluate();
+            tt.store(pos, 0, v, Bound::Exact, None);
+            Outcome::Leaf(v)
+        }
         Task::CachedLeaf(v) => Outcome::CachedLeaf(v),
-        Task::Movegen { ply, enode, cached } => {
+        Task::Movegen {
+            ply,
+            depth,
+            enode,
+            cached,
+        } => {
             let pos = pos.expect("movegen task reads its position");
-            let (kids, evals, sort_evals) = if enode {
-                (pos.children(), None, 0)
-            } else {
-                let mut s = SearchStats::new();
-                let (kids, evals) = ordered_children_with_evals(pos, ply, order, &mut s);
-                (kids, evals, s.eval_calls)
+            let hint = match tt.probe(pos) {
+                Some(p) => {
+                    if p.depth == depth && p.bound == Bound::Exact {
+                        // Exact entries need no window: the node is done
+                        // before its children are even generated.
+                        return Outcome::TtExact(p.value);
+                    }
+                    p.hint
+                }
+                None => None,
             };
-            if kids.is_empty() {
+            let mut s = SearchStats::new();
+            // E-node children are never statically sorted (§7): NATURAL
+            // enumerates them with their indices and no evaluator calls.
+            let policy = if enode { OrderPolicy::NATURAL } else { order };
+            let mut indexed = ordered_children_indexed(pos, ply, policy, &mut s);
+            if splice_hint(&mut indexed, hint) {
+                tt.note_hint_used();
+            }
+            if indexed.is_empty() {
                 match cached {
                     Some(v) => Outcome::CachedLeaf(v),
-                    None => Outcome::Leaf(pos.evaluate()),
+                    None => {
+                        let v = pos.evaluate();
+                        // A terminal's static value is its exact value at
+                        // this node's remaining depth.
+                        tt.store(pos, depth, v, Bound::Exact, None);
+                        Outcome::Leaf(v)
+                    }
                 }
             } else {
+                let evals = indexed
+                    .iter()
+                    .all(|k| k.static_eval.is_some())
+                    .then(|| indexed.iter().map(|k| k.static_eval.unwrap()).collect());
+                let nats = indexed.iter().map(|k| k.nat).collect();
+                let kids = indexed.into_iter().map(|k| k.pos).collect();
                 Outcome::Moves {
                     kids,
                     evals,
-                    sort_evals,
+                    nats,
+                    sort_evals: s.eval_calls,
                 }
             }
         }
@@ -165,9 +220,9 @@ pub fn execute_task<P: GamePosition>(
             let pos = pos.expect("serial task reads its position");
             let cfg = ErConfig { order };
             let r = if refute {
-                search_serial::er_eval_refute(pos, depth, window, cfg, ply)
+                er_eval_refute_with(pos, depth, window, cfg, ply, tt)
             } else {
-                er_search_window(pos, depth, window, cfg, ply)
+                er_search_window_with(pos, depth, window, cfg, ply, tt)
             };
             Outcome::Serial {
                 value: r.value,
@@ -578,6 +633,7 @@ impl<P: GamePosition> ErWorker<P> {
                 id,
                 task: Task::Movegen {
                     ply: node.ply,
+                    depth,
                     enode: kind == Kind::ENode,
                     cached: node.static_eval,
                 },
@@ -600,8 +656,9 @@ impl<P: GamePosition> ErWorker<P> {
     pub fn cost_of(&self, outcome: &Outcome<P>) -> u64 {
         match outcome {
             Outcome::Leaf(_) => self.cfg.cost.eval,
-            // A memoized leaf is a table lookup, not an evaluator call.
-            Outcome::CachedLeaf(_) => 1,
+            // A memoized leaf is a table lookup, not an evaluator call —
+            // and so is a transposition-table answer.
+            Outcome::CachedLeaf(_) | Outcome::TtExact(_) => 1,
             Outcome::Moves { sort_evals, .. } => {
                 self.cfg.cost.expand + sort_evals * self.cfg.cost.eval
             }
@@ -655,9 +712,23 @@ impl<P: GamePosition> ErWorker<P> {
                     self.on_done(id);
                 }
             }
+            Outcome::TtExact(value) => {
+                // An exact stored value settles the node without expansion;
+                // like a serial-frontier hit it examines no new nodes here
+                // (the table's own counters record the hit).
+                self.examined_keys.push(self.tree.node(id).path_key);
+                if !self.tree.is_dead(id) {
+                    let n = self.tree.node_mut(id);
+                    n.value = n.value.max(value);
+                    n.done = true;
+                    n.moves = Some(Vec::new());
+                    self.on_done(id);
+                }
+            }
             Outcome::Moves {
                 kids,
                 evals,
+                nats,
                 sort_evals,
             } => {
                 self.totals.interior_nodes += 1;
@@ -672,6 +743,9 @@ impl<P: GamePosition> ErWorker<P> {
                         // Children spawned later inherit these as memoized
                         // static values.
                         n.move_evals = evals;
+                        // The natural index of each move, cached so hint
+                        // splicing never has to re-derive the sort.
+                        n.move_nats = Some(nats);
                     }
                     match kind {
                         Kind::ENode => {
@@ -768,13 +842,14 @@ fn task_kind(task: &Task) -> &'static str {
 
 /// Simulation adapter: `take` = select + execute (charging virtual cost),
 /// `complete` = apply.
-struct SimAdapter<P: GamePosition> {
+struct SimAdapter<P: GamePosition, T: TtAccess<P>> {
     worker: ErWorker<P>,
     inflight: Vec<Option<(NodeId, Outcome<P>)>>,
     trace: Vec<JobTrace>,
+    tt: T,
 }
 
-impl<P: GamePosition> HeapWorker for SimAdapter<P> {
+impl<P: GamePosition, T: TtAccess<P>> HeapWorker for SimAdapter<P, T> {
     fn take(&mut self, now: u64) -> Option<TakenWork> {
         match self.worker.select() {
             Select::Empty => None,
@@ -787,11 +862,17 @@ impl<P: GamePosition> HeapWorker for SimAdapter<P> {
                 let ply = self.worker.node_ply(job.id);
                 let kind = task_kind(&job.task);
                 // Borrow the position straight out of the tree: the
-                // simulator never clones a position per job.
+                // simulator never clones a position per job. `run_er_sim`
+                // passes a table-free handle (`()`), keeping it
+                // byte-for-byte deterministic against the seed runs; with
+                // a table the run is still deterministic (one OS thread,
+                // deterministic job order), just no longer byte-identical
+                // to the table-free schedule.
                 let outcome = execute_task(
                     &job.task,
                     Some(self.worker.node_pos(job.id)),
                     self.worker.order(),
+                    self.tt,
                 );
                 let cost = self.worker.cost_of(&outcome);
                 let token = self.inflight.len() as u64;
@@ -827,10 +908,35 @@ pub fn run_er_sim<P: GamePosition>(
     processors: usize,
     cfg: &ErParallelConfig,
 ) -> ErRunResult {
+    run_er_sim_gen(pos, depth, processors, cfg, ())
+}
+
+/// Runs simulated parallel ER with every virtual processor sharing
+/// `table`. Unlike the threaded back-end, the simulation is
+/// deterministic: the same configuration and table size always examines
+/// the same nodes, so TT-on vs TT-off node counts compare exactly.
+pub fn run_er_sim_tt<P: GamePosition + tt::Zobrist>(
+    pos: &P,
+    depth: u32,
+    processors: usize,
+    cfg: &ErParallelConfig,
+    table: &tt::TranspositionTable,
+) -> ErRunResult {
+    run_er_sim_gen(pos, depth, processors, cfg, table)
+}
+
+fn run_er_sim_gen<P: GamePosition, T: TtAccess<P>>(
+    pos: &P,
+    depth: u32,
+    processors: usize,
+    cfg: &ErParallelConfig,
+    tt: T,
+) -> ErRunResult {
     let mut adapter = SimAdapter {
         worker: ErWorker::new(pos.clone(), depth, *cfg),
         inflight: Vec::new(),
         trace: Vec::new(),
+        tt,
     };
     let report = simulate(&mut adapter, processors, cfg.cost.heap_latency);
     ErRunResult {

@@ -97,5 +97,5 @@ pub struct ErRunResult {
     pub examined_keys: Vec<u64>,
 }
 
-pub use engine::run_er_sim;
-pub use threads::run_er_threads;
+pub use engine::{run_er_sim, run_er_sim_tt};
+pub use threads::{run_er_threads, run_er_threads_tt};

@@ -36,6 +36,7 @@ use std::sync::{Condvar, Mutex};
 
 use gametree::{GamePosition, SearchStats, Value};
 use problem_heap::ThreadCounters;
+use tt::{TranspositionTable, TtAccess, TtStats, Zobrist};
 
 use super::engine::{execute_task, ErWorker, Select, Task};
 use super::ErParallelConfig;
@@ -59,6 +60,10 @@ pub struct ErThreadsResult {
     pub elapsed: std::time::Duration,
     /// Contention counters, one entry per thread.
     pub per_thread: Vec<ThreadCounters>,
+    /// Transposition-table activity attributable to this run (the delta of
+    /// the shared table's counters over the run), when a table was
+    /// attached via [`run_er_threads_tt`]; `None` for table-free runs.
+    pub tt: Option<TtStats>,
 }
 
 impl ErThreadsResult {
@@ -101,6 +106,35 @@ pub fn run_er_threads_with<P: GamePosition>(
     threads: usize,
     batch: usize,
     cfg: &ErParallelConfig,
+) -> ErThreadsResult {
+    run_er_threads_gen(pos, depth, threads, batch, cfg, ())
+}
+
+/// [`run_er_threads_with`] with all workers sharing `table`: every thread
+/// probes and stores through the same lock-free table, so one worker's
+/// refutation is every other worker's ordering hint (or outright answer).
+/// [`ErThreadsResult::tt`] reports the run's table activity.
+pub fn run_er_threads_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    threads: usize,
+    batch: usize,
+    cfg: &ErParallelConfig,
+    table: &TranspositionTable,
+) -> ErThreadsResult {
+    let before = table.stats();
+    let mut r = run_er_threads_gen(pos, depth, threads, batch, cfg, table);
+    r.tt = Some(table.stats().since(&before));
+    r
+}
+
+fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Sync>(
+    pos: &P,
+    depth: u32,
+    threads: usize,
+    batch: usize,
+    cfg: &ErParallelConfig,
+    tt: T,
 ) -> ErThreadsResult {
     assert!(threads > 0);
     let batch = batch.max(1);
@@ -191,7 +225,7 @@ pub fn run_er_threads_with<P: GamePosition>(
                         // the actual parallelism.
                         for (id, task, pos) in jobs.drain(..) {
                             counters.jobs_executed += 1;
-                            let outcome = execute_task(&task, pos.as_ref(), order);
+                            let outcome = execute_task(&task, pos.as_ref(), order, tt);
                             ready.push((id, outcome));
                         }
                     }
@@ -208,6 +242,7 @@ pub fn run_er_threads_with<P: GamePosition>(
         cached_leaf_hits: g.worker.cached_leaf_hits,
         elapsed: start.elapsed(),
         per_thread,
+        tt: None,
     }
 }
 

@@ -18,5 +18,7 @@ pub mod mandatory;
 pub mod schedule;
 pub mod tree;
 
-pub use er::threads::{run_er_threads_with, ErThreadsResult, DEFAULT_BATCH};
-pub use er::{run_er_sim, run_er_threads, ErParallelConfig, ErRunResult, Speculation};
+pub use er::threads::{run_er_threads_tt, run_er_threads_with, ErThreadsResult, DEFAULT_BATCH};
+pub use er::{
+    run_er_sim, run_er_sim_tt, run_er_threads, ErParallelConfig, ErRunResult, Speculation,
+};

@@ -67,6 +67,11 @@ pub struct Node<P: GamePosition> {
     /// policy evaluated them for sorting. Spawned children inherit their
     /// entry as `static_eval` so no position is evaluated twice.
     pub move_evals: Option<Vec<Value>>,
+    /// Natural (pre-sort) index of each entry of `moves`, aligned
+    /// index-for-index: the stable move identity a transposition-table
+    /// hint refers to. Cached at move generation — hint splicing and sort
+    /// order are resolved once, never re-derived from a second sort.
+    pub move_nats: Option<Vec<u16>>,
     /// Memoized static evaluation of `pos`, if some earlier phase (a
     /// sorting probe in the parent's move generation) already computed it.
     pub static_eval: Option<Value>,
@@ -117,6 +122,7 @@ impl<P: GamePosition> Node<P> {
             done: false,
             moves: None,
             move_evals: None,
+            move_nats: None,
             static_eval: None,
             next_child: 0,
             children: Vec::new(),

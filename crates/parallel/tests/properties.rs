@@ -95,7 +95,7 @@ fn drive_labels<P: GamePosition>(
                     Task::Serial { refute: true, .. } => "serial-refute",
                 });
                 let pos = job.task.needs_pos().then(|| w.node_pos(job.id).clone());
-                let outcome = execute_task(&job.task, pos.as_ref(), cfg.order);
+                let outcome = execute_task(&job.task, pos.as_ref(), cfg.order, ());
                 if w.apply(job.id, outcome) {
                     break;
                 }

@@ -4,8 +4,9 @@
 //! in the paper's experiments (with child sorting per §7).
 
 use gametree::{GamePosition, SearchStats, Value, Window};
+use tt::{Bound, TranspositionTable, TtAccess, Zobrist};
 
-use crate::ordering::{ordered_children, OrderPolicy};
+use crate::ordering::{ordered_children_indexed, splice_hint, OrderPolicy};
 use crate::SearchResult;
 
 /// Full-window alpha-beta evaluation of `pos` to `depth` plies.
@@ -23,36 +24,117 @@ pub fn alphabeta_window<P: GamePosition>(
     policy: OrderPolicy,
 ) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = ab_rec(pos, depth, window, 0, policy, &mut stats);
+    let value = ab_rec(pos, depth, window, 0, policy, (), &mut stats);
     SearchResult { value, stats }
 }
 
-fn ab_rec<P: GamePosition>(
+/// [`alphabeta`] sharing `table`: probe before expanding (an equal-depth
+/// entry can answer the node outright), seed child ordering with the stored
+/// best move, store on every return.
+pub fn alphabeta_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    policy: OrderPolicy,
+    table: &TranspositionTable,
+) -> SearchResult {
+    alphabeta_window_tt(pos, depth, Window::FULL, policy, table)
+}
+
+/// [`alphabeta_window`] sharing `table`.
+pub fn alphabeta_window_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    window: Window,
+    policy: OrderPolicy,
+    table: &TranspositionTable,
+) -> SearchResult {
+    alphabeta_window_with(pos, depth, window, policy, table)
+}
+
+/// [`alphabeta_window`] generic over the table handle: `()` for none,
+/// `&TranspositionTable` for a shared table. This is the form parallel
+/// engines call so one code path serves both configurations.
+pub fn alphabeta_window_with<P: GamePosition, T: TtAccess<P>>(
+    pos: &P,
+    depth: u32,
+    window: Window,
+    policy: OrderPolicy,
+    tt: T,
+) -> SearchResult {
+    let mut stats = SearchStats::new();
+    let value = ab_rec(pos, depth, window, 0, policy, tt, &mut stats);
+    SearchResult { value, stats }
+}
+
+/// Classifies a fail-soft result against the *original* window: at or above
+/// beta it is a lower bound, at or below alpha an upper bound (fail-soft
+/// child values bound the true value from the failing side), strictly
+/// inside it is exact.
+pub fn fail_soft_bound(value: Value, window: Window) -> Bound {
+    if value >= window.beta {
+        Bound::Lower
+    } else if value <= window.alpha {
+        Bound::Upper
+    } else {
+        Bound::Exact
+    }
+}
+
+fn ab_rec<P: GamePosition, T: TtAccess<P>>(
     pos: &P,
     depth: u32,
     window: Window,
     ply: u32,
     policy: OrderPolicy,
+    tt: T,
     stats: &mut SearchStats,
 ) -> Value {
     if depth == 0 || pos.degree() == 0 {
         stats.leaf_nodes += 1;
         stats.eval_calls += 1;
-        return pos.evaluate();
+        let v = pos.evaluate();
+        tt.store(pos, depth, v, Bound::Exact, None);
+        return v;
     }
+    let hint = match tt.probe(pos) {
+        Some(p) => {
+            if let Some(v) = p.cutoff(depth, window) {
+                return v;
+            }
+            p.hint
+        }
+        None => None,
+    };
     stats.interior_nodes += 1;
-    let kids = ordered_children(pos, ply, policy, stats);
+    let mut kids = ordered_children_indexed(pos, ply, policy, stats);
+    if splice_hint(&mut kids, hint) {
+        tt.note_hint_used();
+    }
     let mut m = Value::NEG_INF;
+    let mut best = None;
     let mut w = window;
     for child in &kids {
-        let t = -ab_rec(child, depth - 1, w.negate(), ply + 1, policy, stats);
-        m = m.max(t);
+        let t = -ab_rec(
+            &child.pos,
+            depth - 1,
+            w.negate(),
+            ply + 1,
+            policy,
+            tt,
+            stats,
+        );
+        if t > m {
+            m = t;
+            best = Some(child.nat);
+        }
         w = w.raise_alpha(m);
         if m >= window.beta {
             stats.cutoffs += 1;
+            tt.store(pos, depth, m, Bound::Lower, best);
             return m;
         }
     }
+    tt.store(pos, depth, m, fail_soft_bound(m, window), best);
     m
 }
 

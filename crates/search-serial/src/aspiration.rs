@@ -6,8 +6,9 @@
 //! parallel aspiration algorithm (paper §4.1).
 
 use gametree::{GamePosition, Value, Window};
+use tt::{TranspositionTable, Zobrist};
 
-use crate::alphabeta::alphabeta_window;
+use crate::alphabeta::{alphabeta_window, alphabeta_window_tt};
 use crate::ordering::OrderPolicy;
 use crate::SearchResult;
 
@@ -55,6 +56,54 @@ pub fn aspiration<P: GamePosition>(
     } else if first.value <= w.alpha {
         // Fail low: the true value is <= first.value.
         let re = alphabeta_window(pos, depth, Window::new(Value::NEG_INF, first.value), policy);
+        stats.merge(&re.stats);
+        (re.value, Probe::FailLow)
+    } else {
+        (first.value, Probe::Exact)
+    };
+    AspirationResult {
+        result: SearchResult { value, stats },
+        probe,
+    }
+}
+
+/// [`aspiration`] sharing `table`. The table earns its keep on the
+/// re-search: everything the failed probe proved is stored, so the
+/// half-open re-search replays the probed subtrees from memory instead of
+/// searching them again.
+pub fn aspiration_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    guess: Value,
+    delta: i32,
+    policy: OrderPolicy,
+    table: &TranspositionTable,
+) -> AspirationResult {
+    assert!(delta > 0, "aspiration window must be non-empty");
+    let w = Window::new(
+        Value::new(guess.get().saturating_sub(delta)),
+        Value::new(guess.get().saturating_add(delta)),
+    );
+    let first = alphabeta_window_tt(pos, depth, w, policy, table);
+    let mut stats = first.stats;
+    let (value, probe) = if first.value >= w.beta {
+        let re = alphabeta_window_tt(
+            pos,
+            depth,
+            Window::new(first.value, Value::INF),
+            policy,
+            table,
+        );
+        stats.merge(&re.stats);
+        (re.value, Probe::FailHigh)
+    } else if first.value <= w.alpha {
+        let re = alphabeta_window_tt(
+            pos,
+            depth,
+            Window::new(Value::NEG_INF, first.value),
+            policy,
+            table,
+        );
         stats.merge(&re.stats);
         (re.value, Probe::FailLow)
     } else {

@@ -22,6 +22,7 @@
 //! property tests).
 
 use gametree::{GamePosition, SearchStats, Value};
+use tt::{Bound, TranspositionTable, TtAccess, Zobrist};
 
 use crate::ordering::OrderPolicy;
 use crate::SearchResult;
@@ -56,8 +57,15 @@ struct ErNode<P: GamePosition> {
     depth: u32,
     /// Distance from the root (for the ordering policy).
     ply: u32,
+    /// Index of this node in its parent's *natural* move order — the
+    /// stable identity a transposition-table move hint refers to,
+    /// independent of static sorting and tentative-value reordering.
+    nat: u16,
     value: Value,
     done: bool,
+    /// Natural index of the child that produced `value`, if a child did:
+    /// the best-move hint stored with this node's table entry.
+    best: Option<u16>,
     kids: Vec<ErNode<P>>,
     expanded: bool,
     /// Memoized static evaluation of `pos`, installed when the parent's
@@ -72,8 +80,10 @@ impl<P: GamePosition> ErNode<P> {
             pos,
             depth,
             ply,
+            nat: 0,
             value: Value::NEG_INF,
             done: false,
+            best: None,
             kids: Vec::new(),
             expanded: false,
             static_eval: None,
@@ -93,9 +103,12 @@ impl<P: GamePosition> ErNode<P> {
     }
 
     /// Generates this node's children once, optionally sorted by static
-    /// value (ascending: likely-best first). Returns the number of children
-    /// (0 for terminals and depth-limit leaves).
-    fn expand(&mut self, sort: bool, stats: &mut SearchStats) -> usize {
+    /// value (ascending: likely-best first), then splices the child whose
+    /// natural index matches `hint` (a stored best move) to the front.
+    /// Returns the number of children (0 for terminals and depth-limit
+    /// leaves) and whether the hint matched.
+    fn expand(&mut self, sort: bool, hint: Option<u16>, stats: &mut SearchStats) -> (usize, bool) {
+        let mut hint_used = false;
         if !self.expanded {
             self.expanded = true;
             if self.depth > 0 {
@@ -103,7 +116,12 @@ impl<P: GamePosition> ErNode<P> {
                     .pos
                     .children()
                     .into_iter()
-                    .map(|c| ErNode::new(c, self.depth - 1, self.ply + 1))
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let mut k = ErNode::new(c, self.depth - 1, self.ply + 1);
+                        k.nat = i as u16;
+                        k
+                    })
                     .collect();
                 if !kids.is_empty() {
                     stats.interior_nodes += 1;
@@ -116,19 +134,38 @@ impl<P: GamePosition> ErNode<P> {
                             k.static_eval = Some(k.pos.evaluate());
                         }
                         stats.sorts += 1;
-                        let mut keyed: Vec<(Value, usize, ErNode<P>)> = kids
-                            .into_iter()
-                            .enumerate()
-                            .map(|(i, k)| (k.static_eval.unwrap(), i, k))
-                            .collect();
-                        keyed.sort_unstable_by_key(|&(v, i, _)| (v, i));
-                        kids = keyed.into_iter().map(|(_, _, k)| k).collect();
+                        kids.sort_unstable_by_key(|k| (k.static_eval.unwrap(), k.nat));
+                    }
+                    // The hinted child goes first (it refuted this node
+                    // before); a rotate keeps the rest in sorted order.
+                    if let Some(h) = hint {
+                        if let Some(i) = kids.iter().position(|k| k.nat == h) {
+                            kids[..=i].rotate_right(1);
+                            hint_used = true;
+                        }
                     }
                 }
                 self.kids = kids;
             }
         }
-        self.kids.len()
+        (self.kids.len(), hint_used)
+    }
+
+    /// Records a finished (or cut-off) search of this node in the table.
+    /// `floor` is the value the node started from (its alpha, possibly
+    /// raised by a persisting tentative value): a final value above it was
+    /// raised by a genuine child search inside the window and is exact; a
+    /// final value still at the floor only says the true value is no
+    /// larger (fail-hard upper bound).
+    fn store<T: TtAccess<P>>(&self, tt: T, floor: Value, beta: Value) {
+        let bound = if self.value >= beta {
+            Bound::Lower
+        } else if self.value > floor {
+            Bound::Exact
+        } else {
+            Bound::Upper
+        };
+        tt.store(&self.pos, self.depth, self.value, bound, self.best);
     }
 }
 
@@ -151,41 +188,97 @@ pub fn er_search_window<P: GamePosition>(
     cfg: ErConfig,
     start_ply: u32,
 ) -> SearchResult {
+    er_search_window_with(pos, depth, window, cfg, start_ply, ())
+}
+
+/// [`er_search`] sharing `table`.
+pub fn er_search_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    cfg: ErConfig,
+    table: &TranspositionTable,
+) -> SearchResult {
+    er_search_window_with(pos, depth, gametree::Window::FULL, cfg, 0, table)
+}
+
+/// [`er_search_window`] sharing `table` (the parallel engine's serial
+/// subtrees all store into — and probe — the one table).
+pub fn er_search_window_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    window: gametree::Window,
+    cfg: ErConfig,
+    start_ply: u32,
+    table: &TranspositionTable,
+) -> SearchResult {
+    er_search_window_with(pos, depth, window, cfg, start_ply, table)
+}
+
+/// [`er_search_window`] generic over the table handle (`()` or
+/// `&TranspositionTable`): the form the parallel engine instantiates so
+/// TT-off runs compile to exactly the pre-TT code.
+pub fn er_search_window_with<P: GamePosition, T: TtAccess<P>>(
+    pos: &P,
+    depth: u32,
+    window: gametree::Window,
+    cfg: ErConfig,
+    start_ply: u32,
+    tt: T,
+) -> SearchResult {
     let mut stats = SearchStats::new();
     let mut root = ErNode::new(pos.clone(), depth, start_ply);
-    let value = er(&mut root, window.alpha, window.beta, cfg, &mut stats);
+    let value = er(&mut root, window.alpha, window.beta, cfg, tt, &mut stats);
     SearchResult { value, stats }
 }
 
 /// `ER(P, α, β)`: full evaluation of an e-node.
-fn er<P: GamePosition>(
+fn er<P: GamePosition, T: TtAccess<P>>(
     n: &mut ErNode<P>,
     alpha: Value,
     beta: Value,
     cfg: ErConfig,
+    tt: T,
     stats: &mut SearchStats,
 ) -> Value {
     n.value = alpha;
-    // Children of e-nodes are not statically sorted.
-    let d = n.expand(false, stats);
+    let hint = match tt.probe(&n.pos) {
+        Some(p) => {
+            if let Some(v) = p.cutoff(n.depth, gametree::Window::new(alpha, beta)) {
+                n.value = v;
+                n.done = true;
+                return v;
+            }
+            p.hint
+        }
+        None => None,
+    };
+    // Children of e-nodes are not statically sorted; a stored best move
+    // still goes first (it decides which child becomes the e-child).
+    let (d, hint_used) = n.expand(false, hint, stats);
+    if hint_used {
+        tt.note_hint_used();
+    }
     if d == 0 {
         stats.leaf_nodes += 1;
         n.value = n.leaf_value(stats);
         n.done = true;
+        tt.store(&n.pos, n.depth, n.value, Bound::Exact, None);
         return n.value;
     }
 
     // Phase 1: Eval_first every child — evaluate the elder grandchildren.
     for i in 0..d {
         let bound = n.value;
-        let t = -eval_first(&mut n.kids[i], -beta, -bound, cfg, stats);
+        let t = -eval_first(&mut n.kids[i], -beta, -bound, cfg, tt, stats);
         if n.kids[i].done {
             if t > n.value {
                 n.value = t;
+                n.best = Some(n.kids[i].nat);
             }
             if n.value >= beta {
                 stats.cutoffs += 1;
                 n.done = true;
+                n.store(tt, alpha, beta);
                 return n.value;
             }
         }
@@ -200,50 +293,75 @@ fn er<P: GamePosition>(
     for i in 0..d {
         if !n.kids[i].done {
             let bound = n.value;
-            let t = -refute_rest(&mut n.kids[i], -beta, -bound, cfg, stats);
+            let t = -refute_rest(&mut n.kids[i], -beta, -bound, cfg, tt, stats);
             if t > n.value {
                 n.value = t;
+                n.best = Some(n.kids[i].nat);
             }
             if n.value >= beta {
                 stats.cutoffs += 1;
                 n.done = true;
+                n.store(tt, alpha, beta);
                 return n.value;
             }
         }
     }
     n.done = true;
+    n.store(tt, alpha, beta);
     n.value
 }
 
 /// `Eval_first(P, α, β)`: evaluate P's first child (an e-node, recursively
 /// by ER), installing a tentative value for P. P is `done` if the bound
 /// already causes a cutoff or P has a single child.
-fn eval_first<P: GamePosition>(
+fn eval_first<P: GamePosition, T: TtAccess<P>>(
     n: &mut ErNode<P>,
     alpha: Value,
     beta: Value,
     cfg: ErConfig,
+    tt: T,
     stats: &mut SearchStats,
 ) -> Value {
     n.value = alpha;
+    let hint = match tt.probe(&n.pos) {
+        Some(p) => {
+            if let Some(v) = p.cutoff(n.depth, gametree::Window::new(alpha, beta)) {
+                n.value = v;
+                n.done = true;
+                return v;
+            }
+            p.hint
+        }
+        None => None,
+    };
     // Non-e-node children are statically sorted per the ordering policy:
     // this is what selects the elder grandchild.
     let sort = cfg.order.sorts_at(n.ply);
-    let d = n.expand(sort, stats);
+    let (d, hint_used) = n.expand(sort, hint, stats);
+    if hint_used {
+        tt.note_hint_used();
+    }
     if d == 0 {
         stats.leaf_nodes += 1;
         n.value = n.leaf_value(stats);
         n.done = true;
+        tt.store(&n.pos, n.depth, n.value, Bound::Exact, None);
         return n.value;
     }
     let bound = n.value;
-    let t = -er(&mut n.kids[0], -beta, -bound, cfg, stats);
+    let t = -er(&mut n.kids[0], -beta, -bound, cfg, tt, stats);
     if t > n.value {
         n.value = t;
+        n.best = Some(n.kids[0].nat);
     }
     n.done = n.value >= beta || d == 1;
     if n.value >= beta {
         stats.cutoffs += 1;
+    }
+    // A tentative (not-done) value is no search result: only settled
+    // nodes — cutoff, single child, leaf — are stored.
+    if n.done {
+        n.store(tt, alpha, beta);
     }
     n.value
 }
@@ -251,35 +369,43 @@ fn eval_first<P: GamePosition>(
 /// `Refute_rest(P, α, β)`: examine P's remaining children (2..d), each via
 /// `Eval_first` + `Refute_rest`, until P is refuted (value ≥ β) or all
 /// children are exhausted (refutation failed; the value is then exact).
-fn refute_rest<P: GamePosition>(
+fn refute_rest<P: GamePosition, T: TtAccess<P>>(
     n: &mut ErNode<P>,
     alpha: Value,
     beta: Value,
     cfg: ErConfig,
+    tt: T,
     stats: &mut SearchStats,
 ) -> Value {
     // Erratum fix (see module docs): retain the tentative value.
     if alpha > n.value {
         n.value = alpha;
     }
+    // The floor below which nothing raised this node's value: the store
+    // classification is relative to it (at the floor, only an upper bound
+    // is known — the tentative first-child contribution is already in it).
+    let floor = n.value;
     let d = n.kids.len();
     for i in 1..d {
         let bound = n.value;
-        let mut t = -eval_first(&mut n.kids[i], -beta, -bound, cfg, stats);
+        let mut t = -eval_first(&mut n.kids[i], -beta, -bound, cfg, tt, stats);
         if !n.kids[i].done {
             let bound = n.value;
-            t = -refute_rest(&mut n.kids[i], -beta, -bound, cfg, stats);
+            t = -refute_rest(&mut n.kids[i], -beta, -bound, cfg, tt, stats);
         }
         if t > n.value {
             n.value = t;
+            n.best = Some(n.kids[i].nat);
         }
         if n.value >= beta {
             stats.cutoffs += 1;
             n.done = true;
+            n.store(tt, floor, beta);
             return n.value;
         }
     }
     n.done = true;
+    n.store(tt, floor, beta);
     n.value
 }
 
@@ -300,11 +426,36 @@ pub fn er_eval_refute<P: GamePosition>(
     cfg: ErConfig,
     start_ply: u32,
 ) -> SearchResult {
+    er_eval_refute_with(pos, depth, window, cfg, start_ply, ())
+}
+
+/// [`er_eval_refute`] sharing `table`.
+pub fn er_eval_refute_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    window: gametree::Window,
+    cfg: ErConfig,
+    start_ply: u32,
+    table: &TranspositionTable,
+) -> SearchResult {
+    er_eval_refute_with(pos, depth, window, cfg, start_ply, table)
+}
+
+/// [`er_eval_refute`] generic over the table handle (`()` or
+/// `&TranspositionTable`), for the parallel engine's serial-frontier jobs.
+pub fn er_eval_refute_with<P: GamePosition, T: TtAccess<P>>(
+    pos: &P,
+    depth: u32,
+    window: gametree::Window,
+    cfg: ErConfig,
+    start_ply: u32,
+    tt: T,
+) -> SearchResult {
     let mut stats = SearchStats::new();
     let mut n = ErNode::new(pos.clone(), depth, start_ply);
-    let mut t = eval_first(&mut n, window.alpha, window.beta, cfg, &mut stats);
+    let mut t = eval_first(&mut n, window.alpha, window.beta, cfg, tt, &mut stats);
     if !n.done {
-        t = refute_rest(&mut n, window.alpha, window.beta, cfg, &mut stats);
+        t = refute_rest(&mut n, window.alpha, window.beta, cfg, tt, &mut stats);
     }
     SearchResult { value: t, stats }
 }
@@ -325,6 +476,51 @@ pub fn er_refute_rest<P: GamePosition>(
     cfg: ErConfig,
     initial_value: Value,
 ) -> SearchResult {
+    er_refute_rest_with(
+        children,
+        child_depth,
+        child_ply,
+        window,
+        cfg,
+        initial_value,
+        (),
+    )
+}
+
+/// [`er_refute_rest`] sharing `table`.
+#[allow(clippy::too_many_arguments)]
+pub fn er_refute_rest_tt<P: GamePosition + Zobrist>(
+    children: &[P],
+    child_depth: u32,
+    child_ply: u32,
+    window: gametree::Window,
+    cfg: ErConfig,
+    initial_value: Value,
+    table: &TranspositionTable,
+) -> SearchResult {
+    er_refute_rest_with(
+        children,
+        child_depth,
+        child_ply,
+        window,
+        cfg,
+        initial_value,
+        table,
+    )
+}
+
+/// [`er_refute_rest`] generic over the table handle (`()` or
+/// `&TranspositionTable`), for the parallel engine's frontier e-children.
+#[allow(clippy::too_many_arguments)]
+pub fn er_refute_rest_with<P: GamePosition, T: TtAccess<P>>(
+    children: &[P],
+    child_depth: u32,
+    child_ply: u32,
+    window: gametree::Window,
+    cfg: ErConfig,
+    initial_value: Value,
+    tt: T,
+) -> SearchResult {
     let mut stats = SearchStats::new();
     let beta = window.beta;
     let mut value = window.alpha.max(initial_value);
@@ -333,9 +529,9 @@ pub fn er_refute_rest<P: GamePosition>(
             break;
         }
         let mut n = ErNode::new(child.clone(), child_depth, child_ply);
-        let mut t = -eval_first(&mut n, -beta, -value, cfg, &mut stats);
+        let mut t = -eval_first(&mut n, -beta, -value, cfg, tt, &mut stats);
         if !n.done {
-            t = -refute_rest(&mut n, -beta, -value, cfg, &mut stats);
+            t = -refute_rest(&mut n, -beta, -value, cfg, tt, &mut stats);
         }
         if t > value {
             value = t;

@@ -36,12 +36,19 @@ pub struct SearchResult {
     pub stats: SearchStats,
 }
 
-pub use alphabeta::{alphabeta, alphabeta_window};
-pub use aspiration::{aspiration, aspiration_static};
-pub use er::{er_eval_refute, er_refute_rest, er_search, er_search_window, ErConfig};
+pub use alphabeta::{
+    alphabeta, alphabeta_tt, alphabeta_window, alphabeta_window_tt, alphabeta_window_with,
+    fail_soft_bound,
+};
+pub use aspiration::{aspiration, aspiration_static, aspiration_tt};
+pub use er::{
+    er_eval_refute, er_eval_refute_tt, er_eval_refute_with, er_refute_rest, er_refute_rest_tt,
+    er_refute_rest_with, er_search, er_search_tt, er_search_window, er_search_window_tt,
+    er_search_window_with, ErConfig,
+};
 pub use iterative::{iterative_deepening, IterativeResult};
-pub use negmax::negmax;
+pub use negmax::{negmax, negmax_tt};
 pub use nodeep::alphabeta_nodeep;
-pub use ordering::OrderPolicy;
+pub use ordering::{splice_hint, OrderPolicy, OrderedChild};
 pub use pv::{alphabeta_pv, PvResult};
-pub use pvs::{pvs, pvs_window};
+pub use pvs::{pvs, pvs_tt, pvs_window, pvs_window_tt};

@@ -3,29 +3,61 @@
 //! every other algorithm.
 
 use gametree::{GamePosition, SearchStats, Value};
+use tt::{Bound, TranspositionTable, TtAccess, Zobrist};
 
 use crate::SearchResult;
 
 /// Evaluates `pos` to `depth` plies by exhaustive negamax.
 pub fn negmax<P: GamePosition>(pos: &P, depth: u32) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = negmax_rec(pos, depth, &mut stats);
+    let value = negmax_rec(pos, depth, (), &mut stats);
     SearchResult { value, stats }
 }
 
-fn negmax_rec<P: GamePosition>(pos: &P, depth: u32, stats: &mut SearchStats) -> Value {
+/// [`negmax`] sharing `table`: every node value is exact, so each position
+/// is stored `Exact` at its remaining depth and an equal-depth hit replays
+/// the whole subtree from memory.
+pub fn negmax_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    table: &TranspositionTable,
+) -> SearchResult {
+    let mut stats = SearchStats::new();
+    let value = negmax_rec(pos, depth, table, &mut stats);
+    SearchResult { value, stats }
+}
+
+fn negmax_rec<P: GamePosition, T: TtAccess<P>>(
+    pos: &P,
+    depth: u32,
+    tt: T,
+    stats: &mut SearchStats,
+) -> Value {
+    // Negamax has no window, so only an equal-depth Exact entry helps.
+    if let Some(p) = tt.probe(pos) {
+        if p.depth == depth && p.bound == Bound::Exact {
+            return p.value;
+        }
+    }
     let moves = pos.moves();
     if depth == 0 || moves.is_empty() {
         stats.leaf_nodes += 1;
         stats.eval_calls += 1;
-        return pos.evaluate();
+        let v = pos.evaluate();
+        tt.store(pos, depth, v, Bound::Exact, None);
+        return v;
     }
     stats.interior_nodes += 1;
     let mut m = Value::NEG_INF;
-    for mv in &moves {
-        let t = -negmax_rec(&pos.play(mv), depth - 1, stats);
-        m = m.max(t);
+    let mut best = None;
+    for (i, mv) in moves.iter().enumerate() {
+        let t = -negmax_rec(&pos.play(mv), depth - 1, tt, stats);
+        if t > m {
+            m = t;
+            best = Some(i as u16);
+        }
     }
+    tt.store(pos, depth, m, Bound::Exact, best);
     m
 }
 

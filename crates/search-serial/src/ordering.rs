@@ -62,26 +62,71 @@ pub fn ordered_children_with_evals<P: GamePosition>(
     policy: OrderPolicy,
     stats: &mut SearchStats,
 ) -> (Vec<P>, Option<Vec<Value>>) {
-    let kids = pos.children();
+    let kids = ordered_children_indexed(pos, ply, policy, stats);
+    let sorted = kids.iter().all(|k| k.static_eval.is_some()) && kids.len() > 1;
+    let evals = sorted.then(|| kids.iter().map(|k| k.static_eval.unwrap()).collect());
+    (kids.into_iter().map(|k| k.pos).collect(), evals)
+}
+
+/// A child position in search order, remembering where it sat in the
+/// position's *natural* move order. The natural index is the stable
+/// identity a transposition-table move hint refers to: it does not depend
+/// on whether (or how) this visit sorted.
+#[derive(Clone, Debug)]
+pub struct OrderedChild<P> {
+    /// Index of this child in `pos.children()` order.
+    pub nat: u16,
+    /// The child position.
+    pub pos: P,
+    /// Static value computed for sorting, if the policy sorted here.
+    pub static_eval: Option<Value>,
+}
+
+/// The single ordering pass every search shares: generates `pos`'s
+/// children, sorts them (per `policy`) by static value exactly once, and
+/// tags each child with its natural move index so a stored best-move hint
+/// can later be spliced to the front ([`splice_hint`]) without re-sorting.
+pub fn ordered_children_indexed<P: GamePosition>(
+    pos: &P,
+    ply: u32,
+    policy: OrderPolicy,
+    stats: &mut SearchStats,
+) -> Vec<OrderedChild<P>> {
+    let mut kids: Vec<OrderedChild<P>> = pos
+        .children()
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| OrderedChild {
+            nat: i as u16,
+            pos: c,
+            static_eval: None,
+        })
+        .collect();
     if policy.sorts_at(ply) && kids.len() > 1 {
         // Evaluate each child exactly once, then sort on the cached keys;
-        // the (value, original index) compound key makes the unstable sort
+        // the (value, natural index) compound key makes the unstable sort
         // FIFO-stable for equal values.
-        let mut keyed: Vec<(Value, usize, P)> = kids
-            .into_iter()
-            .enumerate()
-            .map(|(i, c)| {
-                stats.eval_calls += 1;
-                (c.evaluate(), i, c)
-            })
-            .collect();
+        for k in &mut kids {
+            stats.eval_calls += 1;
+            k.static_eval = Some(k.pos.evaluate());
+        }
         stats.sorts += 1;
-        keyed.sort_unstable_by_key(|&(v, i, _)| (v, i));
-        let evals = keyed.iter().map(|&(v, _, _)| v).collect();
-        let sorted = keyed.into_iter().map(|(_, _, c)| c).collect();
-        (sorted, Some(evals))
-    } else {
-        (kids, None)
+        kids.sort_unstable_by_key(|k| (k.static_eval.unwrap(), k.nat));
+    }
+    kids
+}
+
+/// Moves the child with natural index `hint` (if any) to the front,
+/// shifting the children before it back one slot — a rotate, never a
+/// second sort. Returns true iff the hint matched a child.
+pub fn splice_hint<P>(kids: &mut [OrderedChild<P>], hint: Option<u16>) -> bool {
+    let Some(h) = hint else { return false };
+    match kids.iter().position(|k| k.nat == h) {
+        Some(i) => {
+            kids[..=i].rotate_right(1);
+            true
+        }
+        None => false,
     }
 }
 
@@ -145,6 +190,32 @@ mod tests {
         // Without sorting there is nothing to cache.
         let (_, none) = ordered_children_with_evals(&root, 0, OrderPolicy::NATURAL, &mut stats);
         assert!(none.is_none());
+    }
+
+    #[test]
+    fn indexed_children_remember_natural_positions() {
+        let root = ArenaTree::root_of(&node(vec![leaf(5), leaf(-3), leaf(9)]));
+        let mut stats = SearchStats::new();
+        let kids = ordered_children_indexed(&root, 0, OrderPolicy::ALWAYS, &mut stats);
+        // Sorted order -3, 5, 9 came from natural slots 1, 0, 2.
+        let nats: Vec<u16> = kids.iter().map(|k| k.nat).collect();
+        assert_eq!(nats, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn splice_hint_rotates_without_disturbing_relative_order() {
+        let root = ArenaTree::root_of(&node(vec![leaf(5), leaf(-3), leaf(9)]));
+        let mut stats = SearchStats::new();
+        let mut kids = ordered_children_indexed(&root, 0, OrderPolicy::ALWAYS, &mut stats);
+        assert!(splice_hint(&mut kids, Some(2)));
+        let nats: Vec<u16> = kids.iter().map(|k| k.nat).collect();
+        // Hinted child 2 moves to the front; the others keep sorted order.
+        assert_eq!(nats, vec![2, 1, 0]);
+        // A hint that matches no child (or no hint at all) is a no-op.
+        assert!(!splice_hint(&mut kids, Some(7)));
+        assert!(!splice_hint(&mut kids, None));
+        let nats: Vec<u16> = kids.iter().map(|k| k.nat).collect();
+        assert_eq!(nats, vec![2, 1, 0]);
     }
 
     #[test]

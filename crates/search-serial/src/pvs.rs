@@ -9,14 +9,16 @@
 //! immediately, making PVS the strongest serial searcher in the workspace.
 
 use gametree::{GamePosition, SearchStats, Value, Window};
+use tt::{Bound, TranspositionTable, TtAccess, Zobrist};
 
-use crate::ordering::{ordered_children, OrderPolicy};
+use crate::alphabeta::fail_soft_bound;
+use crate::ordering::{ordered_children_indexed, splice_hint, OrderPolicy};
 use crate::SearchResult;
 
 /// Evaluates `pos` to `depth` plies with principal-variation search.
 pub fn pvs<P: GamePosition>(pos: &P, depth: u32, policy: OrderPolicy) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = rec(pos, depth, Window::FULL, 0, policy, &mut stats);
+    let value = rec(pos, depth, Window::FULL, 0, policy, (), &mut stats);
     SearchResult { value, stats }
 }
 
@@ -28,51 +30,123 @@ pub fn pvs_window<P: GamePosition>(
     policy: OrderPolicy,
 ) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = rec(pos, depth, window, 0, policy, &mut stats);
+    let value = rec(pos, depth, window, 0, policy, (), &mut stats);
     SearchResult { value, stats }
 }
 
-fn rec<P: GamePosition>(
+/// [`pvs`] sharing `table`. The stored best move steers the full-window
+/// first-child search onto the principal variation, which is what PVS's
+/// null-window probes bet on.
+pub fn pvs_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    policy: OrderPolicy,
+    table: &TranspositionTable,
+) -> SearchResult {
+    let mut stats = SearchStats::new();
+    let value = rec(pos, depth, Window::FULL, 0, policy, table, &mut stats);
+    SearchResult { value, stats }
+}
+
+/// [`pvs_window`] sharing `table`.
+pub fn pvs_window_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    window: Window,
+    policy: OrderPolicy,
+    table: &TranspositionTable,
+) -> SearchResult {
+    let mut stats = SearchStats::new();
+    let value = rec(pos, depth, window, 0, policy, table, &mut stats);
+    SearchResult { value, stats }
+}
+
+fn rec<P: GamePosition, T: TtAccess<P>>(
     pos: &P,
     depth: u32,
     window: Window,
     ply: u32,
     policy: OrderPolicy,
+    tt: T,
     stats: &mut SearchStats,
 ) -> Value {
     if depth == 0 || pos.degree() == 0 {
         stats.leaf_nodes += 1;
         stats.eval_calls += 1;
-        return pos.evaluate();
+        let v = pos.evaluate();
+        tt.store(pos, depth, v, Bound::Exact, None);
+        return v;
     }
+    let hint = match tt.probe(pos) {
+        Some(p) => {
+            if let Some(v) = p.cutoff(depth, window) {
+                return v;
+            }
+            p.hint
+        }
+        None => None,
+    };
     stats.interior_nodes += 1;
-    let kids = ordered_children(pos, ply, policy, stats);
+    let mut kids = ordered_children_indexed(pos, ply, policy, stats);
+    if splice_hint(&mut kids, hint) {
+        tt.note_hint_used();
+    }
     let mut m = Value::NEG_INF;
+    let mut best = None;
     let mut w = window;
     for (i, child) in kids.iter().enumerate() {
         let t = if i == 0 || !w.alpha.is_finite() {
             // First child (or no bound yet): full remaining window.
-            -rec(child, depth - 1, w.negate(), ply + 1, policy, stats)
+            -rec(
+                &child.pos,
+                depth - 1,
+                w.negate(),
+                ply + 1,
+                policy,
+                tt,
+                stats,
+            )
         } else {
             // Null-window probe around the current best.
             let null = Window::new(w.alpha, Value::new(w.alpha.get() + 1));
-            let probe = -rec(child, depth - 1, null.negate(), ply + 1, policy, stats);
+            let probe = -rec(
+                &child.pos,
+                depth - 1,
+                null.negate(),
+                ply + 1,
+                policy,
+                tt,
+                stats,
+            );
             if probe > w.alpha && probe < window.beta {
                 // Fail-high inside the real window: re-search for the
                 // exact value.
                 let re = Window::new(probe, window.beta).raise_alpha(w.alpha);
-                -rec(child, depth - 1, re.negate(), ply + 1, policy, stats)
+                -rec(
+                    &child.pos,
+                    depth - 1,
+                    re.negate(),
+                    ply + 1,
+                    policy,
+                    tt,
+                    stats,
+                )
             } else {
                 probe
             }
         };
-        m = m.max(t);
+        if t > m {
+            m = t;
+            best = Some(child.nat);
+        }
         w = w.raise_alpha(m);
         if m >= window.beta {
             stats.cutoffs += 1;
+            tt.store(pos, depth, m, Bound::Lower, best);
             return m;
         }
     }
+    tt.store(pos, depth, m, fail_soft_bound(m, window), best);
     m
 }
 

@@ -1,0 +1,564 @@
+//! The lock-free table: sharded fixed-size bucket arrays with
+//! XOR-validated atomic entries, generation aging, and counters.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering::Relaxed};
+
+use gametree::{Value, Window};
+
+/// Result classification of a stored search (the usual alpha-beta bound
+/// semantics): the searched value was exact, a lower bound (the search
+/// failed high: value ≥ β), or an upper bound (failed low: value ≤ α).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// The stored value is the exact negamax value at the stored depth.
+    Exact,
+    /// The true value is ≥ the stored value (a β-cutoff occurred).
+    Lower,
+    /// The true value is ≤ the stored value (no child raised α).
+    Upper,
+}
+
+/// Default table size exponent: 2^20 entries (16 MiB).
+pub const DEFAULT_BITS: u32 = 20;
+
+/// Hint sentinel: "no best move recorded".
+const NO_HINT: u64 = 0;
+
+// Packed `data` word layout (all fields validated together by the XOR
+// trick, so a torn write can never yield a plausible mix of two entries):
+//   bits  0..32  value (i32 as u32)
+//   bits 32..48  best-move hint + 1 (0 = none); the hint is the child's
+//                index in natural move order
+//   bits 48..56  remaining search depth (clamped to 255)
+//   bits 56..62  generation the entry was written in (mod 64)
+//   bits 62..64  bound tag (0 = empty slot, 1 = Exact, 2 = Lower, 3 = Upper)
+fn pack(value: Value, hint: Option<u16>, depth: u32, generation: u8, bound: Bound) -> u64 {
+    let tag: u64 = match bound {
+        Bound::Exact => 1,
+        Bound::Lower => 2,
+        Bound::Upper => 3,
+    };
+    let hint = hint.map_or(NO_HINT, |h| u64::from(h) + 1);
+    (value.get() as u32 as u64)
+        | (hint << 32)
+        | (u64::from(depth.min(255)) << 48)
+        | (u64::from(generation & 63) << 56)
+        | (tag << 62)
+}
+
+fn unpack_value(data: u64) -> Value {
+    Value::new(data as u32 as i32)
+}
+
+fn unpack_hint(data: u64) -> Option<u16> {
+    let h = (data >> 32) & 0xffff;
+    (h != NO_HINT).then(|| (h - 1) as u16)
+}
+
+fn unpack_depth(data: u64) -> u32 {
+    ((data >> 48) & 0xff) as u32
+}
+
+fn unpack_generation(data: u64) -> u8 {
+    ((data >> 56) & 63) as u8
+}
+
+fn unpack_bound(data: u64) -> Option<Bound> {
+    match data >> 62 {
+        1 => Some(Bound::Exact),
+        2 => Some(Bound::Lower),
+        3 => Some(Bound::Upper),
+        _ => None, // 0: empty slot
+    }
+}
+
+/// A validated table entry, decoded for the prober.
+#[derive(Clone, Copy, Debug)]
+pub struct Probe {
+    /// The stored search value.
+    pub value: Value,
+    /// Remaining depth the value was searched to.
+    pub depth: u32,
+    /// How the stored value bounds the true value.
+    pub bound: Bound,
+    /// The best child in *natural move order*, if one was recorded. Usable
+    /// for move ordering at any depth, unlike the value.
+    pub hint: Option<u16>,
+}
+
+impl Probe {
+    /// The value to return without searching, if this entry settles a node
+    /// searched to `depth` under `window` — standard bound semantics, but
+    /// only at *equal* depth (see the crate docs: equal-depth matching is
+    /// what keeps TT-on root values bit-identical to TT-off).
+    pub fn cutoff(&self, depth: u32, window: Window) -> Option<Value> {
+        if self.depth != depth {
+            return None;
+        }
+        match self.bound {
+            Bound::Exact => Some(self.value),
+            Bound::Lower if self.value >= window.beta => Some(self.value),
+            Bound::Upper if self.value <= window.alpha => Some(self.value),
+            _ => None,
+        }
+    }
+}
+
+/// One slot: `key` holds `hash ^ data`, `data` the packed record. A reader
+/// recomputes `key ^ data` and compares against its own hash; any torn
+/// combination of an old key with a new data word (or vice versa) fails
+/// the comparison, so no locking is needed (Hyatt's lockless hashing).
+#[derive(Default)]
+struct Slot {
+    key: AtomicU64,
+    data: AtomicU64,
+}
+
+const WAYS: usize = 4;
+
+/// A 4-way set-associative bucket (one cache line of slots per probe).
+#[derive(Default)]
+struct Bucket {
+    slots: [Slot; WAYS],
+}
+
+/// Monotonic per-table event counters, updated with relaxed atomics — they
+/// instrument, never synchronize.
+#[derive(Default, Debug)]
+pub struct TtCounters {
+    /// Probe calls.
+    pub probes: AtomicU64,
+    /// Probes that validated an entry for the requested key.
+    pub hits: AtomicU64,
+    /// Hits whose entry carried an [`Bound::Exact`] value.
+    pub exact_hits: AtomicU64,
+    /// Stored move hints actually spliced to the front of a child list.
+    pub hint_hits: AtomicU64,
+    /// Store calls.
+    pub stores: AtomicU64,
+    /// Stores that overwrote a live entry (same or different key).
+    pub replacements: AtomicU64,
+    /// Stores that evicted a live *current-generation* entry of a
+    /// different key — bucket-competition collisions, the signal that the
+    /// table is too small for the search.
+    pub collisions: AtomicU64,
+}
+
+/// A plain snapshot of [`TtCounters`], for results and JSON.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TtStats {
+    /// Probe calls.
+    pub probes: u64,
+    /// Probes that validated an entry.
+    pub hits: u64,
+    /// Hits with an exact value.
+    pub exact_hits: u64,
+    /// Move hints spliced into child orderings.
+    pub hint_hits: u64,
+    /// Store calls.
+    pub stores: u64,
+    /// Stores overwriting a live entry.
+    pub replacements: u64,
+    /// Live current-generation entries evicted by a different key.
+    pub collisions: u64,
+}
+
+impl TtStats {
+    /// Hits per probe, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.probes as f64
+        }
+    }
+
+    /// Counter deltas since an `earlier` snapshot of the same table
+    /// (field-wise saturating subtraction).
+    pub fn since(&self, earlier: &TtStats) -> TtStats {
+        TtStats {
+            probes: self.probes.saturating_sub(earlier.probes),
+            hits: self.hits.saturating_sub(earlier.hits),
+            exact_hits: self.exact_hits.saturating_sub(earlier.exact_hits),
+            hint_hits: self.hint_hits.saturating_sub(earlier.hint_hits),
+            stores: self.stores.saturating_sub(earlier.stores),
+            replacements: self.replacements.saturating_sub(earlier.replacements),
+            collisions: self.collisions.saturating_sub(earlier.collisions),
+        }
+    }
+}
+
+/// A sharded, lock-free concurrent transposition table.
+///
+/// The entry array is split into up to 64 shards, each its own boxed
+/// bucket slice: shard selection uses the *high* hash bits and bucket
+/// selection the *low* bits, so consecutive probes of unrelated positions
+/// land in independent allocations. Entries themselves are wait-free
+/// atomics (see [`Slot`]); the shards stripe memory, not locks — there is
+/// nothing to lock.
+pub struct TranspositionTable {
+    shards: Vec<Box<[Bucket]>>,
+    /// `log2(shards.len())`.
+    shard_bits: u32,
+    /// `buckets per shard - 1` (buckets per shard is a power of two).
+    bucket_mask: u64,
+    /// Current search generation (mod 64); see [`Self::new_search`].
+    generation: AtomicU8,
+    counters: TtCounters,
+}
+
+impl TranspositionTable {
+    /// A table with `2^bits` entries (`bits` is clamped to `[2, 30]`; the
+    /// minimum is a single 4-way bucket, the churn configuration the
+    /// replacement-policy tests use).
+    pub fn with_bits(bits: u32) -> TranspositionTable {
+        let bits = bits.clamp(2, 30);
+        let buckets = 1usize << (bits - 2); // 4 entries per bucket
+        let shard_count = buckets.min(64);
+        let buckets_per_shard = buckets / shard_count;
+        let shards = (0..shard_count)
+            .map(|_| {
+                (0..buckets_per_shard)
+                    .map(|_| Bucket::default())
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice()
+            })
+            .collect();
+        TranspositionTable {
+            shards,
+            shard_bits: shard_count.trailing_zeros(),
+            bucket_mask: buckets_per_shard as u64 - 1,
+            generation: AtomicU8::new(0),
+            counters: TtCounters::default(),
+        }
+    }
+
+    /// A table of the default size (`2^`[`DEFAULT_BITS`] entries).
+    pub fn new_default() -> TranspositionTable {
+        TranspositionTable::with_bits(DEFAULT_BITS)
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * (self.bucket_mask as usize + 1) * WAYS
+    }
+
+    /// Starts a new search: bumps the generation so existing entries age.
+    /// Aged entries remain probe-able (iterative deepening reuses them) but
+    /// lose replacement priority, freeing the table for the new search.
+    pub fn new_search(&self) {
+        let g = self.generation.load(Relaxed);
+        self.generation.store((g + 1) & 63, Relaxed);
+    }
+
+    fn bucket(&self, hash: u64) -> &Bucket {
+        // High bits pick the shard, low bits the bucket within it, so the
+        // two indices never alias even for tiny tables.
+        let shard = if self.shard_bits == 0 {
+            0
+        } else {
+            (hash >> (64 - self.shard_bits)) as usize
+        };
+        &self.shards[shard][(hash & self.bucket_mask) as usize]
+    }
+
+    /// Looks up `hash`, returning the decoded entry if any slot of its
+    /// bucket validates.
+    pub fn probe(&self, hash: u64) -> Option<Probe> {
+        self.counters.probes.fetch_add(1, Relaxed);
+        for slot in &self.bucket(hash).slots {
+            let key = slot.key.load(Relaxed);
+            let data = slot.data.load(Relaxed);
+            if key ^ data != hash {
+                continue;
+            }
+            let Some(bound) = unpack_bound(data) else {
+                continue; // empty slot (only reachable when hash == 0)
+            };
+            self.counters.hits.fetch_add(1, Relaxed);
+            if bound == Bound::Exact {
+                self.counters.exact_hits.fetch_add(1, Relaxed);
+            }
+            return Some(Probe {
+                value: unpack_value(data),
+                depth: unpack_depth(data),
+                bound,
+                hint: unpack_hint(data),
+            });
+        }
+        None
+    }
+
+    /// Records a search result for `hash`.
+    ///
+    /// Replacement policy (DESIGN.md §8): a slot already holding this key
+    /// is always overwritten (with equal-depth probing, the most recent
+    /// result is the most useful one); otherwise an empty slot is taken;
+    /// otherwise the slot with the lowest `depth − 8·age` score is evicted
+    /// — old generations go first, then shallow entries, so deep
+    /// current-search results survive bucket pressure longest.
+    pub fn store(&self, hash: u64, depth: u32, value: Value, bound: Bound, hint: Option<u16>) {
+        self.counters.stores.fetch_add(1, Relaxed);
+        let generation = self.generation.load(Relaxed);
+        let bucket = self.bucket(hash);
+        let mut victim = 0usize;
+        let mut victim_score = i64::MAX;
+        let mut victim_live = false;
+        let mut victim_current_gen = false;
+        for (i, slot) in bucket.slots.iter().enumerate() {
+            let key = slot.key.load(Relaxed);
+            let data = slot.data.load(Relaxed);
+            if unpack_bound(data).is_none() {
+                // Empty slot: free real estate, unless the key itself is
+                // already present later in the bucket — same-key wins, and
+                // an earlier empty slot cannot shadow it because stores
+                // only ever fill the chosen slot.
+                if victim_live || victim_score > i64::MIN {
+                    victim = i;
+                    victim_score = i64::MIN;
+                    victim_live = false;
+                    victim_current_gen = false;
+                }
+                continue;
+            }
+            if key ^ data == hash {
+                // Same position: overwrite in place.
+                let new = pack(value, hint, depth, generation, bound);
+                slot.data.store(new, Relaxed);
+                slot.key.store(hash ^ new, Relaxed);
+                return;
+            }
+            let age = i64::from((generation + 64 - unpack_generation(data)) & 63);
+            let score = i64::from(unpack_depth(data)) - 8 * age;
+            if score < victim_score {
+                victim = i;
+                victim_score = score;
+                victim_live = true;
+                victim_current_gen = age == 0;
+            }
+        }
+        if victim_live {
+            self.counters.replacements.fetch_add(1, Relaxed);
+            if victim_current_gen {
+                self.counters.collisions.fetch_add(1, Relaxed);
+            }
+        }
+        let slot = &bucket.slots[victim];
+        let new = pack(value, hint, depth, generation, bound);
+        slot.data.store(new, Relaxed);
+        slot.key.store(hash ^ new, Relaxed);
+    }
+
+    /// Counts one applied move hint (called by searches through
+    /// [`crate::TtAccess`] when a stored best move is spliced to the front
+    /// of a child list).
+    pub fn note_hint_used(&self) {
+        self.counters.hint_hits.fetch_add(1, Relaxed);
+    }
+
+    /// A consistent-enough snapshot of the counters (relaxed reads; exact
+    /// once the search has quiesced).
+    pub fn stats(&self) -> TtStats {
+        TtStats {
+            probes: self.counters.probes.load(Relaxed),
+            hits: self.counters.hits.load(Relaxed),
+            exact_hits: self.counters.exact_hits.load(Relaxed),
+            hint_hits: self.counters.hint_hits.load(Relaxed),
+            stores: self.counters.stores.load(Relaxed),
+            replacements: self.counters.replacements.load(Relaxed),
+            collisions: self.counters.collisions.load(Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for TranspositionTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TranspositionTable")
+            .field("capacity", &self.capacity())
+            .field("shards", &self.shards.len())
+            .field("generation", &self.generation.load(Relaxed))
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trips_all_fields() {
+        for value in [Value::NEG_INF, Value::INF, Value::ZERO, Value::new(-1234)] {
+            for hint in [None, Some(0u16), Some(63), Some(u16::MAX - 1)] {
+                for depth in [0u32, 1, 17, 255] {
+                    for generation in [0u8, 1, 63] {
+                        for bound in [Bound::Exact, Bound::Lower, Bound::Upper] {
+                            let d = pack(value, hint, depth, generation, bound);
+                            assert_eq!(unpack_value(d), value);
+                            assert_eq!(unpack_hint(d), hint);
+                            assert_eq!(unpack_depth(d), depth);
+                            assert_eq!(unpack_generation(d), generation);
+                            assert_eq!(unpack_bound(d), Some(bound));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_then_probe_round_trips() {
+        let t = TranspositionTable::with_bits(10);
+        t.store(0xdead_beef, 5, Value::new(42), Bound::Exact, Some(3));
+        let p = t.probe(0xdead_beef).expect("stored entry found");
+        assert_eq!(p.value, Value::new(42));
+        assert_eq!(p.depth, 5);
+        assert_eq!(p.bound, Bound::Exact);
+        assert_eq!(p.hint, Some(3));
+        assert!(t.probe(0xdead_beef + 1).is_none());
+        let s = t.stats();
+        assert_eq!((s.probes, s.hits, s.stores), (2, 1, 1));
+    }
+
+    #[test]
+    fn hash_zero_is_storable_and_empty_slots_never_validate_it() {
+        let t = TranspositionTable::with_bits(4);
+        assert!(t.probe(0).is_none(), "empty slot must not validate hash 0");
+        t.store(0, 3, Value::new(-7), Bound::Lower, None);
+        let p = t.probe(0).expect("hash 0 entry");
+        assert_eq!(p.value, Value::new(-7));
+        assert_eq!(p.bound, Bound::Lower);
+    }
+
+    #[test]
+    fn cutoff_requires_equal_depth() {
+        let p = Probe {
+            value: Value::new(10),
+            depth: 4,
+            bound: Bound::Exact,
+            hint: None,
+        };
+        assert_eq!(p.cutoff(4, Window::FULL), Some(Value::new(10)));
+        assert_eq!(p.cutoff(3, Window::FULL), None);
+        assert_eq!(p.cutoff(5, Window::FULL), None);
+    }
+
+    #[test]
+    fn cutoff_respects_bound_semantics() {
+        let w = Window::new(Value::new(0), Value::new(10));
+        let lower = Probe {
+            value: Value::new(10),
+            depth: 2,
+            bound: Bound::Lower,
+            hint: None,
+        };
+        assert_eq!(lower.cutoff(2, w), Some(Value::new(10)));
+        let weak_lower = Probe {
+            value: Value::new(5),
+            ..lower
+        };
+        assert_eq!(weak_lower.cutoff(2, w), None);
+        let upper = Probe {
+            value: Value::new(0),
+            depth: 2,
+            bound: Bound::Upper,
+            hint: None,
+        };
+        assert_eq!(upper.cutoff(2, w), Some(Value::new(0)));
+        let weak_upper = Probe {
+            value: Value::new(5),
+            ..upper
+        };
+        assert_eq!(weak_upper.cutoff(2, w), None);
+    }
+
+    #[test]
+    fn same_key_store_overwrites_in_place() {
+        let t = TranspositionTable::with_bits(2); // a single bucket
+        t.store(77, 2, Value::new(1), Bound::Upper, None);
+        t.store(77, 1, Value::new(9), Bound::Exact, Some(0));
+        let p = t.probe(77).expect("entry");
+        assert_eq!(p.depth, 1, "latest result wins for the same key");
+        assert_eq!(p.value, Value::new(9));
+        // In-place overwrite is not a replacement.
+        assert_eq!(t.stats().replacements, 0);
+    }
+
+    #[test]
+    fn one_bucket_table_evicts_shallowest() {
+        let t = TranspositionTable::with_bits(2); // 4 entries, 1 bucket
+        for h in 1..=4u64 {
+            t.store(h, h as u32 + 1, Value::ZERO, Bound::Exact, None);
+        }
+        assert_eq!(t.stats().replacements, 0, "four stores fill four ways");
+        // A fifth key evicts the shallowest (depth 2 = hash 1).
+        t.store(5, 10, Value::ZERO, Bound::Exact, None);
+        assert!(t.probe(1).is_none(), "shallowest entry evicted");
+        assert!(t.probe(5).is_some());
+        let s = t.stats();
+        assert_eq!(s.replacements, 1);
+        assert_eq!(s.collisions, 1, "victim was current-generation");
+    }
+
+    #[test]
+    fn aged_entries_lose_replacement_priority_but_stay_probeable() {
+        let t = TranspositionTable::with_bits(2);
+        t.store(1, 200, Value::ZERO, Bound::Exact, None); // deep, old
+        t.new_search();
+        assert!(
+            t.probe(1).is_some(),
+            "previous-generation entries still probe"
+        );
+        for h in 2..=4u64 {
+            t.store(h, 1, Value::ZERO, Bound::Exact, None);
+        }
+        // Bucket now full: deep-but-old (200 - 8*1) loses to shallow-but-new
+        // (1 - 0) only if its score is lower; 192 > 1, so a new store evicts
+        // a *shallow current* entry instead.
+        t.store(5, 1, Value::ZERO, Bound::Exact, None);
+        assert!(t.probe(1).is_some(), "deep old entry survives");
+        // But a sufficiently shallow old entry goes first.
+        let t = TranspositionTable::with_bits(2);
+        t.store(1, 3, Value::ZERO, Bound::Exact, None);
+        t.new_search();
+        for h in 2..=4u64 {
+            t.store(h, 2, Value::ZERO, Bound::Exact, None);
+        }
+        t.store(5, 1, Value::ZERO, Bound::Exact, None);
+        assert!(t.probe(1).is_none(), "shallow aged entry evicted first");
+        assert_eq!(t.stats().collisions, 0, "victim was a past generation");
+    }
+
+    #[test]
+    fn generation_wraps_mod_64() {
+        let t = TranspositionTable::with_bits(4);
+        for _ in 0..130 {
+            t.new_search();
+        }
+        t.store(9, 1, Value::ZERO, Bound::Exact, None);
+        assert!(t.probe(9).is_some());
+    }
+
+    #[test]
+    fn capacity_matches_bits() {
+        assert_eq!(TranspositionTable::with_bits(2).capacity(), 4);
+        assert_eq!(TranspositionTable::with_bits(10).capacity(), 1024);
+        // Clamped below 2.
+        assert_eq!(TranspositionTable::with_bits(0).capacity(), 4);
+    }
+
+    #[test]
+    fn distinct_hashes_do_not_cross_validate() {
+        let t = TranspositionTable::with_bits(12);
+        for h in 0..512u64 {
+            let hash = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            t.store(hash, 1, Value::new(h as i32), Bound::Exact, None);
+        }
+        for h in 0..512u64 {
+            let hash = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            if let Some(p) = t.probe(hash) {
+                assert_eq!(p.value, Value::new(h as i32), "wrong payload for key");
+            }
+        }
+    }
+}

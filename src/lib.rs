@@ -18,7 +18,10 @@
 //! * [`problem_heap`] — deterministic k-processor problem-heap simulation
 //!   and performance metrics;
 //! * [`er_parallel`] — parallel ER (simulated and real threads) plus the
-//!   §4 baselines: MWF, tree-splitting, pv-splitting, parallel aspiration.
+//!   §4 baselines: MWF, tree-splitting, pv-splitting, parallel aspiration;
+//! * [`tt`] — sharded lockless concurrent transposition table shared by
+//!   every back-end's `*_tt` entry points (an extension beyond the paper;
+//!   DESIGN.md §8).
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,12 @@
 //! let thr = run_er_threads_with(&root, 8, 4, 16, &ErParallelConfig::random_tree(4));
 //! assert_eq!(thr.value, ab.value);
 //! assert_eq!(thr.counters().jobs_executed, thr.counters().outcomes_applied);
+//!
+//! // The same run with one transposition table shared by all workers.
+//! let table = TranspositionTable::with_bits(16);
+//! let ttr = run_er_threads_tt(&root, 8, 4, 16, &ErParallelConfig::random_tree(4), &table);
+//! assert_eq!(ttr.value, ab.value);
+//! assert!(ttr.tt.expect("table stats").probes > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -53,13 +62,14 @@ pub use gametree;
 pub use othello;
 pub use problem_heap;
 pub use search_serial;
+pub use tt;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use checkers::CheckersPos;
     pub use er_parallel::{
-        run_er_sim, run_er_threads, run_er_threads_with, ErParallelConfig, ErRunResult,
-        ErThreadsResult, Speculation,
+        run_er_sim, run_er_threads, run_er_threads_tt, run_er_threads_with, ErParallelConfig,
+        ErRunResult, ErThreadsResult, Speculation,
     };
     pub use gametree::ordered::OrderedTreeSpec;
     pub use gametree::random::RandomTreeSpec;
@@ -68,7 +78,8 @@ pub mod prelude {
     pub use problem_heap::ThreadCounters;
     pub use problem_heap::{CostModel, SimReport};
     pub use search_serial::{
-        alphabeta, alphabeta_nodeep, aspiration, er_search, negmax, ErConfig, OrderPolicy,
-        SearchResult,
+        alphabeta, alphabeta_nodeep, alphabeta_tt, aspiration, er_search, er_search_tt, negmax,
+        negmax_tt, ErConfig, OrderPolicy, SearchResult,
     };
+    pub use tt::{Bound, TranspositionTable, TtStats, Zobrist};
 }
