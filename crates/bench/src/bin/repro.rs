@@ -15,6 +15,10 @@
 //! repro tt          shared transposition table on/off across worker
 //!                   counts (accepts --tt-bits N; writes BENCH_tt.json
 //!                   at the repo root)
+//! repro scaling     work-stealing execution layer vs the fixed-batch
+//!                   baseline across thread counts (accepts
+//!                   --threads 1,2,4,8; writes BENCH_scaling.json at
+//!                   the repo root)
 //! repro all         everything above
 //! ```
 //!
@@ -556,6 +560,116 @@ fn tt() {
     println!("  -> BENCH_tt.json");
 }
 
+fn scaling() {
+    use er_bench::experiments::{scaling_rows, ScalingRow};
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut args = std::env::args().skip(2);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| {
+                        v.split(',')
+                            .map(|s| s.trim().parse::<usize>().ok())
+                            .collect::<Option<Vec<usize>>>()
+                    })
+                    .filter(|list| !list.is_empty() && list.iter().all(|&t| (1..=64).contains(&t)))
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a comma-separated list like 1,2,4,8");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown scaling option '{other}'; use --threads 1,2,4,8");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!(
+        "\n=== Scaling: work-stealing layer vs baseline (R1, O1; threads {threads:?}) ===\n\
+         (baseline = fixed batch, no stealing, every job through the heap mutex;\n\
+          ws = per-worker deques + stealing + adaptive batch + position arena;\n\
+          counters summed over {} reps per row to damp scheduling noise)",
+        er_bench::experiments::SCALING_REPS
+    );
+    let rows = scaling_rows(&threads);
+    println!(
+        "{:<5} {:>7} {:<9} {:>8} {:>9} {:>8} {:>7} {:>9} {:>10} {:>6} {:>8}",
+        "tree",
+        "threads",
+        "mode",
+        "jobs",
+        "locks",
+        "acq/job",
+        "steals",
+        "stealhits",
+        "wait ns",
+        "+/-",
+        "ms"
+    );
+    for r in &rows {
+        println!(
+            "{:<5} {:>7} {:<9} {:>8} {:>9} {:>8.3} {:>7} {:>9} {:>10.0} {:>6} {:>8.1}",
+            r.tree,
+            r.threads,
+            r.mode,
+            r.jobs_executed,
+            r.lock_acquisitions,
+            r.acq_per_job,
+            r.steal_attempts,
+            r.steal_hits,
+            r.mean_lock_wait_nanos,
+            format!("{}/{}", r.batch_grows, r.batch_shrinks),
+            r.elapsed_ms
+        );
+    }
+    // The issue's acceptance bar, judged over the >=4-thread rows (a
+    // single steal is scheduling luck; an aggregate of zero across every
+    // contended run means the layer is dead). Per-row root values and the
+    // zero-clones-under-the-lock invariant are asserted inside
+    // `scaling_rows` itself.
+    if threads.iter().any(|&t| t >= 4) {
+        let hits: u64 = rows
+            .iter()
+            .filter(|r| r.mode == "ws" && r.threads >= 4)
+            .map(|r| r.steal_hits)
+            .sum();
+        assert!(
+            hits > 0,
+            "work stealing landed zero jobs across all >=4-thread runs"
+        );
+        let agg = |mode: &str, tree: &str| {
+            let picked: Vec<&ScalingRow> = rows
+                .iter()
+                .filter(|r| r.mode == mode && r.tree == tree && r.threads >= 4)
+                .collect();
+            let acq: u64 = picked.iter().map(|r| r.lock_acquisitions).sum();
+            let jobs: u64 = picked.iter().map(|r| r.jobs_executed).sum();
+            acq as f64 / jobs.max(1) as f64
+        };
+        for tree in ["R1", "O1"] {
+            let base = agg("baseline", tree);
+            let ws = agg("ws", tree);
+            assert!(
+                ws < base,
+                "{tree}: ws layer must need fewer locks per job than the \
+                 baseline at >=4 threads ({ws:.3} vs {base:.3})"
+            );
+            println!(
+                "{tree} @ >=4 threads: {ws:.3} locks/job with work stealing vs \
+                 {base:.3} baseline ({:.1}% fewer acquisitions per job)",
+                100.0 * (1.0 - ws / base)
+            );
+        }
+    }
+    save_json("scaling", &rows);
+    let mut f = fs::File::create("BENCH_scaling.json").expect("create BENCH_scaling.json");
+    f.write_all(er_bench::json::to_pretty(&rows).as_bytes())
+        .expect("write BENCH_scaling.json");
+    println!("  -> BENCH_scaling.json");
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     match arg.as_str() {
@@ -572,6 +686,7 @@ fn main() {
         "gantt" => gantt(),
         "threads" => threads(),
         "tt" => tt(),
+        "scaling" => scaling(),
         "all" => {
             table3();
             fig(10);
@@ -586,12 +701,13 @@ fn main() {
             gantt();
             threads();
             tt();
+            scaling();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; use \
                  table3|fig10|fig11|fig12|fig13|baselines|ablation|overhead|sweep|ordering|\
-                 gantt|threads|tt|all"
+                 gantt|threads|tt|scaling|all"
             );
             std::process::exit(2);
         }

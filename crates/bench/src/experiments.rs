@@ -711,6 +711,175 @@ pub fn threads_rows() -> Vec<ThreadsRow> {
     rows
 }
 
+/// One scaling measurement: a Table 3 tree searched by the threaded
+/// back-end at one thread count, in one execution mode.
+///
+/// `mode` is `"baseline"` — the PR 1 execution layer (fixed batch of
+/// [`er_parallel::DEFAULT_BATCH`], no stealing: every job flows through
+/// the global heap mutex) — or `"ws"`, the work-stealing layer (adaptive
+/// batch, per-worker deques, steal-before-park, position arena). The
+/// paper's §3.1 argument is that a single shared problem heap serializes
+/// processors on its lock as they multiply; the counters here measure how
+/// far the ws layer pushes that serial fraction down on real threads.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Table 3 tree name.
+    pub tree: String,
+    /// Search depth in plies.
+    pub depth: u32,
+    /// Serial depth (Table 3 setting).
+    pub serial_depth: u32,
+    /// OS threads used.
+    pub threads: usize,
+    /// `"baseline"` or `"ws"` (see type docs).
+    pub mode: String,
+    /// Independent repetitions folded into this row. OS scheduling makes
+    /// any single run's counters noisy (±10% swings on a loaded host);
+    /// every counter below is summed over the repetitions, so the ratios
+    /// compare means over several schedules.
+    pub reps: u32,
+    /// Root value (asserted equal to serial alpha-beta on every rep).
+    pub value: i32,
+    /// Nodes examined, summed over reps (varies with thread scheduling;
+    /// the value never).
+    pub nodes: u64,
+    /// Jobs executed outside the lock, summed over reps.
+    pub jobs_executed: u64,
+    /// Heap-mutex acquisitions across all threads, summed over reps.
+    pub lock_acquisitions: u64,
+    /// `lock_acquisitions / jobs_executed` — the contention figure of
+    /// merit; lower is better.
+    pub acq_per_job: f64,
+    /// Steal attempts across all workers (0 in baseline mode).
+    pub steal_attempts: u64,
+    /// Steals that yielded a job.
+    pub steal_hits: u64,
+    /// Mean nanoseconds spent waiting for the heap mutex per acquisition.
+    pub mean_lock_wait_nanos: f64,
+    /// Nanoseconds the mutex was held, summed over all acquisitions.
+    pub lock_hold_nanos: u64,
+    /// Positions published to the lock-free arena (refcount bumps).
+    pub arena_publishes: u64,
+    /// Deep position clones taken while holding the mutex — the PR's
+    /// invariant keeps this at zero (asserted before recording).
+    pub pos_clones_in_lock: u64,
+    /// Adaptive batch-size increases.
+    pub batch_grows: u64,
+    /// Adaptive batch-size decreases.
+    pub batch_shrinks: u64,
+    /// Wall-clock milliseconds, summed over reps.
+    pub elapsed_ms: f64,
+}
+
+/// Repetitions folded into each scaling row (see [`ScalingRow::reps`]).
+pub const SCALING_REPS: u32 = 3;
+
+#[allow(clippy::too_many_arguments)]
+fn scaling_row<P: GamePosition>(
+    name: &str,
+    root: &P,
+    depth: u32,
+    serial_depth: u32,
+    order: OrderPolicy,
+    threads: usize,
+    mode: &str,
+    exec: er_parallel::ThreadsConfig,
+) -> ScalingRow {
+    use er_parallel::run_er_threads_exec;
+    use problem_heap::ThreadCounters;
+    let cfg = ErParallelConfig {
+        serial_depth,
+        order,
+        spec: Speculation::ALL,
+        cost: CostModel::default(),
+    };
+    let exact = alphabeta(root, depth, order).value;
+    let mut c = ThreadCounters::default();
+    let mut nodes = 0u64;
+    let mut elapsed_ms = 0.0f64;
+    for _ in 0..SCALING_REPS {
+        let r = run_er_threads_exec(root, depth, threads, &cfg, exec);
+        assert_eq!(
+            r.value, exact,
+            "{name} {mode}@{threads}: threaded back-end disagrees with alpha-beta"
+        );
+        let rep = r.counters();
+        assert_eq!(
+            rep.pos_clones_in_lock, 0,
+            "{name} {mode}@{threads}: position cloned while the heap mutex was held"
+        );
+        c.merge(&rep);
+        nodes += r.stats.nodes();
+        elapsed_ms += r.elapsed.as_secs_f64() * 1e3;
+    }
+    ScalingRow {
+        tree: name.to_string(),
+        depth,
+        serial_depth,
+        threads,
+        mode: mode.to_string(),
+        reps: SCALING_REPS,
+        value: exact.get(),
+        nodes,
+        jobs_executed: c.jobs_executed,
+        lock_acquisitions: c.lock_acquisitions,
+        acq_per_job: c.acquisitions_per_job(),
+        steal_attempts: c.steal_attempts,
+        steal_hits: c.steal_hits,
+        mean_lock_wait_nanos: c.mean_lock_wait_nanos(),
+        lock_hold_nanos: c.lock_hold_nanos,
+        arena_publishes: c.arena_publishes,
+        pos_clones_in_lock: c.pos_clones_in_lock,
+        batch_grows: c.batch_grows,
+        batch_shrinks: c.batch_shrinks,
+        elapsed_ms,
+    }
+}
+
+/// The scaling grid: R1 and O1 at Table 3 settings, at each requested
+/// thread count, baseline execution vs the work-stealing layer.
+///
+/// Every row's root value is asserted against serial alpha-beta and every
+/// row's `pos_clones_in_lock` is asserted zero; the cross-row comparisons
+/// (steal hits, locks per job) live in `repro scaling`, which knows which
+/// thread counts were requested.
+pub fn scaling_rows(thread_counts: &[usize]) -> Vec<ScalingRow> {
+    use er_parallel::{BatchPolicy, ThreadsConfig, DEFAULT_BATCH};
+    let baseline = ThreadsConfig {
+        batch: BatchPolicy::Fixed(DEFAULT_BATCH),
+        steal: false,
+    };
+    let ws = ThreadsConfig::default();
+    let r1 = &crate::trees::random_trees()[0];
+    let o1 = &crate::trees::othello_trees()[0];
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        for (mode, exec) in [("baseline", baseline), ("ws", ws)] {
+            rows.push(scaling_row(
+                r1.name,
+                &r1.root,
+                r1.depth,
+                r1.serial_depth,
+                r1.order,
+                threads,
+                mode,
+                exec,
+            ));
+            rows.push(scaling_row(
+                o1.name,
+                &o1.root,
+                o1.depth,
+                o1.serial_depth,
+                o1.order,
+                threads,
+                mode,
+                exec,
+            ));
+        }
+    }
+    rows
+}
+
 /// One transposition-table measurement: a Table 3 tree searched with the
 /// shared table on (`tt_bits > 0`) or off (`tt_bits == 0`), at a given
 /// worker count, by either back-end.
@@ -964,6 +1133,28 @@ impl_to_json!(TtRow {
     replacements,
     collisions,
     hit_rate,
+    elapsed_ms
+});
+impl_to_json!(ScalingRow {
+    tree,
+    depth,
+    serial_depth,
+    threads,
+    mode,
+    reps,
+    value,
+    nodes,
+    jobs_executed,
+    lock_acquisitions,
+    acq_per_job,
+    steal_attempts,
+    steal_hits,
+    mean_lock_wait_nanos,
+    lock_hold_nanos,
+    arena_publishes,
+    pos_clones_in_lock,
+    batch_grows,
+    batch_shrinks,
     elapsed_ms
 });
 impl_to_json!(ThreadsRow {

@@ -21,6 +21,7 @@
 //! virtual cost; the threaded back-end runs it concurrently for real.
 
 use std::cmp::Reverse;
+use std::sync::Arc;
 
 use gametree::{GamePosition, SearchStats, Value, Window};
 use problem_heap::{simulate, HeapWorker, StableQueue, TakenWork};
@@ -102,8 +103,10 @@ pub enum Outcome<P: GamePosition> {
     /// Generated children in search order, the static values computed for
     /// sorting (memoized onto spawned children), the natural (pre-sort)
     /// index of each child, and the evaluator calls charged for sorting.
+    /// Children arrive pre-wrapped in [`Arc`] — the executor pays the
+    /// allocation outside the lock; `apply` just moves the handles in.
     Moves {
-        kids: Vec<P>,
+        kids: Vec<Arc<P>>,
         evals: Option<Vec<Value>>,
         nats: Vec<u16>,
         sort_evals: u64,
@@ -201,7 +204,7 @@ pub fn execute_task<P: GamePosition, T: TtAccess<P>>(
                     .all(|k| k.static_eval.is_some())
                     .then(|| indexed.iter().map(|k| k.static_eval.unwrap()).collect());
                 let nats = indexed.iter().map(|k| k.nat).collect();
-                let kids = indexed.into_iter().map(|k| k.pos).collect();
+                let kids = indexed.into_iter().map(|k| Arc::new(k.pos)).collect();
                 Outcome::Moves {
                     kids,
                     evals,
@@ -277,10 +280,17 @@ impl<P: GamePosition> ErWorker<P> {
         self.finished
     }
 
-    /// The position at node `id` (borrowed; executors clone it only when
-    /// the task needs it).
+    /// The position at node `id` (borrowed; the simulator points
+    /// `execute_task` straight at it).
     pub fn node_pos(&self, id: NodeId) -> &P {
         &self.tree.node(id).pos
+    }
+
+    /// The position at node `id` as a shared handle: a refcount bump, the
+    /// only per-job position cost the threaded scheduler pays under the
+    /// heap lock (it publishes the handle into the position arena).
+    pub fn node_pos_shared(&self, id: NodeId) -> Arc<P> {
+        Arc::clone(&self.tree.node(id).pos)
     }
 
     /// The ply of node `id` (trace labeling).

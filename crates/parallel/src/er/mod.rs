@@ -98,4 +98,7 @@ pub struct ErRunResult {
 }
 
 pub use engine::{run_er_sim, run_er_sim_tt};
-pub use threads::{run_er_threads, run_er_threads_tt};
+pub use threads::{
+    run_er_threads, run_er_threads_exec, run_er_threads_exec_tt, run_er_threads_tt, BatchPolicy,
+    ThreadsConfig,
+};

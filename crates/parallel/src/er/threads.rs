@@ -1,30 +1,39 @@
-//! Real-thread back-end for parallel ER.
+//! Real-thread back-end for parallel ER: the work-stealing execution layer.
 //!
 //! The paper's implementation ran one OS process per Sequent processor
-//! against a shared problem heap; this back-end runs one thread per
-//! (virtual) processor against the same [`ErWorker`] state used by the
-//! simulator. The heap/tree critical sections are decomposed for low
-//! contention:
+//! against a shared problem heap, and its §3.1 analysis warns that heap
+//! contention is what erodes efficiency as processors are added. This
+//! back-end runs one thread per (virtual) processor against the same
+//! [`ErWorker`] state used by the simulator, with the critical sections
+//! decomposed into three cooperating parts (DESIGN.md §9):
 //!
-//! * **One acquisition per round, not per phase.** Each thread buffers the
-//!   outcomes of its executed jobs locally and, in a single lock
-//!   acquisition, applies the whole buffer *and* refills a batch of up to
-//!   `batch` jobs. The seed design took the lock twice per job (select,
-//!   then apply); with batching the steady-state cost is one acquisition
-//!   per `batch` jobs.
-//! * **Positions are cloned only when needed.** [`Task::needs_pos`]
-//!   gates the per-job position clone made under the lock;
-//!   bookkeeping-only tasks and memoized cached-leaf hits skip it.
-//! * **Targeted wake-ups.** Threads that find the heap empty park on a
-//!   condition variable and are counted; a thread that leaves surplus work
-//!   behind wakes exactly one parked sibling (`notify_one`), which wakes
-//!   the next one itself if work remains — no thundering herd of
-//!   `notify_all` after every apply. `notify_all` is reserved for
-//!   termination.
+//! * **A lock-free position arena.** Node positions live in the tree as
+//!   `Arc<P>`; when the scheduler selects a job that reads its position it
+//!   *publishes* the handle into a [`PublishSlab`] — a refcount bump, not
+//!   a deep clone — and the executor dereferences it *after* dropping the
+//!   lock. No position byte is ever copied while the heap mutex is held
+//!   ([`ThreadCounters::pos_clones_in_lock`] stays zero by construction
+//!   and is asserted in the tests and the `repro scaling` experiment).
+//! * **Per-worker deques with lock-free stealing.** Each refill lands in
+//!   the worker's own bounded Chase–Lev deque ([`ws_deque`]); the owner
+//!   pops lock-free, and an idle sibling *steals* from the other end
+//!   before ever touching the global mutex. Only tree mutation — `apply`
+//!   plus the select bookkeeping — still takes the lock.
+//! * **Adaptive batch sizing.** Under [`BatchPolicy::Adaptive`] each
+//!   worker grows its refill batch (up to [`MAX_BATCH`] =
+//!   `DEFAULT_BATCH * 2`) while lock waits are expensive relative to
+//!   execution, and shrinks it (down to 1) when the queues run dry — small
+//!   batches keep work fresh against the moving alpha-beta windows, large
+//!   ones amortize contention. [`BatchPolicy::Fixed`] pins the PR 1
+//!   behaviour for baseline comparison.
 //!
-//! Every lock acquisition, selection batch, executed job, wake-up and park
-//! is counted per thread ([`ThreadCounters`]) and surfaced in
-//! [`ErThreadsResult`] so contention is observable, not guessed at.
+//! Idle threads park on a condition variable only after a failed steal
+//! sweep; a thread that leaves surplus work behind wakes exactly one
+//! parked sibling (`notify_one`), and `notify_all` is reserved for
+//! termination. Every acquisition, wait/hold nanosecond, steal attempt,
+//! executed job, wake-up and park is counted per thread
+//! ([`ThreadCounters`]) and surfaced in [`ErThreadsResult`] so contention
+//! is observable, not guessed at.
 //!
 //! On a multi-core host this achieves real speedup; on any host it
 //! produces the same root value as every serial algorithm (the test suite
@@ -32,13 +41,15 @@
 //! scheduling — exactly the nondeterminism the deterministic simulator
 //! exists to remove.
 
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 use gametree::{GamePosition, SearchStats, Value};
-use problem_heap::ThreadCounters;
+use problem_heap::{ws_deque, PublishSlab, ThreadCounters, WsStealer};
 use tt::{TranspositionTable, TtAccess, TtStats, Zobrist};
 
-use super::engine::{execute_task, ErWorker, Select, Task};
+use super::engine::{execute_task, ErWorker, Outcome, Select, Task};
 use super::ErParallelConfig;
 use crate::tree::NodeId;
 
@@ -46,6 +57,46 @@ use crate::tree::NodeId;
 /// hoards stays fresh against the moving alpha-beta windows, large enough
 /// to amortize the acquisition; see DESIGN.md §7.
 pub const DEFAULT_BATCH: usize = 8;
+
+/// Ceiling of the adaptive batch range, and the most outcomes a thread
+/// buffers before flushing them to the tree.
+pub const MAX_BATCH: usize = DEFAULT_BATCH * 2;
+
+/// Per-worker deque capacity: must exceed [`MAX_BATCH`] (a refill only
+/// happens into an empty deque, so `push` can never fail).
+const DEQUE_CAP: usize = MAX_BATCH * 2;
+
+/// How a worker sizes its refill batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Take up to exactly this many jobs per acquisition (the PR 1
+    /// behaviour; `Fixed(1)` reproduces job-at-a-time selection).
+    Fixed(usize),
+    /// Start at [`DEFAULT_BATCH`] and resize per round within
+    /// `[1, MAX_BATCH]` from observed lock-wait vs execute time.
+    Adaptive,
+}
+
+/// Execution-layer knobs of the threaded back-end, orthogonal to the
+/// algorithmic [`ErParallelConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadsConfig {
+    /// Refill-batch sizing policy.
+    pub batch: BatchPolicy,
+    /// Whether idle workers steal from sibling deques before parking.
+    pub steal: bool,
+}
+
+impl Default for ThreadsConfig {
+    /// Adaptive batching with stealing on — the configuration the scaling
+    /// experiment ships.
+    fn default() -> ThreadsConfig {
+        ThreadsConfig {
+            batch: BatchPolicy::Adaptive,
+            steal: true,
+        }
+    }
+}
 
 /// Result of a threaded parallel ER run.
 #[derive(Clone, Debug)]
@@ -87,19 +138,24 @@ struct Shared<P: GamePosition> {
     done: bool,
 }
 
-/// Runs parallel ER with `threads` OS threads and the default batch size.
+/// A job descriptor as it travels through deques: node id plus task, both
+/// `Copy` (positions travel through the arena, not the deque).
+type JobRef = (NodeId, Task);
+
+/// Runs parallel ER with `threads` OS threads and the default execution
+/// layer (adaptive batching, stealing on).
 pub fn run_er_threads<P: GamePosition>(
     pos: &P,
     depth: u32,
     threads: usize,
     cfg: &ErParallelConfig,
 ) -> ErThreadsResult {
-    run_er_threads_with(pos, depth, threads, DEFAULT_BATCH, cfg)
+    run_er_threads_exec(pos, depth, threads, cfg, ThreadsConfig::default())
 }
 
-/// Runs parallel ER with `threads` OS threads, taking up to `batch` jobs
-/// per lock acquisition. `batch = 1` reproduces job-at-a-time selection
-/// (though still with apply and select fused into one acquisition).
+/// Runs parallel ER with a pinned batch size (stealing stays on).
+/// `batch = 1` reproduces job-at-a-time selection (though still with
+/// apply and select fused into one acquisition).
 pub fn run_er_threads_with<P: GamePosition>(
     pos: &P,
     depth: u32,
@@ -107,7 +163,22 @@ pub fn run_er_threads_with<P: GamePosition>(
     batch: usize,
     cfg: &ErParallelConfig,
 ) -> ErThreadsResult {
-    run_er_threads_gen(pos, depth, threads, batch, cfg, ())
+    let exec = ThreadsConfig {
+        batch: BatchPolicy::Fixed(batch),
+        steal: true,
+    };
+    run_er_threads_exec(pos, depth, threads, cfg, exec)
+}
+
+/// Runs parallel ER with full control over the execution layer.
+pub fn run_er_threads_exec<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+) -> ErThreadsResult {
+    run_er_threads_gen(pos, depth, threads, cfg, exec, ())
 }
 
 /// [`run_er_threads_with`] with all workers sharing `table`: every thread
@@ -122,111 +193,261 @@ pub fn run_er_threads_tt<P: GamePosition + Zobrist>(
     cfg: &ErParallelConfig,
     table: &TranspositionTable,
 ) -> ErThreadsResult {
+    let exec = ThreadsConfig {
+        batch: BatchPolicy::Fixed(batch),
+        steal: true,
+    };
+    run_er_threads_exec_tt(pos, depth, threads, cfg, exec, table)
+}
+
+/// [`run_er_threads_exec`] with a shared transposition table.
+pub fn run_er_threads_exec_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    table: &TranspositionTable,
+) -> ErThreadsResult {
     let before = table.stats();
-    let mut r = run_er_threads_gen(pos, depth, threads, batch, cfg, table);
+    let mut r = run_er_threads_gen(pos, depth, threads, cfg, exec, table);
     r.tt = Some(table.stats().since(&before));
     r
 }
 
-fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Sync>(
+/// State one worker thread keeps across rounds.
+struct WorkerCtx<P: GamePosition> {
+    counters: ThreadCounters,
+    /// Executed-but-unapplied outcomes, flushed at the next acquisition.
+    ready: Vec<(NodeId, Outcome<P>)>,
+    /// Refill staging buffer, reused every round (`pop_batch_into` style:
+    /// no per-round allocation).
+    refill: Vec<JobRef>,
+    /// Current refill-batch target.
+    batch_target: usize,
+    /// One free pass to skip parking and try a steal sweep instead. Granted
+    /// after productive rounds and wake-ups, consumed by the skip — so a
+    /// worker that keeps failing to steal parks on its next empty round
+    /// instead of spinning on the lock.
+    steal_pass: bool,
+    /// Consecutive rounds that met the shrink condition (scarce refill on a
+    /// cheap lock). Shrinking waits for two in a row: a single short refill
+    /// is usually a transient (a sibling just drained the queues), and
+    /// halving the batch on it doubles acquisitions for no sharing gain —
+    /// idle siblings already steal from the owner's deque.
+    scarce_streak: u32,
+}
+
+fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
     pos: &P,
     depth: u32,
     threads: usize,
-    batch: usize,
     cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
     tt: T,
 ) -> ErThreadsResult {
     assert!(threads > 0);
-    let batch = batch.max(1);
+    let (fixed_batch, adaptive) = match exec.batch {
+        BatchPolicy::Fixed(b) => (b.clamp(1, DEQUE_CAP), false),
+        BatchPolicy::Adaptive => (DEFAULT_BATCH, true),
+    };
+    let steal_on = exec.steal && threads > 1;
+
     let shared = Mutex::new(Shared {
         worker: ErWorker::new(pos.clone(), depth, *cfg),
         parked: 0,
         done: false,
     });
     let idle = Condvar::new();
+    // Lock-free mirror of `Shared::done`, checked between jobs so a worker
+    // holding a long deque abandons it promptly at termination.
+    let done_flag = AtomicBool::new(false);
+    // The position arena: published under the lock (refcount bumps), read
+    // lock-free by owners and thieves alike.
+    let arena: PublishSlab<std::sync::Arc<P>> = PublishSlab::new();
     let order = cfg.order;
-    let start = std::time::Instant::now();
+    let start = Instant::now();
+
+    let mut owners = Vec::with_capacity(threads);
+    let mut stealers = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (o, s) = ws_deque::<JobRef>(DEQUE_CAP);
+        owners.push(o);
+        stealers.push(s);
+    }
 
     let per_thread: Vec<ThreadCounters> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut counters = ThreadCounters::default();
-                    // Thread-local buffers, reused across rounds.
-                    let mut ready: Vec<(NodeId, super::engine::Outcome<P>)> =
-                        Vec::with_capacity(batch);
-                    let mut jobs: Vec<(NodeId, Task, Option<P>)> = Vec::with_capacity(batch);
+        let shared = &shared;
+        let idle = &idle;
+        let done_flag = &done_flag;
+        let arena = &arena;
+        let stealers: &[WsStealer<JobRef>] = &stealers;
+        let handles: Vec<_> = owners
+            .into_iter()
+            .enumerate()
+            .map(|(me, mut own)| {
+                scope.spawn(move || {
+                    let mut cx = WorkerCtx::<P> {
+                        counters: ThreadCounters::default(),
+                        ready: Vec::with_capacity(MAX_BATCH),
+                        refill: Vec::with_capacity(DEQUE_CAP),
+                        batch_target: fixed_batch,
+                        steal_pass: steal_on,
+                        scarce_streak: 0,
+                    };
                     loop {
-                        // One lock acquisition: drain the outcome buffer,
-                        // then refill the job batch (parking if neither
-                        // yields progress).
-                        {
-                            let mut g = shared.lock().unwrap();
-                            counters.lock_acquisitions += 1;
-                            for (id, outcome) in ready.drain(..) {
-                                counters.outcomes_applied += 1;
-                                if g.worker.apply(id, outcome) {
-                                    g.done = true;
-                                }
-                            }
-                            loop {
-                                if g.done {
-                                    break;
-                                }
-                                counters.select_batches += 1;
-                                while jobs.len() < batch {
-                                    match g.worker.select() {
-                                        Select::Job(job) => {
-                                            // Clone the position under the
-                                            // lock only for tasks that read
-                                            // it.
-                                            let pos = job
-                                                .task
-                                                .needs_pos()
-                                                .then(|| g.worker.node_pos(job.id).clone());
-                                            jobs.push((job.id, job.task, pos));
-                                        }
-                                        Select::JustFinished => {
-                                            g.done = true;
-                                            break;
-                                        }
-                                        Select::Empty => break,
-                                    }
-                                }
-                                if !jobs.is_empty() || g.done {
-                                    break;
-                                }
-                                // Nothing to apply, nothing to take: park
-                                // until an apply elsewhere produces work or
-                                // finishes the search.
-                                counters.idle_parks += 1;
-                                g.parked += 1;
-                                while !g.done && !g.worker.work_available() {
-                                    g = idle.wait(g).unwrap();
-                                }
-                                g.parked -= 1;
-                            }
-                            if g.done {
-                                // Termination is the one broadcast: every
-                                // parked thread must observe `done`.
-                                idle.notify_all();
-                                return counters;
-                            }
-                            // Targeted hand-off: if work remains after this
-                            // batch and someone is parked, wake exactly one
-                            // sibling; it will chain-wake the next if work
-                            // still remains.
-                            if g.parked > 0 && g.worker.work_available() {
-                                counters.wakeups += 1;
-                                idle.notify_one();
+                        // ---- Locked phase: apply outcomes, refill, park.
+                        let waiting = Instant::now();
+                        let mut g = shared.lock().unwrap();
+                        let waited = waiting.elapsed().as_nanos() as u64;
+                        let holding = Instant::now();
+                        cx.counters.lock_acquisitions += 1;
+                        cx.counters.lock_wait_nanos += waited;
+                        for (id, outcome) in cx.ready.drain(..) {
+                            cx.counters.outcomes_applied += 1;
+                            if g.worker.apply(id, outcome) {
+                                g.done = true;
+                                done_flag.store(true, SeqCst);
                             }
                         }
-                        // Execute the whole batch outside the lock — this is
-                        // the actual parallelism.
-                        for (id, task, pos) in jobs.drain(..) {
-                            counters.jobs_executed += 1;
-                            let outcome = execute_task(&task, pos.as_ref(), order, tt);
-                            ready.push((id, outcome));
+                        loop {
+                            if g.done {
+                                break;
+                            }
+                            cx.counters.select_batches += 1;
+                            while cx.refill.len() < cx.batch_target {
+                                match g.worker.select() {
+                                    Select::Job(job) => {
+                                        if job.task.needs_pos()
+                                            && arena.publish(
+                                                job.id as usize,
+                                                g.worker.node_pos_shared(job.id),
+                                            )
+                                        {
+                                            cx.counters.arena_publishes += 1;
+                                        }
+                                        cx.refill.push((job.id, job.task));
+                                    }
+                                    Select::JustFinished => {
+                                        g.done = true;
+                                        done_flag.store(true, SeqCst);
+                                        break;
+                                    }
+                                    Select::Empty => break,
+                                }
+                            }
+                            if !cx.refill.is_empty() || g.done {
+                                break;
+                            }
+                            // Global queues are dry. Spend the steal pass —
+                            // leave the lock and sweep sibling deques —
+                            // before committing to a park.
+                            if cx.steal_pass
+                                && stealers
+                                    .iter()
+                                    .enumerate()
+                                    .any(|(j, s)| j != me && !s.is_empty())
+                            {
+                                cx.steal_pass = false;
+                                break;
+                            }
+                            cx.counters.idle_parks += 1;
+                            g.parked += 1;
+                            while !g.done && !g.worker.work_available() {
+                                g = idle.wait(g).unwrap();
+                            }
+                            g.parked -= 1;
+                            cx.steal_pass = steal_on;
+                        }
+                        if g.done {
+                            // Termination is the one broadcast: every
+                            // parked thread must observe `done`. Unexecuted
+                            // deque jobs are simply abandoned (they were
+                            // never counted as executed).
+                            idle.notify_all();
+                            cx.counters.lock_hold_nanos += holding.elapsed().as_nanos() as u64;
+                            return cx.counters;
+                        }
+                        // Targeted hand-off: if work remains after this
+                        // refill and someone is parked, wake exactly one
+                        // sibling; it chain-wakes the next if work remains.
+                        if g.parked > 0 && g.worker.work_available() {
+                            cx.counters.wakeups += 1;
+                            idle.notify_one();
+                        }
+                        let refilled = cx.refill.len();
+                        cx.counters.lock_hold_nanos += holding.elapsed().as_nanos() as u64;
+                        drop(g);
+
+                        // ---- Execute phase, entirely outside the lock.
+                        // Reverse push so the owner pops in scheduler
+                        // priority order while thieves take the oldest
+                        // (lowest-priority) jobs from the far end.
+                        for jr in cx.refill.drain(..).rev() {
+                            own.push(jr).expect("deque capacity exceeds max batch");
+                        }
+                        let executing = Instant::now();
+                        let mut executed_this_round = 0u64;
+                        while let Some((id, task)) = own.pop() {
+                            run_job(&mut cx, arena, id, &task, order, tt);
+                            executed_this_round += 1;
+                            if done_flag.load(SeqCst) {
+                                break;
+                            }
+                        }
+
+                        // ---- Steal phase: drain siblings lock-free until
+                        // the outcome buffer justifies an acquisition.
+                        if steal_on && !done_flag.load(SeqCst) {
+                            while cx.ready.len() < MAX_BATCH {
+                                let mut stolen = None;
+                                for off in 1..threads {
+                                    let j = (me + off) % threads;
+                                    cx.counters.steal_attempts += 1;
+                                    if let Some(jr) = stealers[j].steal() {
+                                        cx.counters.steal_hits += 1;
+                                        stolen = Some(jr);
+                                        break;
+                                    }
+                                }
+                                let Some((id, task)) = stolen else { break };
+                                run_job(&mut cx, arena, id, &task, order, tt);
+                                executed_this_round += 1;
+                                if done_flag.load(SeqCst) {
+                                    break;
+                                }
+                            }
+                        }
+                        let execd = executing.elapsed().as_nanos() as u64;
+
+                        // ---- Adapt the batch target for the next round.
+                        if adaptive && executed_this_round > 0 {
+                            if waited * 4 >= execd && cx.batch_target < MAX_BATCH {
+                                // Lock waits cost >= 25% of execution:
+                                // amortize harder.
+                                cx.batch_target = (cx.batch_target * 2).min(MAX_BATCH);
+                                cx.counters.batch_grows += 1;
+                                cx.scarce_streak = 0;
+                            } else if refilled * 2 < cx.batch_target
+                                && waited * 16 < execd
+                                && cx.batch_target > 1
+                            {
+                                // Queues are scarce and the lock is cheap:
+                                // smaller batches keep windows fresh. Demand
+                                // the signal twice in a row before paying
+                                // for it (see `scarce_streak`).
+                                cx.scarce_streak += 1;
+                                if cx.scarce_streak >= 2 {
+                                    cx.batch_target /= 2;
+                                    cx.counters.batch_shrinks += 1;
+                                    cx.scarce_streak = 0;
+                                }
+                            } else {
+                                cx.scarce_streak = 0;
+                            }
+                        }
+                        if executed_this_round > 0 {
+                            cx.steal_pass = steal_on;
                         }
                     }
                 })
@@ -244,6 +465,28 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Sync>(
         per_thread,
         tt: None,
     }
+}
+
+/// Executes one job lock-free: the position (when the task reads one) is
+/// dereferenced out of the arena — published earlier by whichever scheduler
+/// round selected the job — and the outcome is buffered for the worker's
+/// next acquisition.
+fn run_job<P: GamePosition, T: TtAccess<P>>(
+    cx: &mut WorkerCtx<P>,
+    arena: &PublishSlab<std::sync::Arc<P>>,
+    id: NodeId,
+    task: &Task,
+    order: search_serial::ordering::OrderPolicy,
+    tt: T,
+) {
+    cx.counters.jobs_executed += 1;
+    let pos: Option<&P> = task.needs_pos().then(|| {
+        &**arena
+            .get(id as usize)
+            .expect("position published before the job was queued")
+    });
+    let outcome = execute_task(task, pos, order, tt);
+    cx.ready.push((id, outcome));
 }
 
 #[cfg(test)]
@@ -291,6 +534,27 @@ mod tests {
     }
 
     #[test]
+    fn matches_negmax_across_exec_configs() {
+        let root = RandomTreeSpec::new(14, 4, 7).root();
+        let exact = negmax(&root, 7).value;
+        for batch in [BatchPolicy::Adaptive, BatchPolicy::Fixed(8)] {
+            for steal in [false, true] {
+                for threads in [1usize, 4] {
+                    let exec = ThreadsConfig { batch, steal };
+                    let r = run_er_threads_exec(
+                        &root,
+                        7,
+                        threads,
+                        &ErParallelConfig::random_tree(3),
+                        exec,
+                    );
+                    assert_eq!(r.value, exact, "exec {exec:?} threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn tictactoe_threaded_draw() {
         let r = run_er_threads(
             &TicTacToe::initial(),
@@ -331,6 +595,32 @@ mod tests {
     }
 
     #[test]
+    fn no_position_clone_under_the_lock() {
+        // The acceptance invariant of the execution layer: positions reach
+        // executors through the arena (refcount bumps under the lock,
+        // published once per node), never by deep-cloning in the critical
+        // section.
+        let root = RandomTreeSpec::new(9, 4, 8).root();
+        for threads in [1usize, 4, 8] {
+            let r = run_er_threads(&root, 8, threads, &ErParallelConfig::random_tree(3));
+            let c = r.counters();
+            assert_eq!(c.pos_clones_in_lock, 0, "threads {threads}");
+            assert!(c.arena_publishes > 0, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn lock_timing_counters_are_populated() {
+        let root = RandomTreeSpec::new(26, 4, 8).root();
+        let r = run_er_threads(&root, 8, 4, &ErParallelConfig::random_tree(3));
+        let c = r.counters();
+        // Hold time is measured on every acquisition; it cannot be zero on
+        // a run that applied thousands of outcomes.
+        assert!(c.lock_hold_nanos > 0);
+        assert!(c.mean_lock_wait_nanos() >= 0.0);
+    }
+
+    #[test]
     fn larger_batches_need_fewer_acquisitions() {
         let root = RandomTreeSpec::new(12, 4, 8).root();
         let cfg = ErParallelConfig::random_tree(4);
@@ -345,5 +635,21 @@ mod tests {
             a16.lock_acquisitions,
             a1.lock_acquisitions
         );
+    }
+
+    #[test]
+    fn adaptive_batching_adjusts_and_stays_correct() {
+        let root = RandomTreeSpec::new(18, 4, 8).root();
+        let exact = negmax(&root, 8).value;
+        let exec = ThreadsConfig {
+            batch: BatchPolicy::Adaptive,
+            steal: true,
+        };
+        let r = run_er_threads_exec(&root, 8, 4, &ErParallelConfig::random_tree(3), exec);
+        assert_eq!(r.value, exact);
+        let c = r.counters();
+        // The adaptive controller ran (its counters merged), whichever
+        // direction this host's timings pushed it.
+        assert_eq!(c.jobs_executed, c.outcomes_applied);
     }
 }

@@ -18,7 +18,11 @@ pub mod mandatory;
 pub mod schedule;
 pub mod tree;
 
-pub use er::threads::{run_er_threads_tt, run_er_threads_with, ErThreadsResult, DEFAULT_BATCH};
+pub use er::threads::{
+    run_er_threads_tt, run_er_threads_with, BatchPolicy, ErThreadsResult, ThreadsConfig,
+    DEFAULT_BATCH, MAX_BATCH,
+};
 pub use er::{
-    run_er_sim, run_er_sim_tt, run_er_threads, ErParallelConfig, ErRunResult, Speculation,
+    run_er_sim, run_er_sim_tt, run_er_threads, run_er_threads_exec, run_er_threads_exec_tt,
+    ErParallelConfig, ErRunResult, Speculation,
 };

@@ -14,6 +14,8 @@
 //! tree immediately narrows everyone's windows. "Node can't be cut off"
 //! (§6 combine) is exactly "the dynamic window is non-empty".
 
+use std::sync::Arc;
+
 use gametree::{GamePosition, Value, Window};
 
 /// Index of a node in the [`SearchTree`] arena.
@@ -45,8 +47,10 @@ pub enum Kind {
 /// One node of the shared search tree.
 #[derive(Clone, Debug)]
 pub struct Node<P: GamePosition> {
-    /// The game position at this node.
-    pub pos: P,
+    /// The game position at this node, as a shared handle: the threaded
+    /// back-end publishes it into a lock-free arena (a refcount bump, not a
+    /// deep clone) so executors read positions after dropping the heap lock.
+    pub pos: Arc<P>,
     /// Parent node, `None` for the root.
     pub parent: Option<NodeId>,
     /// Remaining search depth below this node.
@@ -61,8 +65,9 @@ pub struct Node<P: GamePosition> {
     /// Node finished: evaluated, refuted, or cut off.
     pub done: bool,
     /// Ordered successor positions, generated once ("determine the child
-    /// positions"); `None` until first needed.
-    pub moves: Option<Vec<P>>,
+    /// positions"); `None` until first needed. Shared handles: spawning a
+    /// child is a refcount bump, never a position copy.
+    pub moves: Option<Vec<Arc<P>>>,
     /// Static values of `moves`, aligned index-for-index, when the ordering
     /// policy evaluated them for sorting. Spawned children inherit their
     /// entry as `static_eval` so no position is evaluated twice.
@@ -105,7 +110,7 @@ pub struct Node<P: GamePosition> {
 
 impl<P: GamePosition> Node<P> {
     fn new(
-        pos: P,
+        pos: Arc<P>,
         parent: Option<NodeId>,
         depth: u32,
         ply: u32,
@@ -166,7 +171,14 @@ impl<P: GamePosition> SearchTree<P> {
     /// strategy the root's evaluation starts with).
     pub fn new(pos: P, depth: u32) -> SearchTree<P> {
         SearchTree {
-            nodes: vec![Node::new(pos, None, depth, 0, Kind::ENode, ROOT_PATH_KEY)],
+            nodes: vec![Node::new(
+                Arc::new(pos),
+                None,
+                depth,
+                0,
+                Kind::ENode,
+                ROOT_PATH_KEY,
+            )],
         }
     }
 
@@ -196,7 +208,7 @@ impl<P: GamePosition> SearchTree<P> {
         let id = self.nodes.len() as NodeId;
         let p = &mut self.nodes[parent as usize];
         let idx = p.next_child;
-        let pos = p.moves.as_ref().expect("move list exists")[idx].clone();
+        let pos = Arc::clone(&p.moves.as_ref().expect("move list exists")[idx]);
         let static_eval = p.move_evals.as_ref().map(|e| e[idx]);
         let depth = p.depth - 1;
         let ply = p.ply + 1;
@@ -294,7 +306,13 @@ mod tests {
     }
 
     fn expand_all(t: &mut SearchTree<gametree::arena::ArenaPos>, id: NodeId, kind: Kind) {
-        let kids = t.node(id).pos.children();
+        let kids = t
+            .node(id)
+            .pos
+            .children()
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         t.node_mut(id).moves = Some(kids);
         while !t.node(id).fully_spawned() {
             t.spawn_child(id, kind);
@@ -345,7 +363,7 @@ mod tests {
         expand_all(&mut t, ROOT, Kind::Undecided);
         t.node_mut(ROOT).value = Value::new(5);
         let b = t.node(ROOT).children[0];
-        let kids_b = t.node(b).pos.children();
+        let kids_b = t.node(b).pos.children().into_iter().map(Arc::new).collect();
         t.node_mut(b).moves = Some(kids_b);
         let c = t.spawn_child(b, Kind::ENode);
         let w = t.window(c);
@@ -354,7 +372,7 @@ mod tests {
         // If c's descendants establish value >= beta(c) = -alpha(b) = +inf —
         // impossible; instead a *descendant of c* at the next ply sees
         // beta = -5 and can be deep-cut.
-        let kids_c = t.node(c).pos.children();
+        let kids_c = t.node(c).pos.children().into_iter().map(Arc::new).collect();
         t.node_mut(c).moves = Some(kids_c);
         let d = t.spawn_child(c, Kind::Undecided);
         assert_eq!(t.window(d).beta, Value::new(-5));
@@ -367,7 +385,13 @@ mod tests {
         let mut t = two_level();
         expand_all(&mut t, ROOT, Kind::Undecided);
         let c1 = t.node(ROOT).children[0];
-        let kids = t.node(c1).pos.children();
+        let kids = t
+            .node(c1)
+            .pos
+            .children()
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         t.node_mut(c1).moves = Some(kids);
         let g = t.spawn_child(c1, Kind::ENode);
         assert!(!t.is_dead(g));
@@ -380,7 +404,13 @@ mod tests {
     #[test]
     fn spawn_child_bookkeeping() {
         let mut t = two_level();
-        let kids = t.node(ROOT).pos.children();
+        let kids = t
+            .node(ROOT)
+            .pos
+            .children()
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         t.node_mut(ROOT).moves = Some(kids);
         assert!(!t.node(ROOT).fully_spawned());
         let a = t.spawn_child(ROOT, Kind::Undecided);

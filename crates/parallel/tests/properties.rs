@@ -3,7 +3,10 @@
 //! step-by-step checks of the Table 1/2 scheduling rules.
 
 use er_parallel::er::engine::{execute_task, ErWorker, Select, Task};
-use er_parallel::{run_er_sim, run_er_threads_with, ErParallelConfig, Speculation};
+use er_parallel::{
+    run_er_sim, run_er_threads_exec, run_er_threads_with, BatchPolicy, ErParallelConfig,
+    Speculation, ThreadsConfig, DEFAULT_BATCH,
+};
 use gametree::arena::{leaf, node, ArenaTree, TreeSpec};
 use gametree::random::RandomTreeSpec;
 use gametree::{GamePosition, Value};
@@ -55,6 +58,32 @@ proptest! {
             &root, 5, threads, batch, &ErParallelConfig::random_tree(2),
         );
         prop_assert_eq!(r.value, negmax(&root, 5).value);
+    }
+
+    #[test]
+    fn exec_matrix_matches_negmax_on_random_trees(
+        seed in any::<u64>(),
+        threads_idx in 0usize..4,
+        exec_idx in 0usize..4,
+    ) {
+        // {threads 1,2,4,8} x {adaptive, fixed} x {steal on/off}: every
+        // execution-layer combination agrees with negamax, and no
+        // combination deep-clones a position under the heap lock.
+        let threads = [1usize, 2, 4, 8][threads_idx];
+        let exec = ThreadsConfig {
+            batch: if exec_idx & 1 != 0 {
+                BatchPolicy::Adaptive
+            } else {
+                BatchPolicy::Fixed(DEFAULT_BATCH)
+            },
+            steal: exec_idx & 2 != 0,
+        };
+        let root = RandomTreeSpec::new(seed, 3, 5).root();
+        let r = run_er_threads_exec(
+            &root, 5, threads, &ErParallelConfig::random_tree(2), exec,
+        );
+        prop_assert_eq!(r.value, negmax(&root, 5).value);
+        prop_assert_eq!(r.counters().pos_clones_in_lock, 0);
     }
 
     #[test]
@@ -219,6 +248,60 @@ fn threads_match_negmax_on_shallow_checkers() {
     for threads in [1usize, 4] {
         let r = run_er_threads_with(&root, 5, threads, 8, &cfg);
         assert_eq!(r.value, exact, "threads {threads}");
+    }
+}
+
+/// Every execution-layer combination: both batch policies crossed with
+/// steal on/off.
+fn exec_matrix() -> Vec<ThreadsConfig> {
+    let mut m = Vec::new();
+    for batch in [BatchPolicy::Adaptive, BatchPolicy::Fixed(DEFAULT_BATCH)] {
+        for steal in [false, true] {
+            m.push(ThreadsConfig { batch, steal });
+        }
+    }
+    m
+}
+
+#[test]
+fn exec_matrix_matches_negmax_on_shallow_othello() {
+    // The full {1,2,4,8} x {adaptive, fixed} x {steal on/off} matrix on a
+    // real game with sorted move generation.
+    let (_, root) = othello::configs::all().remove(0);
+    let cfg = ErParallelConfig {
+        serial_depth: 0,
+        order: search_serial::OrderPolicy::OTHELLO,
+        spec: Speculation::ALL,
+        cost: problem_heap::CostModel::default(),
+    };
+    let exact = negmax(&root, 4).value;
+    for threads in [1usize, 2, 4, 8] {
+        for exec in exec_matrix() {
+            let r = run_er_threads_exec(&root, 4, threads, &cfg, exec);
+            assert_eq!(r.value, exact, "threads {threads} exec {exec:?}");
+            assert_eq!(r.counters().pos_clones_in_lock, 0);
+        }
+    }
+}
+
+#[test]
+fn exec_matrix_matches_negmax_on_shallow_checkers() {
+    // Same matrix on checkers (forced-capture move generation) with a
+    // nonzero serial frontier.
+    let root = checkers::c1();
+    let cfg = ErParallelConfig {
+        serial_depth: 3,
+        order: search_serial::OrderPolicy::OTHELLO,
+        spec: Speculation::ALL,
+        cost: problem_heap::CostModel::default(),
+    };
+    let exact = negmax(&root, 5).value;
+    for threads in [1usize, 2, 4, 8] {
+        for exec in exec_matrix() {
+            let r = run_er_threads_exec(&root, 5, threads, &cfg, exec);
+            assert_eq!(r.value, exact, "threads {threads} exec {exec:?}");
+            assert_eq!(r.counters().pos_clones_in_lock, 0);
+        }
     }
 }
 

@@ -1,0 +1,305 @@
+//! Bounded Chase–Lev work-stealing deque (std-only).
+//!
+//! The paper's single shared problem heap serializes every select; its §3.1
+//! "interference loss" analysis predicts that this is what erodes
+//! efficiency as processors are added. The threaded back-end therefore
+//! keeps a small *local* deque per worker: the scheduler refills it in one
+//! short critical section, the owner pops from it with no lock at all, and
+//! an idle sibling *steals* from the other end lock-free — the global
+//! mutex is reserved for tree mutation.
+//!
+//! The structure is the classic Chase–Lev deque [Chase & Lev, SPAA 2005]
+//! restricted to what the back-end needs, which buys real simplifications:
+//!
+//! * **Bounded, fixed capacity.** A worker's deque only ever holds one
+//!   refill batch (at most [`crate::ThreadCounters`]-tracked
+//!   `DEFAULT_BATCH * 2` jobs), so the buffer never grows and the
+//!   push path can simply report "full".
+//! * **`T: Copy`.** Job descriptors are small plain records (a node id and
+//!   a task tag; positions travel through the lock-free position arena,
+//!   not the deque). Copy semantics mean a steal that loses its race can
+//!   discard the value it read with no drop/ownership hazard.
+//!
+//! `bottom` and `top` are monotonically increasing [`AtomicUsize`]
+//! counters; a slot index is `counter & (capacity - 1)`. The owner pushes
+//! and pops at `bottom` (LIFO); stealers CAS `top` forward (FIFO — they
+//! take the *oldest* job, the one whose window is most likely stale for
+//! the owner anyway). All orderings are `SeqCst`: at problem-heap scale the
+//! cost is unmeasurable and the proof obligations collapse.
+//!
+//! The single `unsafe` ingredient is the standard Chase–Lev racy read: a
+//! stealer reads a slot *before* winning the `top` CAS, so a maximally
+//! stale stealer can read bytes the owner is concurrently overwriting.
+//! The CAS then fails (the owner can only reuse slot `t & mask` for index
+//! `t + capacity`, which requires `top > t`) and the value — a `Copy`
+//! record, so no destructor ever runs on it — is discarded. The
+//! release-mode hammer test in `tests/deque.rs` drives 8 threads against
+//! one deque and checks that no job is ever lost or duplicated.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// Shared state of one deque.
+struct Inner<T> {
+    /// Next slot the owner will push into (monotonic).
+    bottom: AtomicUsize,
+    /// Next slot a stealer will take from (monotonic).
+    top: AtomicUsize,
+    /// Ring buffer; slot for index `i` is `slots[i & mask]`.
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+}
+
+// SAFETY: slots are plain memory coordinated entirely by the bottom/top
+// protocol documented on the module; T is additionally constrained to Copy
+// at the API boundary so discarded racy reads carry no ownership.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+/// The owner half of a work-stealing deque: single-threaded push/pop at
+/// the bottom. Created by [`ws_deque`]; not clonable — exactly one thread
+/// may own it.
+pub struct WsOwner<T: Copy> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The stealer half: any number of threads may concurrently [`steal`]
+/// (oldest-first) from the top.
+///
+/// [`steal`]: WsStealer::steal
+pub struct WsStealer<T: Copy> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T: Copy> Clone for WsStealer<T> {
+    fn clone(&self) -> WsStealer<T> {
+        WsStealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Creates a bounded work-stealing deque holding at most `capacity` items
+/// (rounded up to a power of two, minimum 2). Returns the owner and one
+/// stealer handle; clone the stealer for each additional thief.
+pub fn ws_deque<T: Copy>(capacity: usize) -> (WsOwner<T>, WsStealer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(Inner {
+        bottom: AtomicUsize::new(0),
+        top: AtomicUsize::new(0),
+        slots,
+        mask: cap - 1,
+    });
+    (
+        WsOwner {
+            inner: Arc::clone(&inner),
+        },
+        WsStealer { inner },
+    )
+}
+
+impl<T: Copy> WsOwner<T> {
+    /// Pushes `item` at the bottom. Fails (returning the item) when the
+    /// deque is full — the caller sized its refill batch wrong.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(SeqCst);
+        let t = inner.top.load(SeqCst);
+        if b.wrapping_sub(t) > inner.mask {
+            return Err(item);
+        }
+        // SAFETY: slot `b & mask` is outside [top, bottom): no stealer
+        // reads it until `bottom` is published past `b`, and a stale
+        // stealer's racy read of a previous generation is discarded by its
+        // failed CAS (see module docs).
+        unsafe { (*inner.slots[b & inner.mask].get()).write(item) };
+        inner.bottom.store(b.wrapping_add(1), SeqCst);
+        Ok(())
+    }
+
+    /// Pops the most recently pushed item (LIFO). Lock-free; contends with
+    /// stealers only on the last remaining item.
+    pub fn pop(&mut self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(SeqCst);
+        if b == inner.top.load(SeqCst) {
+            return None; // empty; only the owner ever lowers bottom
+        }
+        let b = b.wrapping_sub(1);
+        inner.bottom.store(b, SeqCst);
+        let t = inner.top.load(SeqCst);
+        // SAFETY: the owner published this slot itself; stealers only read.
+        let item = unsafe { (*inner.slots[b & inner.mask].get()).assume_init_read() };
+        if t.wrapping_add(1) <= b {
+            // More than one item remained: the reservation of `b` cannot
+            // race with any stealer (they stop at top < bottom).
+            return Some(item);
+        }
+        // `b` is (at most) the last item: settle the race via a CAS on top.
+        let won = t == b
+            && inner
+                .top
+                .compare_exchange(t, t.wrapping_add(1), SeqCst, SeqCst)
+                .is_ok();
+        // Empty either way now; restore bottom above the (consumed) slot.
+        inner.bottom.store(b.wrapping_add(1), SeqCst);
+        if won {
+            Some(item)
+        } else {
+            None // a stealer got there first; discard the Copy read
+        }
+    }
+
+    /// Number of items currently queued (exact only from the owner thread).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(SeqCst);
+        let t = self.inner.top.load(SeqCst);
+        b.saturating_sub(t)
+    }
+
+    /// True iff nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Copy> WsStealer<T> {
+    /// Steals the *oldest* item (FIFO end). Lock-free: retries internally
+    /// while its CAS loses to concurrent thieves, returns `None` once the
+    /// deque is observed empty.
+    pub fn steal(&self) -> Option<T> {
+        let inner = &*self.inner;
+        loop {
+            let t = inner.top.load(SeqCst);
+            let b = inner.bottom.load(SeqCst);
+            // During the owner's last-item pop, bottom may sit one below
+            // top; signed comparison treats that as empty.
+            if (b.wrapping_sub(t) as isize) <= 0 {
+                return None;
+            }
+            // SAFETY: racy read, discarded unless the CAS certifies that
+            // index `t` was still ours to take (module docs).
+            let item = unsafe { (*inner.slots[t & inner.mask].get()).assume_init_read() };
+            if inner
+                .top
+                .compare_exchange(t, t.wrapping_add(1), SeqCst, SeqCst)
+                .is_ok()
+            {
+                return Some(item);
+            }
+            // Lost to another thief (or the owner's last-item pop): retry.
+        }
+    }
+
+    /// Snapshot of the number of queued items. Racy by nature — used only
+    /// as a "is there anything worth stealing?" hint.
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(SeqCst);
+        let t = self.inner.top.load(SeqCst);
+        b.saturating_sub(t)
+    }
+
+    /// Racy emptiness hint; see [`WsStealer::len`].
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pop_is_lifo() {
+        let (mut o, _s) = ws_deque::<u32>(8);
+        for i in 0..5 {
+            o.push(i).unwrap();
+        }
+        assert_eq!(o.len(), 5);
+        for i in (0..5).rev() {
+            assert_eq!(o.pop(), Some(i));
+        }
+        assert_eq!(o.pop(), None);
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn steal_takes_oldest_first() {
+        let (mut o, s) = ws_deque::<u32>(8);
+        for i in 0..4 {
+            o.push(i).unwrap();
+        }
+        assert_eq!(s.steal(), Some(0));
+        assert_eq!(s.steal(), Some(1));
+        // Owner still pops newest.
+        assert_eq!(o.pop(), Some(3));
+        assert_eq!(s.steal(), Some(2));
+        assert_eq!(s.steal(), None);
+        assert_eq!(o.pop(), None);
+    }
+
+    #[test]
+    fn push_reports_full_at_capacity() {
+        let (mut o, _s) = ws_deque::<u8>(4);
+        for i in 0..4 {
+            o.push(i).unwrap();
+        }
+        assert_eq!(o.push(99), Err(99));
+        assert_eq!(o.pop(), Some(3));
+        assert_eq!(o.push(99), Ok(()));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (mut o, _s) = ws_deque::<u8>(5);
+        for i in 0..8 {
+            o.push(i).unwrap(); // 5 rounds up to 8
+        }
+        assert_eq!(o.push(8), Err(8));
+    }
+
+    #[test]
+    fn interleaved_push_pop_steal_preserves_every_item() {
+        let (mut o, s) = ws_deque::<u64>(16);
+        let mut seen = Vec::new();
+        let mut next = 0u64;
+        for round in 0..50 {
+            for _ in 0..(round % 5) {
+                if o.push(next).is_ok() {
+                    next += 1;
+                }
+            }
+            if round % 2 == 0 {
+                if let Some(v) = o.pop() {
+                    seen.push(v);
+                }
+            }
+            if round % 3 == 0 {
+                if let Some(v) = s.steal() {
+                    seen.push(v);
+                }
+            }
+        }
+        while let Some(v) = o.pop() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..next).collect();
+        assert_eq!(seen, expect, "single-threaded interleaving loses nothing");
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let (mut o, s) = ws_deque::<usize>(4);
+        for i in 0..40 {
+            o.push(i).unwrap();
+            assert_eq!(s.steal(), Some(i));
+        }
+    }
+}

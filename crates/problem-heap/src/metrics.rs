@@ -61,6 +61,24 @@ pub struct ThreadCounters {
     pub wakeups: u64,
     /// Times this thread parked on the idle condition variable.
     pub idle_parks: u64,
+    /// Lock-free steal probes against sibling deques.
+    pub steal_attempts: u64,
+    /// Steal probes that came back with a job.
+    pub steal_hits: u64,
+    /// Nanoseconds spent blocked waiting to acquire the heap mutex.
+    pub lock_wait_nanos: u64,
+    /// Nanoseconds the heap mutex was held by this thread.
+    pub lock_hold_nanos: u64,
+    /// Position handles published into the lock-free arena (`Arc` refcount
+    /// bumps performed under the lock in place of deep clones).
+    pub arena_publishes: u64,
+    /// Deep position clones performed while the heap mutex was held. The
+    /// execution layer exists to keep this at zero; tests assert it.
+    pub pos_clones_in_lock: u64,
+    /// Adaptive-batch upward adjustments.
+    pub batch_grows: u64,
+    /// Adaptive-batch downward adjustments.
+    pub batch_shrinks: u64,
 }
 
 impl ThreadCounters {
@@ -72,6 +90,14 @@ impl ThreadCounters {
         self.outcomes_applied += other.outcomes_applied;
         self.wakeups += other.wakeups;
         self.idle_parks += other.idle_parks;
+        self.steal_attempts += other.steal_attempts;
+        self.steal_hits += other.steal_hits;
+        self.lock_wait_nanos += other.lock_wait_nanos;
+        self.lock_hold_nanos += other.lock_hold_nanos;
+        self.arena_publishes += other.arena_publishes;
+        self.pos_clones_in_lock += other.pos_clones_in_lock;
+        self.batch_grows += other.batch_grows;
+        self.batch_shrinks += other.batch_shrinks;
     }
 
     /// Mean jobs obtained per lock acquisition — the batching win the
@@ -82,6 +108,52 @@ impl ThreadCounters {
         } else {
             self.jobs_executed as f64 / self.lock_acquisitions as f64
         }
+    }
+
+    /// Lock acquisitions per executed job — the inverse contention figure
+    /// the scaling experiment minimizes (lower is better).
+    pub fn acquisitions_per_job(&self) -> f64 {
+        if self.jobs_executed == 0 {
+            0.0
+        } else {
+            self.lock_acquisitions as f64 / self.jobs_executed as f64
+        }
+    }
+
+    /// Fraction of steal probes that returned a job, in `[0, 1]`.
+    pub fn steal_hit_rate(&self) -> f64 {
+        if self.steal_attempts == 0 {
+            0.0
+        } else {
+            self.steal_hits as f64 / self.steal_attempts as f64
+        }
+    }
+
+    /// Mean nanoseconds spent waiting for the mutex per acquisition.
+    pub fn mean_lock_wait_nanos(&self) -> f64 {
+        if self.lock_acquisitions == 0 {
+            0.0
+        } else {
+            self.lock_wait_nanos as f64 / self.lock_acquisitions as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ThreadCounters {
+    /// One-line contention summary used by the bench output, e.g.
+    /// `acq/job 0.14 | steal 23/410 (5.6%) | wait 312ns/acq | batch +3/-1`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "acq/job {:.3} | steal {}/{} ({:.1}%) | wait {:.0}ns/acq | batch +{}/-{}",
+            self.acquisitions_per_job(),
+            self.steal_hits,
+            self.steal_attempts,
+            self.steal_hit_rate() * 100.0,
+            self.mean_lock_wait_nanos(),
+            self.batch_grows,
+            self.batch_shrinks,
+        )
     }
 }
 
@@ -183,6 +255,14 @@ mod tests {
             outcomes_applied: 40,
             wakeups: 3,
             idle_parks: 1,
+            steal_attempts: 8,
+            steal_hits: 2,
+            lock_wait_nanos: 1000,
+            lock_hold_nanos: 2000,
+            arena_publishes: 12,
+            pos_clones_in_lock: 0,
+            batch_grows: 1,
+            batch_shrinks: 0,
         };
         let b = ThreadCounters {
             lock_acquisitions: 5,
@@ -191,13 +271,55 @@ mod tests {
             outcomes_applied: 10,
             wakeups: 0,
             idle_parks: 2,
+            steal_attempts: 2,
+            steal_hits: 1,
+            lock_wait_nanos: 500,
+            lock_hold_nanos: 300,
+            arena_publishes: 3,
+            pos_clones_in_lock: 0,
+            batch_grows: 0,
+            batch_shrinks: 2,
         };
         a.merge(&b);
         assert_eq!(a.lock_acquisitions, 15);
         assert_eq!(a.jobs_executed, 50);
         assert_eq!(a.idle_parks, 3);
+        assert_eq!(a.steal_attempts, 10);
+        assert_eq!(a.steal_hits, 3);
+        assert_eq!(a.lock_wait_nanos, 1500);
+        assert_eq!(a.lock_hold_nanos, 2300);
+        assert_eq!(a.arena_publishes, 15);
+        assert_eq!(a.pos_clones_in_lock, 0);
+        assert_eq!(a.batch_grows, 1);
+        assert_eq!(a.batch_shrinks, 2);
         assert!((a.jobs_per_acquisition() - 50.0 / 15.0).abs() < 1e-12);
+        assert!((a.acquisitions_per_job() - 15.0 / 50.0).abs() < 1e-12);
+        assert!((a.steal_hit_rate() - 0.3).abs() < 1e-12);
+        assert!((a.mean_lock_wait_nanos() - 100.0).abs() < 1e-12);
         assert_eq!(ThreadCounters::default().jobs_per_acquisition(), 0.0);
+        assert_eq!(ThreadCounters::default().acquisitions_per_job(), 0.0);
+        assert_eq!(ThreadCounters::default().steal_hit_rate(), 0.0);
+        assert_eq!(ThreadCounters::default().mean_lock_wait_nanos(), 0.0);
+    }
+
+    #[test]
+    fn thread_counters_display_is_one_line() {
+        let c = ThreadCounters {
+            lock_acquisitions: 10,
+            jobs_executed: 40,
+            steal_attempts: 8,
+            steal_hits: 2,
+            lock_wait_nanos: 1000,
+            batch_grows: 1,
+            batch_shrinks: 2,
+            ..ThreadCounters::default()
+        };
+        let s = format!("{c}");
+        assert!(!s.contains('\n'));
+        assert!(s.contains("acq/job 0.250"), "got: {s}");
+        assert!(s.contains("steal 2/8 (25.0%)"), "got: {s}");
+        assert!(s.contains("100ns/acq"), "got: {s}");
+        assert!(s.contains("batch +1/-2"), "got: {s}");
     }
 
     #[test]

@@ -68,13 +68,23 @@ impl<K: Ord, T> StableQueue<K, T> {
     /// that lets a caller drain several items per critical section.
     pub fn pop_batch(&mut self, n: usize) -> Vec<T> {
         let mut out = Vec::with_capacity(n.min(self.live));
-        while out.len() < n {
+        self.pop_batch_into(&mut out, n);
+        out
+    }
+
+    /// Appends up to `n` items to `out` in pop order, reusing the caller's
+    /// buffer — the allocation-free form of [`StableQueue::pop_batch`] for
+    /// hot refill loops that run once per critical section. Existing
+    /// contents of `out` are preserved; returns how many items were moved.
+    pub fn pop_batch_into(&mut self, out: &mut Vec<T>, n: usize) -> usize {
+        let start = out.len();
+        while out.len() - start < n {
             match self.pop() {
                 Some(item) => out.push(item),
                 None => break,
             }
         }
-        out
+        out.len() - start
     }
 
     /// Number of queued items.
@@ -222,6 +232,34 @@ mod tests {
         q.push(1, 1);
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop_batch(5), vec![5, 9]);
+    }
+
+    #[test]
+    fn pop_batch_into_reuses_buffer_and_preserves_prefix() {
+        let mut q = StableQueue::new();
+        for i in [3, 1, 2] {
+            q.push(i, i);
+        }
+        let mut buf = vec![99];
+        assert_eq!(q.pop_batch_into(&mut buf, 2), 2);
+        assert_eq!(buf, vec![99, 1, 2]);
+        let cap = buf.capacity();
+        buf.clear();
+        assert_eq!(q.pop_batch_into(&mut buf, 10), 1);
+        assert_eq!(buf, vec![3]);
+        assert_eq!(buf.capacity(), cap, "no reallocation on refill");
+        assert_eq!(q.pop_batch_into(&mut buf, 10), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_into_zero_moves_nothing() {
+        let mut q = StableQueue::new();
+        q.push(1, 1);
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_batch_into(&mut buf, 0), 0);
+        assert!(buf.is_empty());
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Concurrency tests for the work-stealing deque.
+//!
+//! The hammer tests only bite in release mode (CI runs them with
+//! `--release`): optimized code paths widen the race windows the Chase–Lev
+//! protocol has to close. Debug runs still exercise the protocol, just
+//! with fewer interleavings.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+use problem_heap::ws_deque;
+
+/// Eight thieves against one producing/consuming owner: every pushed item
+/// must be consumed exactly once, none lost, none duplicated.
+#[test]
+fn eight_thread_steal_hammer_loses_and_duplicates_nothing() {
+    const ITEMS: u64 = 200_000;
+    const THIEVES: usize = 8;
+    const CAP: usize = 64;
+
+    let (mut owner, stealer) = ws_deque::<u64>(CAP);
+    let done = Arc::new(AtomicBool::new(false));
+    let stolen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let thieves: Vec<_> = (0..THIEVES)
+        .map(|_| {
+            let s = stealer.clone();
+            let done = Arc::clone(&done);
+            let stolen = Arc::clone(&stolen);
+            std::thread::spawn(move || {
+                let mut local = Vec::new();
+                // Keep sweeping until the owner signals completion, then
+                // once more to drain stragglers.
+                loop {
+                    while let Some(v) = s.steal() {
+                        local.push(v);
+                    }
+                    if done.load(SeqCst) {
+                        while let Some(v) = s.steal() {
+                            local.push(v);
+                        }
+                        break;
+                    }
+                    // On a single-core host spinning starves the owner;
+                    // yielding forces the preemption the race needs anyway.
+                    std::thread::yield_now();
+                }
+                stolen.lock().unwrap().extend(local);
+            })
+        })
+        .collect();
+
+    // The owner interleaves pushes with LIFO pops, retrying pushes that
+    // hit capacity (thieves make room).
+    let mut popped = Vec::new();
+    let mut next = 0u64;
+    while next < ITEMS {
+        let mut v = next;
+        loop {
+            match owner.push(v) {
+                Ok(()) => break,
+                Err(back) => {
+                    v = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        next += 1;
+        if next.is_multiple_of(3) {
+            if let Some(v) = owner.pop() {
+                popped.push(v);
+            }
+        }
+    }
+    while let Some(v) = owner.pop() {
+        popped.push(v);
+    }
+    done.store(true, SeqCst);
+    for t in thieves {
+        t.join().unwrap();
+    }
+
+    let stolen = stolen.lock().unwrap();
+    let mut all: Vec<u64> = popped.iter().chain(stolen.iter()).copied().collect();
+    assert_eq!(
+        all.len() as u64,
+        ITEMS,
+        "every item consumed exactly once (owner {} + thieves {})",
+        popped.len(),
+        stolen.len()
+    );
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len() as u64, ITEMS, "no item duplicated");
+    assert_eq!(*all.first().unwrap(), 0);
+    assert_eq!(*all.last().unwrap(), ITEMS - 1);
+    assert!(
+        !stolen.is_empty(),
+        "with 8 thieves against a capacity-{CAP} ring, steals must land"
+    );
+}
+
+/// Owner pops and thieves racing over a deque that repeatedly drains to a
+/// single item — the only state where owner and thief contend on the same
+/// slot (the last-item CAS).
+#[test]
+fn last_item_race_settles_to_exactly_one_consumer() {
+    const ROUNDS: u64 = 100_000;
+    let (mut owner, stealer) = ws_deque::<u64>(8);
+    let done = Arc::new(AtomicBool::new(false));
+    let stolen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let thief = {
+        let s = stealer.clone();
+        let done = Arc::clone(&done);
+        let stolen = Arc::clone(&stolen);
+        std::thread::spawn(move || {
+            let mut local = Vec::new();
+            while !done.load(SeqCst) {
+                match s.steal() {
+                    Some(v) => local.push(v),
+                    None => std::thread::yield_now(),
+                }
+            }
+            while let Some(v) = s.steal() {
+                local.push(v);
+            }
+            stolen.lock().unwrap().extend(local);
+        })
+    };
+
+    let mut mine = Vec::new();
+    for i in 0..ROUNDS {
+        // Push one, pop one: the deque oscillates around the contended
+        // empty/one-item boundary.
+        let mut v = i;
+        loop {
+            match owner.push(v) {
+                Ok(()) => break,
+                Err(back) => v = back,
+            }
+        }
+        if let Some(v) = owner.pop() {
+            mine.push(v);
+        }
+    }
+    done.store(true, SeqCst);
+    thief.join().unwrap();
+
+    let stolen = stolen.lock().unwrap();
+    let consumed: HashSet<u64> = mine.iter().chain(stolen.iter()).copied().collect();
+    assert_eq!(
+        mine.len() + stolen.len(),
+        consumed.len(),
+        "an item won by both the owner's CAS and a thief's CAS"
+    );
+    assert_eq!(consumed.len() as u64, ROUNDS, "an item vanished");
+}

@@ -15,8 +15,10 @@
 //! * [`checkers`] — English draughts (Fishburn's tree-splitting workload);
 //! * [`search_serial`] — negmax, alpha-beta (with and without deep
 //!   cutoffs), aspiration, and serial ER (paper Figure 8);
-//! * [`problem_heap`] — deterministic k-processor problem-heap simulation
-//!   and performance metrics;
+//! * [`problem_heap`] — deterministic k-processor problem-heap simulation,
+//!   performance metrics, and the threaded back-end's execution
+//!   primitives: bounded work-stealing deques and a lock-free publication
+//!   arena (DESIGN.md §9);
 //! * [`er_parallel`] — parallel ER (simulated and real threads) plus the
 //!   §4 baselines: MWF, tree-splitting, pv-splitting, parallel aspiration;
 //! * [`tt`] — sharded lockless concurrent transposition table shared by
@@ -47,6 +49,14 @@
 //! assert_eq!(thr.value, ab.value);
 //! assert_eq!(thr.counters().jobs_executed, thr.counters().outcomes_applied);
 //!
+//! // Execution-layer knobs (DESIGN.md §9): adaptive batching and
+//! // work stealing are the default; pin or disable them explicitly.
+//! let exec = ThreadsConfig { batch: BatchPolicy::Adaptive, steal: true };
+//! assert_eq!(exec, ThreadsConfig::default());
+//! let ws = run_er_threads_exec(&root, 8, 4, &ErParallelConfig::random_tree(4), exec);
+//! assert_eq!(ws.value, ab.value);
+//! assert_eq!(ws.counters().pos_clones_in_lock, 0);
+//!
 //! // The same run with one transposition table shared by all workers.
 //! let table = TranspositionTable::with_bits(16);
 //! let ttr = run_er_threads_tt(&root, 8, 4, 16, &ErParallelConfig::random_tree(4), &table);
@@ -68,8 +78,9 @@ pub use tt;
 pub mod prelude {
     pub use checkers::CheckersPos;
     pub use er_parallel::{
-        run_er_sim, run_er_threads, run_er_threads_tt, run_er_threads_with, ErParallelConfig,
-        ErRunResult, ErThreadsResult, Speculation,
+        run_er_sim, run_er_threads, run_er_threads_exec, run_er_threads_exec_tt, run_er_threads_tt,
+        run_er_threads_with, BatchPolicy, ErParallelConfig, ErRunResult, ErThreadsResult,
+        Speculation, ThreadsConfig, DEFAULT_BATCH, MAX_BATCH,
     };
     pub use gametree::ordered::OrderedTreeSpec;
     pub use gametree::random::RandomTreeSpec;
