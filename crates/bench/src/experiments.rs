@@ -798,7 +798,8 @@ fn scaling_row<P: GamePosition>(
     let mut nodes = 0u64;
     let mut elapsed_ms = 0.0f64;
     for _ in 0..SCALING_REPS {
-        let r = run_er_threads_exec(root, depth, threads, &cfg, exec);
+        let r = run_er_threads_exec(root, depth, threads, &cfg, exec)
+            .expect("unlimited-control scaling run cannot abort");
         assert_eq!(
             r.value, exact,
             "{name} {mode}@{threads}: threaded back-end disagrees with alpha-beta"
@@ -877,6 +878,156 @@ pub fn scaling_rows(thread_counts: &[usize]) -> Vec<ScalingRow> {
             ));
         }
     }
+    rows
+}
+
+/// One row of the `deadline` experiment: the anytime iterative-deepening
+/// driver under a wall-clock budget (`kind == "anytime"`), or a full-budget
+/// equality check against the fixed-depth back-end (`kind == "equality"`).
+#[derive(Clone, Debug)]
+pub struct DeadlineRow {
+    /// Table 3 tree name.
+    pub tree: String,
+    /// `"anytime"` (budget sweep) or `"equality"` (unlimited-budget check).
+    pub kind: String,
+    /// OS threads used.
+    pub threads: usize,
+    /// Depth ceiling handed to the driver.
+    pub max_depth: u32,
+    /// Wall-clock budget in milliseconds; `None` means unlimited.
+    pub budget_ms: Option<f64>,
+    /// Deepest fully-completed depth (0 = static fallback only).
+    pub depth_completed: u32,
+    /// Root value of the deepest completed depth.
+    pub value: i32,
+    /// Nodes examined across all completed iterations.
+    pub nodes: u64,
+    /// Why deepening stopped (`"deadline"`, `"cancelled"`, `"panic"`), or
+    /// `None` when `max_depth` completed within budget.
+    pub stopped: Option<String>,
+    /// Total wall-clock time of the run.
+    pub elapsed_ms: f64,
+    /// How far past the budget the run kept going before every worker
+    /// observed the trip and joined (0 when the budget was not exceeded).
+    /// The `repro deadline` harness asserts this stays bounded.
+    pub grace_ms: f64,
+    /// For `"equality"` rows: the fixed-depth run's value matched exactly.
+    pub matches_fixed_depth: bool,
+}
+
+fn deadline_anytime_row<P: GamePosition>(
+    tree: &TreeSpec<P>,
+    threads: usize,
+    budget: Option<std::time::Duration>,
+) -> DeadlineRow {
+    use er_parallel::{run_er_threads_id, SearchControl, ThreadsConfig};
+    let cfg = ErParallelConfig {
+        serial_depth: tree.serial_depth,
+        order: tree.order,
+        spec: Speculation::ALL,
+        cost: CostModel::default(),
+    };
+    let ctl = match budget {
+        Some(b) => SearchControl::with_budget(b),
+        None => SearchControl::unlimited(),
+    };
+    let id = run_er_threads_id(
+        &tree.root,
+        tree.depth,
+        threads,
+        &cfg,
+        ThreadsConfig::default(),
+        &ctl,
+    );
+    let elapsed_ms = id.elapsed.as_secs_f64() * 1e3;
+    let grace_ms = match budget {
+        Some(b) => (elapsed_ms - b.as_secs_f64() * 1e3).max(0.0),
+        None => 0.0,
+    };
+    DeadlineRow {
+        tree: tree.name.to_string(),
+        kind: "anytime".to_string(),
+        threads,
+        max_depth: tree.depth,
+        budget_ms: budget.map(|b| b.as_secs_f64() * 1e3),
+        depth_completed: id.depth_completed,
+        value: id.value.get(),
+        nodes: id.total_nodes(),
+        stopped: id.stopped.map(|r| r.label().to_string()),
+        elapsed_ms,
+        grace_ms,
+        matches_fixed_depth: false,
+    }
+}
+
+fn deadline_equality_row<P: GamePosition>(tree: &TreeSpec<P>, threads: usize) -> DeadlineRow {
+    use er_parallel::{run_er_threads_exec, run_er_threads_id, SearchControl, ThreadsConfig};
+    let cfg = ErParallelConfig {
+        serial_depth: tree.serial_depth,
+        order: tree.order,
+        spec: Speculation::ALL,
+        cost: CostModel::default(),
+    };
+    let fixed = run_er_threads_exec(
+        &tree.root,
+        tree.depth,
+        threads,
+        &cfg,
+        ThreadsConfig::default(),
+    )
+    .expect("unlimited fixed-depth run cannot abort");
+    let id = run_er_threads_id(
+        &tree.root,
+        tree.depth,
+        threads,
+        &cfg,
+        ThreadsConfig::default(),
+        &SearchControl::unlimited(),
+    );
+    assert_eq!(
+        id.value, fixed.value,
+        "{}: full-budget anytime value must be bit-identical to the \
+         fixed-depth run",
+        tree.name
+    );
+    assert_eq!(id.depth_completed, tree.depth, "{}: all depths", tree.name);
+    assert!(id.stopped.is_none(), "{}: nothing tripped", tree.name);
+    DeadlineRow {
+        tree: tree.name.to_string(),
+        kind: "equality".to_string(),
+        threads,
+        max_depth: tree.depth,
+        budget_ms: None,
+        depth_completed: id.depth_completed,
+        value: id.value.get(),
+        nodes: id.total_nodes(),
+        stopped: None,
+        elapsed_ms: id.elapsed.as_secs_f64() * 1e3,
+        grace_ms: 0.0,
+        matches_fixed_depth: true,
+    }
+}
+
+/// The `deadline` experiment: an anytime profile of R1 under shrinking
+/// wall-clock budgets, plus full-budget equality checks (anytime value ==
+/// fixed-depth value, asserted inside) on R1, O1 and the checkers tree.
+pub fn deadline_rows(threads: usize) -> Vec<DeadlineRow> {
+    use std::time::Duration;
+    let r1 = &crate::trees::random_trees()[0];
+    let o1 = &crate::trees::othello_trees()[0];
+    let c1 = crate::trees::checkers_tree();
+    let mut rows = Vec::new();
+    for budget_ms in [1u64, 5, 20, 100] {
+        rows.push(deadline_anytime_row(
+            r1,
+            threads,
+            Some(Duration::from_millis(budget_ms)),
+        ));
+    }
+    rows.push(deadline_anytime_row(r1, threads, None));
+    rows.push(deadline_equality_row(r1, threads));
+    rows.push(deadline_equality_row(o1, threads));
+    rows.push(deadline_equality_row(&c1, threads));
     rows
 }
 
@@ -1156,6 +1307,20 @@ impl_to_json!(ScalingRow {
     batch_grows,
     batch_shrinks,
     elapsed_ms
+});
+impl_to_json!(DeadlineRow {
+    tree,
+    kind,
+    threads,
+    max_depth,
+    budget_ms,
+    depth_completed,
+    value,
+    nodes,
+    stopped,
+    elapsed_ms,
+    grace_ms,
+    matches_fixed_depth
 });
 impl_to_json!(ThreadsRow {
     tree,

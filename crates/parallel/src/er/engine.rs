@@ -25,7 +25,8 @@ use std::sync::Arc;
 
 use gametree::{GamePosition, SearchStats, Value, Window};
 use problem_heap::{simulate, HeapWorker, StableQueue, TakenWork};
-use search_serial::er::{er_eval_refute_with, er_search_window_with, ErConfig};
+use search_serial::control::CtlAccess;
+use search_serial::er::{er_eval_refute_ctl_with, er_search_window_ctl_with, ErConfig};
 use search_serial::ordering::{ordered_children_indexed, splice_hint, OrderPolicy};
 use tt::{Bound, TtAccess};
 
@@ -118,6 +119,10 @@ pub enum Outcome<P: GamePosition> {
     /// An equal-depth `Exact` transposition-table entry answered the node
     /// before expansion: the stored value is the node's exact value.
     TtExact(Value),
+    /// The search control tripped inside a serial-frontier job: the partial
+    /// result was discarded and must never be applied to the tree. The
+    /// worker observing this outcome starts the abort protocol instead.
+    Aborted,
 }
 
 /// Outcome of trying to select work.
@@ -142,11 +147,17 @@ pub enum Select {
 /// dynamic alpha-beta window lives in the tree, which this function must
 /// not read) — plus the stored best move as an ordering hint; stores come
 /// from the serial-frontier searches and freshly evaluated terminals.
-pub fn execute_task<P: GamePosition, T: TtAccess<P>>(
+///
+/// `ctl` is the (possibly absent) abort handle: `()` for the simulator
+/// (byte-identical to the pre-control code), a `&CtlProbe` in the threaded
+/// back-end so a deadline is observed *inside* long serial-frontier
+/// refutation batches. A tripped control surfaces as [`Outcome::Aborted`].
+pub fn execute_task<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
     task: &Task,
     pos: Option<&P>,
     order: OrderPolicy,
     tt: T,
+    ctl: C,
 ) -> Outcome<P> {
     match *task {
         Task::Leaf => {
@@ -223,10 +234,13 @@ pub fn execute_task<P: GamePosition, T: TtAccess<P>>(
             let pos = pos.expect("serial task reads its position");
             let cfg = ErConfig { order };
             let r = if refute {
-                er_eval_refute_with(pos, depth, window, cfg, ply, tt)
+                er_eval_refute_ctl_with(pos, depth, window, cfg, ply, tt, ctl)
             } else {
-                er_search_window_with(pos, depth, window, cfg, ply, tt)
+                er_search_window_ctl_with(pos, depth, window, cfg, ply, tt, ctl)
             };
+            if !r.is_complete() {
+                return Outcome::Aborted;
+            }
             Outcome::Serial {
                 value: r.value,
                 stats: r.stats,
@@ -674,6 +688,7 @@ impl<P: GamePosition> ErWorker<P> {
             }
             Outcome::Unit => self.cfg.cost.expand,
             Outcome::Serial { stats, .. } => self.cfg.cost.serial_ticks(stats),
+            Outcome::Aborted => 0,
         }
     }
 
@@ -772,6 +787,11 @@ impl<P: GamePosition> ErWorker<P> {
                         }
                     }
                 }
+            }
+            Outcome::Aborted => {
+                // Workers discard aborted outcomes before ever taking the
+                // lock; nothing may apply one to the tree.
+                unreachable!("aborted outcomes are discarded by the executor")
             }
             Outcome::Unit => {
                 if !self.tree.is_dead(id) {
@@ -883,6 +903,7 @@ impl<P: GamePosition, T: TtAccess<P>> HeapWorker for SimAdapter<P, T> {
                     Some(self.worker.node_pos(job.id)),
                     self.worker.order(),
                     self.tt,
+                    (),
                 );
                 let cost = self.worker.cost_of(&outcome);
                 let token = self.inflight.len() as u64;

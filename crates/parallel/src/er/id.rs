@@ -1,0 +1,161 @@
+//! Anytime iterative deepening over the threaded ER back-end.
+//!
+//! A fixed-depth search under a deadline is all-or-nothing: if the budget
+//! runs out mid-tree the partial value is worthless. The standard remedy
+//! (Plaat, *Research Re: search & Re-search*) is iterative deepening —
+//! complete depth 1, then 2, then 3… under one deadline, and when the
+//! budget expires report the deepest *completed* depth. Early iterations
+//! are cheap (the tree grows geometrically with depth), so the premium
+//! over searching the final depth directly is small, and with a shared
+//! transposition table the shallow iterations actively pay for the deep
+//! ones: stored best moves steer ordering, equal-depth entries answer
+//! transposed nodes outright.
+//!
+//! [`run_er_threads_id`] always returns a usable value: the static
+//! evaluation if not even depth 1 finished, otherwise the last completed
+//! root value — bit-identical to what a fixed-depth
+//! [`run_er_threads_exec`](super::threads::run_er_threads_exec) of that
+//! depth returns, because the TT's probe cutoffs are equal-depth-only (a
+//! cross-depth entry is only an ordering hint and hints never change
+//! values). The `repro deadline` experiment asserts exactly that.
+
+use std::time::{Duration, Instant};
+
+use gametree::{GamePosition, SearchStats, Value};
+use tt::{TranspositionTable, Zobrist};
+
+use super::threads::{run_er_threads_ctl, run_er_threads_ctl_tt, ThreadsConfig};
+use super::ErParallelConfig;
+use crate::control::{AbortReason, SearchControl};
+
+/// Telemetry for one completed depth of the iterative-deepening driver.
+#[derive(Clone, Copy, Debug)]
+pub struct DepthResult {
+    /// The completed depth.
+    pub depth: u32,
+    /// Exact root value at this depth.
+    pub value: Value,
+    /// Nodes examined by this iteration alone.
+    pub nodes: u64,
+    /// Wall-clock time of this iteration alone.
+    pub elapsed: Duration,
+}
+
+/// Result of an anytime iterative-deepening run.
+#[derive(Clone, Debug)]
+pub struct ErIdResult {
+    /// Root value of the deepest fully-completed iteration — the static
+    /// evaluation of the root when not even depth 1 completed. Always
+    /// usable, never partial.
+    pub value: Value,
+    /// The deepest completed depth (`0` when only the static fallback is
+    /// available).
+    pub depth_completed: u32,
+    /// Per-depth telemetry for every completed iteration, in order.
+    pub per_depth: Vec<DepthResult>,
+    /// Why deepening stopped early, if it did; `None` means `max_depth`
+    /// completed within budget.
+    pub stopped: Option<AbortReason>,
+    /// Total wall-clock time across all iterations.
+    pub elapsed: Duration,
+}
+
+impl ErIdResult {
+    /// Aggregate nodes examined across all completed iterations.
+    pub fn total_nodes(&self) -> u64 {
+        self.per_depth.iter().map(|d| d.nodes).sum()
+    }
+}
+
+/// Anytime iterative deepening: searches `pos` at depths `1..=max_depth`
+/// with the threaded back-end, all under the single deadline (or
+/// cancellation token) carried by `ctl`.
+///
+/// Returns after the first iteration that fails to complete — or after
+/// `max_depth` — with the deepest completed root value. The value of an
+/// interrupted iteration is discarded entirely; it never contaminates the
+/// result.
+pub fn run_er_threads_id<P: GamePosition>(
+    pos: &P,
+    max_depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    ctl: &SearchControl,
+) -> ErIdResult {
+    run_id_gen(pos, max_depth, ctl, |depth, ctl| {
+        run_er_threads_ctl(pos, depth, threads, cfg, exec, ctl)
+            .map(|r| (r.value, r.stats))
+            .map_err(|e| e.reason)
+    })
+}
+
+/// [`run_er_threads_id`] with all iterations sharing `table`. Each depth
+/// starts a new table generation ([`TranspositionTable::new_search`]), so
+/// earlier iterations' entries age — still probe-able as move hints and
+/// equal-depth answers, but losing replacement priority to fresh work.
+pub fn run_er_threads_id_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    max_depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    table: &TranspositionTable,
+    ctl: &SearchControl,
+) -> ErIdResult {
+    run_id_gen(pos, max_depth, ctl, |depth, ctl| {
+        table.new_search();
+        run_er_threads_ctl_tt(pos, depth, threads, cfg, exec, table, ctl)
+            .map(|r| (r.value, r.stats))
+            .map_err(|e| e.reason)
+    })
+}
+
+/// The deepening loop, shared by the table-free and table-backed drivers.
+/// `search` runs one fixed-depth iteration and reports either its exact
+/// root value and stats or the abort reason.
+fn run_id_gen<P: GamePosition>(
+    pos: &P,
+    max_depth: u32,
+    ctl: &SearchControl,
+    mut search: impl FnMut(u32, &SearchControl) -> Result<(Value, SearchStats), AbortReason>,
+) -> ErIdResult {
+    let start = Instant::now();
+    // Depth-0 fallback: the anytime contract promises *some* value even if
+    // the budget is too small for a single depth-1 search.
+    let mut result = ErIdResult {
+        value: pos.evaluate(),
+        depth_completed: 0,
+        per_depth: Vec::new(),
+        stopped: None,
+        elapsed: Duration::ZERO,
+    };
+    for depth in 1..=max_depth {
+        // Don't launch a thread pool for an iteration that is already
+        // doomed; this also makes `stopped` exact when the deadline lands
+        // between iterations.
+        if let Some(reason) = ctl.poll() {
+            result.stopped = Some(reason);
+            break;
+        }
+        let iter_start = Instant::now();
+        match search(depth, ctl) {
+            Ok((value, stats)) => {
+                result.value = value;
+                result.depth_completed = depth;
+                result.per_depth.push(DepthResult {
+                    depth,
+                    value,
+                    nodes: stats.nodes(),
+                    elapsed: iter_start.elapsed(),
+                });
+            }
+            Err(reason) => {
+                result.stopped = Some(reason);
+                break;
+            }
+        }
+    }
+    result.elapsed = start.elapsed();
+    result
+}

@@ -2,6 +2,7 @@
 //! back-ends (deterministic simulation and real threads).
 
 pub mod engine;
+pub mod id;
 pub mod threads;
 
 use gametree::{SearchStats, Value};
@@ -98,7 +99,8 @@ pub struct ErRunResult {
 }
 
 pub use engine::{run_er_sim, run_er_sim_tt};
+pub use id::{run_er_threads_id, run_er_threads_id_tt, DepthResult, ErIdResult};
 pub use threads::{
-    run_er_threads, run_er_threads_exec, run_er_threads_exec_tt, run_er_threads_tt, BatchPolicy,
-    ThreadsConfig,
+    run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt, run_er_threads_exec,
+    run_er_threads_exec_tt, run_er_threads_tt, BatchPolicy, ThreadsConfig,
 };

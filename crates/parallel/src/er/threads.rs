@@ -35,14 +35,33 @@
 //! ([`ThreadCounters`]) and surfaced in [`ErThreadsResult`] so contention
 //! is observable, not guessed at.
 //!
+//! **Abort protocol** (DESIGN.md §10). Every run carries a
+//! [`SearchControl`] token. Workers poll it once per scheduling round
+//! (through a per-thread [`CtlProbe`]) and per node inside
+//! serial-frontier jobs (the probe rides into `execute_task`); cheap
+//! leaf/movegen jobs carry no check of their own — a full round of them
+//! runs in microseconds, so the round-top poll bounds the latency without
+//! taxing the execute hot loop the adaptive batcher times. Task execution
+//! runs under
+//! `catch_unwind`, so a panicking evaluator trips the token instead of
+//! unwinding through the pool, and a drop sentinel catches anything that
+//! escapes anyway. A worker that observes a trip — its own or a sibling's
+//! — discards its buffered outcomes (counted as `jobs_aborted`; a partial
+//! result must never reach the shared tree or table), marks the run done
+//! under a poison-tolerant lock, broadcasts the idle condvar so parked
+//! siblings wake, and returns its counters. The coordinator joins every
+//! thread (a panicked join contributes default counters) and returns
+//! `Err(`[`SearchAborted`]`)` — no hang, no poisoned-mutex cascade.
+//!
 //! On a multi-core host this achieves real speedup; on any host it
 //! produces the same root value as every serial algorithm (the test suite
 //! checks this), while node counts may vary run-to-run with thread
 //! scheduling — exactly the nondeterminism the deterministic simulator
 //! exists to remove.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use gametree::{GamePosition, SearchStats, Value};
@@ -51,6 +70,7 @@ use tt::{TranspositionTable, TtAccess, TtStats, Zobrist};
 
 use super::engine::{execute_task, ErWorker, Outcome, Select, Task};
 use super::ErParallelConfig;
+use crate::control::{AbortReason, CtlProbe, SearchAborted, SearchControl};
 use crate::tree::NodeId;
 
 /// Default jobs per lock acquisition. Small enough that the work a thread
@@ -142,6 +162,12 @@ struct Shared<P: GamePosition> {
 /// `Copy` (positions travel through the arena, not the deque).
 type JobRef = (NodeId, Task);
 
+/// Unwraps a run launched without an external control: such a run can only
+/// abort if a worker panicked, which the caller cannot recover from here.
+fn expect_complete(r: Result<ErThreadsResult, SearchAborted>) -> ErThreadsResult {
+    r.unwrap_or_else(|e| panic!("threaded search aborted without a deadline: {e}"))
+}
+
 /// Runs parallel ER with `threads` OS threads and the default execution
 /// layer (adaptive batching, stealing on).
 pub fn run_er_threads<P: GamePosition>(
@@ -150,7 +176,13 @@ pub fn run_er_threads<P: GamePosition>(
     threads: usize,
     cfg: &ErParallelConfig,
 ) -> ErThreadsResult {
-    run_er_threads_exec(pos, depth, threads, cfg, ThreadsConfig::default())
+    expect_complete(run_er_threads_exec(
+        pos,
+        depth,
+        threads,
+        cfg,
+        ThreadsConfig::default(),
+    ))
 }
 
 /// Runs parallel ER with a pinned batch size (stealing stays on).
@@ -167,18 +199,45 @@ pub fn run_er_threads_with<P: GamePosition>(
         batch: BatchPolicy::Fixed(batch),
         steal: true,
     };
-    run_er_threads_exec(pos, depth, threads, cfg, exec)
+    expect_complete(run_er_threads_exec(pos, depth, threads, cfg, exec))
 }
 
 /// Runs parallel ER with full control over the execution layer.
+///
+/// Returns `Err(SearchAborted)` when the run could not complete — for this
+/// deadline-free entry point that means a worker panicked. Attach a
+/// deadline or cancellation token with [`run_er_threads_ctl`].
 pub fn run_er_threads_exec<P: GamePosition>(
     pos: &P,
     depth: u32,
     threads: usize,
     cfg: &ErParallelConfig,
     exec: ThreadsConfig,
-) -> ErThreadsResult {
-    run_er_threads_gen(pos, depth, threads, cfg, exec, ())
+) -> Result<ErThreadsResult, SearchAborted> {
+    run_er_threads_gen(
+        pos,
+        depth,
+        threads,
+        cfg,
+        exec,
+        (),
+        &SearchControl::unlimited(),
+    )
+}
+
+/// [`run_er_threads_exec`] under an external [`SearchControl`]: the run
+/// stops early (with `Err(SearchAborted)`) when `ctl`'s deadline passes,
+/// [`SearchControl::cancel`] is called from another thread, or a worker
+/// panics.
+pub fn run_er_threads_ctl<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    ctl: &SearchControl,
+) -> Result<ErThreadsResult, SearchAborted> {
+    run_er_threads_gen(pos, depth, threads, cfg, exec, (), ctl)
 }
 
 /// [`run_er_threads_with`] with all workers sharing `table`: every thread
@@ -197,7 +256,9 @@ pub fn run_er_threads_tt<P: GamePosition + Zobrist>(
         batch: BatchPolicy::Fixed(batch),
         steal: true,
     };
-    run_er_threads_exec_tt(pos, depth, threads, cfg, exec, table)
+    expect_complete(run_er_threads_exec_tt(
+        pos, depth, threads, cfg, exec, table,
+    ))
 }
 
 /// [`run_er_threads_exec`] with a shared transposition table.
@@ -208,11 +269,33 @@ pub fn run_er_threads_exec_tt<P: GamePosition + Zobrist>(
     cfg: &ErParallelConfig,
     exec: ThreadsConfig,
     table: &TranspositionTable,
-) -> ErThreadsResult {
+) -> Result<ErThreadsResult, SearchAborted> {
+    run_er_threads_ctl_tt(
+        pos,
+        depth,
+        threads,
+        cfg,
+        exec,
+        table,
+        &SearchControl::unlimited(),
+    )
+}
+
+/// [`run_er_threads_exec_tt`] under an external [`SearchControl`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_er_threads_ctl_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    table: &TranspositionTable,
+    ctl: &SearchControl,
+) -> Result<ErThreadsResult, SearchAborted> {
     let before = table.stats();
-    let mut r = run_er_threads_gen(pos, depth, threads, cfg, exec, table);
+    let mut r = run_er_threads_gen(pos, depth, threads, cfg, exec, table, ctl)?;
     r.tt = Some(table.stats().since(&before));
-    r
+    Ok(r)
 }
 
 /// State one worker thread keeps across rounds.
@@ -238,6 +321,42 @@ struct WorkerCtx<P: GamePosition> {
     scarce_streak: u32,
 }
 
+/// Poison-tolerant lock on the shared heap state. Worker panics are caught
+/// around `execute_task` (outside the lock), so a poisoned mutex can only
+/// come from a bug in the locked bookkeeping itself; even then, recovering
+/// the guard and running the abort protocol beats cascading the panic
+/// through every sibling and the coordinator.
+fn lock_shared<P: GamePosition>(m: &Mutex<Shared<P>>) -> MutexGuard<'_, Shared<P>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Last line of panic defense: a drop sentinel armed for the whole worker
+/// loop. If a panic escapes the `catch_unwind` in [`run_job`] (e.g. out of
+/// the locked `apply`/`select` bookkeeping), unwinding runs this guard,
+/// which trips the token, marks the run done under a poison-tolerant lock,
+/// and broadcasts the idle condvar — so parked siblings wake and exit
+/// instead of waiting forever on a search that can no longer finish.
+struct PanicSentinel<'a, P: GamePosition> {
+    ctl: &'a SearchControl,
+    shared: &'a Mutex<Shared<P>>,
+    idle: &'a Condvar,
+    done_flag: &'a AtomicBool,
+}
+
+impl<P: GamePosition> Drop for PanicSentinel<'_, P> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.ctl.trip(AbortReason::WorkerPanicked);
+            self.done_flag.store(true, SeqCst);
+            let mut g = lock_shared(self.shared);
+            g.done = true;
+            drop(g);
+            self.idle.notify_all();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
     pos: &P,
     depth: u32,
@@ -245,7 +364,8 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
     cfg: &ErParallelConfig,
     exec: ThreadsConfig,
     tt: T,
-) -> ErThreadsResult {
+    ctl: &SearchControl,
+) -> Result<ErThreadsResult, SearchAborted> {
     assert!(threads > 0);
     let (fixed_batch, adaptive) = match exec.batch {
         BatchPolicy::Fixed(b) => (b.clamp(1, DEQUE_CAP), false),
@@ -287,6 +407,13 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
             .enumerate()
             .map(|(me, mut own)| {
                 scope.spawn(move || {
+                    let _sentinel = PanicSentinel {
+                        ctl,
+                        shared,
+                        idle,
+                        done_flag,
+                    };
+                    let probe = CtlProbe::new(ctl);
                     let mut cx = WorkerCtx::<P> {
                         counters: ThreadCounters::default(),
                         ready: Vec::with_capacity(MAX_BATCH),
@@ -295,10 +422,15 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                         steal_pass: steal_on,
                         scarce_streak: 0,
                     };
-                    loop {
+                    let aborting = 'rounds: loop {
+                        // Poll the token before flushing outcomes: once it
+                        // trips, nothing more may be applied to the tree.
+                        if probe.check().is_some() {
+                            break 'rounds true;
+                        }
                         // ---- Locked phase: apply outcomes, refill, park.
                         let waiting = Instant::now();
-                        let mut g = shared.lock().unwrap();
+                        let mut g = lock_shared(shared);
                         let waited = waiting.elapsed().as_nanos() as u64;
                         let holding = Instant::now();
                         cx.counters.lock_acquisitions += 1;
@@ -354,7 +486,10 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                             cx.counters.idle_parks += 1;
                             g.parked += 1;
                             while !g.done && !g.worker.work_available() {
-                                g = idle.wait(g).unwrap();
+                                // A poisoned wait still hands the guard
+                                // back; an aborting sibling has set `done`,
+                                // which the loop condition re-checks.
+                                g = idle.wait(g).unwrap_or_else(PoisonError::into_inner);
                             }
                             g.parked -= 1;
                             cx.steal_pass = steal_on;
@@ -366,7 +501,7 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                             // never counted as executed).
                             idle.notify_all();
                             cx.counters.lock_hold_nanos += holding.elapsed().as_nanos() as u64;
-                            return cx.counters;
+                            break 'rounds false;
                         }
                         // Targeted hand-off: if work remains after this
                         // refill and someone is parked, wake exactly one
@@ -389,7 +524,13 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                         let executing = Instant::now();
                         let mut executed_this_round = 0u64;
                         while let Some((id, task)) = own.pop() {
-                            run_job(&mut cx, arena, id, &task, order, tt);
+                            // A `false` return means the job produced no
+                            // applicable outcome: the control tripped
+                            // mid-job or the task panicked (already caught
+                            // and converted into a trip).
+                            if !run_job(&mut cx, arena, id, &task, order, tt, &probe) {
+                                break 'rounds true;
+                            }
                             executed_this_round += 1;
                             if done_flag.load(SeqCst) {
                                 break;
@@ -411,7 +552,9 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                                     }
                                 }
                                 let Some((id, task)) = stolen else { break };
-                                run_job(&mut cx, arena, id, &task, order, tt);
+                                if !run_job(&mut cx, arena, id, &task, order, tt, &probe) {
+                                    break 'rounds true;
+                                }
                                 executed_this_round += 1;
                                 if done_flag.load(SeqCst) {
                                     break;
@@ -449,28 +592,71 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                         if executed_this_round > 0 {
                             cx.steal_pass = steal_on;
                         }
+                    };
+                    if aborting {
+                        // Abort protocol: discard everything local (a
+                        // partial run's outcomes must not touch the tree),
+                        // mark the run done under a poison-tolerant lock,
+                        // and wake every parked sibling.
+                        cx.counters.jobs_aborted += cx.ready.len() as u64;
+                        cx.ready.clear();
+                        while own.pop().is_some() {
+                            cx.counters.jobs_aborted += 1;
+                        }
+                        done_flag.store(true, SeqCst);
+                        let mut g = lock_shared(shared);
+                        g.done = true;
+                        drop(g);
+                        idle.notify_all();
                     }
+                    cx.counters
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| {
+                // A worker that died panicking already tripped the token
+                // (sentinel guard); tolerate the join error and keep the
+                // remaining counters.
+                h.join().unwrap_or_else(|_| {
+                    ctl.trip(AbortReason::WorkerPanicked);
+                    ThreadCounters::default()
+                })
+            })
+            .collect()
     });
 
-    let g = shared.lock().unwrap();
-    ErThreadsResult {
-        value: g.worker.root_value.expect("threaded search finished"),
-        stats: g.worker.totals,
-        cached_leaf_hits: g.worker.cached_leaf_hits,
-        elapsed: start.elapsed(),
-        per_thread,
-        tt: None,
+    let elapsed = start.elapsed();
+    let g = lock_shared(&shared);
+    // A run that completed its root wins any race with a late trip: the
+    // value is exact, so report it.
+    if let Some(value) = g.worker.root_value {
+        return Ok(ErThreadsResult {
+            value,
+            stats: g.worker.totals,
+            cached_leaf_hits: g.worker.cached_leaf_hits,
+            elapsed,
+            per_thread,
+            tt: None,
+        });
     }
+    Err(SearchAborted {
+        reason: ctl.reason().unwrap_or(AbortReason::WorkerPanicked),
+        counters: per_thread,
+        elapsed,
+    })
 }
 
 /// Executes one job lock-free: the position (when the task reads one) is
 /// dereferenced out of the arena — published earlier by whichever scheduler
 /// round selected the job — and the outcome is buffered for the worker's
 /// next acquisition.
+///
+/// Returns `false` when the job produced no applicable outcome: the
+/// control tripped inside a serial-frontier batch, or the task panicked —
+/// the panic is caught here and converted into a `WorkerPanicked` trip, so
+/// an evaluator bug aborts the run instead of poisoning the heap mutex.
 fn run_job<P: GamePosition, T: TtAccess<P>>(
     cx: &mut WorkerCtx<P>,
     arena: &PublishSlab<std::sync::Arc<P>>,
@@ -478,15 +664,30 @@ fn run_job<P: GamePosition, T: TtAccess<P>>(
     task: &Task,
     order: search_serial::ordering::OrderPolicy,
     tt: T,
-) {
+    probe: &CtlProbe<'_>,
+) -> bool {
     cx.counters.jobs_executed += 1;
     let pos: Option<&P> = task.needs_pos().then(|| {
         &**arena
             .get(id as usize)
             .expect("position published before the job was queued")
     });
-    let outcome = execute_task(task, pos, order, tt);
+    let outcome = match catch_unwind(AssertUnwindSafe(|| {
+        execute_task(task, pos, order, tt, probe)
+    })) {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            probe.control().trip(AbortReason::WorkerPanicked);
+            cx.counters.jobs_aborted += 1;
+            return false;
+        }
+    };
+    if matches!(outcome, Outcome::Aborted) {
+        cx.counters.jobs_aborted += 1;
+        return false;
+    }
     cx.ready.push((id, outcome));
+    true
 }
 
 #[cfg(test)]
@@ -547,7 +748,8 @@ mod tests {
                         threads,
                         &ErParallelConfig::random_tree(3),
                         exec,
-                    );
+                    )
+                    .expect("unlimited-control run cannot abort");
                     assert_eq!(r.value, exact, "exec {exec:?} threads {threads}");
                 }
             }
@@ -645,7 +847,8 @@ mod tests {
             batch: BatchPolicy::Adaptive,
             steal: true,
         };
-        let r = run_er_threads_exec(&root, 8, 4, &ErParallelConfig::random_tree(3), exec);
+        let r = run_er_threads_exec(&root, 8, 4, &ErParallelConfig::random_tree(3), exec)
+            .expect("unlimited-control run cannot abort");
         assert_eq!(r.value, exact);
         let c = r.counters();
         // The adaptive controller ran (its counters merged), whichever

@@ -4,6 +4,8 @@
 //! * [`er`] — parallel ER (§5–6): problem-heap engine with primary and
 //!   speculative queues, in both a deterministic-simulation back-end and a
 //!   real-thread back-end;
+//! * [`control`] — deadlines, cancellation and panic containment for the
+//!   threaded back-end, plus the abort error it reports;
 //! * [`tree`] — the shared search tree with dynamic alpha-beta windows;
 //! * [`baselines`] — parallel aspiration (§4.1), mandatory-work-first
 //!   (§4.2), tree-splitting (§4.3) and pv-splitting (§4.4);
@@ -13,16 +15,19 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod control;
 pub mod er;
 pub mod mandatory;
 pub mod schedule;
 pub mod tree;
 
+pub use control::{AbortReason, SearchAborted, SearchControl};
 pub use er::threads::{
     run_er_threads_tt, run_er_threads_with, BatchPolicy, ErThreadsResult, ThreadsConfig,
     DEFAULT_BATCH, MAX_BATCH,
 };
 pub use er::{
-    run_er_sim, run_er_sim_tt, run_er_threads, run_er_threads_exec, run_er_threads_exec_tt,
-    ErParallelConfig, ErRunResult, Speculation,
+    run_er_sim, run_er_sim_tt, run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt,
+    run_er_threads_exec, run_er_threads_exec_tt, run_er_threads_id, run_er_threads_id_tt,
+    DepthResult, ErIdResult, ErParallelConfig, ErRunResult, Speculation,
 };

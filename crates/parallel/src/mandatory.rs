@@ -97,8 +97,13 @@ pub struct OverheadReport {
 }
 
 impl OverheadReport {
-    /// Fraction of the parallel run's work that was speculative.
+    /// Fraction of the parallel run's work that was speculative; 0.0 for a
+    /// degenerate run that examined no nodes at all (e.g. a depth-0 tree),
+    /// where `0/0` would otherwise yield `NaN`.
     pub fn speculative_fraction(&self) -> f64 {
+        if self.examined == 0 {
+            return 0.0;
+        }
         self.speculative as f64 / self.examined as f64
     }
 }
@@ -162,6 +167,27 @@ mod tests {
         let (_, visited) = alphabeta_visited(&root, 5, OrderPolicy::NATURAL);
         let full = negmax(&root, 5);
         assert!(visited.len() as u64 <= full.stats.nodes());
+    }
+
+    #[test]
+    fn speculative_fraction_is_finite_on_degenerate_runs() {
+        // An empty examined set makes the fraction 0/0: it must report 0.0,
+        // not NaN (which would serialize as null and poison downstream
+        // aggregation in the bench harness).
+        let empty = OverheadReport {
+            mandatory: 0,
+            examined: 0,
+            mandatory_done: 0,
+            speculative: 0,
+            mandatory_skipped: 0,
+        };
+        assert_eq!(empty.speculative_fraction(), 0.0);
+        assert!(empty.speculative_fraction().is_finite());
+
+        // A depth-0 classification is the degenerate tree that produces it.
+        let root = RandomTreeSpec::new(3, 4, 4).root();
+        let report = classify_er_run(&root, 0, 4, &ErParallelConfig::random_tree(0));
+        assert!(report.speculative_fraction().is_finite());
     }
 
     #[test]

@@ -81,7 +81,7 @@ proptest! {
         let root = RandomTreeSpec::new(seed, 3, 5).root();
         let r = run_er_threads_exec(
             &root, 5, threads, &ErParallelConfig::random_tree(2), exec,
-        );
+        ).expect("unlimited-control run cannot abort");
         prop_assert_eq!(r.value, negmax(&root, 5).value);
         prop_assert_eq!(r.counters().pos_clones_in_lock, 0);
     }
@@ -124,7 +124,7 @@ fn drive_labels<P: GamePosition>(
                     Task::Serial { refute: true, .. } => "serial-refute",
                 });
                 let pos = job.task.needs_pos().then(|| w.node_pos(job.id).clone());
-                let outcome = execute_task(&job.task, pos.as_ref(), cfg.order, ());
+                let outcome = execute_task(&job.task, pos.as_ref(), cfg.order, (), ());
                 if w.apply(job.id, outcome) {
                     break;
                 }
@@ -277,7 +277,8 @@ fn exec_matrix_matches_negmax_on_shallow_othello() {
     let exact = negmax(&root, 4).value;
     for threads in [1usize, 2, 4, 8] {
         for exec in exec_matrix() {
-            let r = run_er_threads_exec(&root, 4, threads, &cfg, exec);
+            let r = run_er_threads_exec(&root, 4, threads, &cfg, exec)
+                .expect("unlimited-control run cannot abort");
             assert_eq!(r.value, exact, "threads {threads} exec {exec:?}");
             assert_eq!(r.counters().pos_clones_in_lock, 0);
         }
@@ -298,7 +299,8 @@ fn exec_matrix_matches_negmax_on_shallow_checkers() {
     let exact = negmax(&root, 5).value;
     for threads in [1usize, 2, 4, 8] {
         for exec in exec_matrix() {
-            let r = run_er_threads_exec(&root, 5, threads, &cfg, exec);
+            let r = run_er_threads_exec(&root, 5, threads, &cfg, exec)
+                .expect("unlimited-control run cannot abort");
             assert_eq!(r.value, exact, "threads {threads} exec {exec:?}");
             assert_eq!(r.counters().pos_clones_in_lock, 0);
         }

@@ -79,6 +79,9 @@ pub struct ThreadCounters {
     pub batch_grows: u64,
     /// Adaptive-batch downward adjustments.
     pub batch_shrinks: u64,
+    /// Jobs whose outcomes were discarded by the abort protocol (deadline,
+    /// cancellation, or worker panic) instead of being applied.
+    pub jobs_aborted: u64,
 }
 
 impl ThreadCounters {
@@ -98,6 +101,7 @@ impl ThreadCounters {
         self.pos_clones_in_lock += other.pos_clones_in_lock;
         self.batch_grows += other.batch_grows;
         self.batch_shrinks += other.batch_shrinks;
+        self.jobs_aborted += other.jobs_aborted;
     }
 
     /// Mean jobs obtained per lock acquisition — the batching win the
@@ -185,12 +189,21 @@ impl SimReport {
     }
 
     /// Speedup relative to a serial algorithm that took `serial_ticks`.
+    /// A degenerate zero-tick run (e.g. a single-leaf tree under a free
+    /// cost model) reports 0.0 rather than `inf`/`NaN`.
     pub fn speedup(&self, serial_ticks: u64) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
         serial_ticks as f64 / self.makespan as f64
     }
 
-    /// Efficiency relative to a serial algorithm that took `serial_ticks`.
+    /// Efficiency relative to a serial algorithm that took `serial_ticks`;
+    /// 0.0 for degenerate runs (zero makespan or zero processors).
     pub fn efficiency(&self, serial_ticks: u64) -> f64 {
+        if self.processors == 0 {
+            return 0.0;
+        }
         self.speedup(serial_ticks) / self.processors as f64
     }
 }
@@ -263,6 +276,7 @@ mod tests {
             pos_clones_in_lock: 0,
             batch_grows: 1,
             batch_shrinks: 0,
+            jobs_aborted: 2,
         };
         let b = ThreadCounters {
             lock_acquisitions: 5,
@@ -279,6 +293,7 @@ mod tests {
             pos_clones_in_lock: 0,
             batch_grows: 0,
             batch_shrinks: 2,
+            jobs_aborted: 1,
         };
         a.merge(&b);
         assert_eq!(a.lock_acquisitions, 15);
@@ -292,6 +307,7 @@ mod tests {
         assert_eq!(a.pos_clones_in_lock, 0);
         assert_eq!(a.batch_grows, 1);
         assert_eq!(a.batch_shrinks, 2);
+        assert_eq!(a.jobs_aborted, 3);
         assert!((a.jobs_per_acquisition() - 50.0 / 15.0).abs() < 1e-12);
         assert!((a.acquisitions_per_job() - 15.0 / 50.0).abs() < 1e-12);
         assert!((a.steal_hit_rate() - 0.3).abs() < 1e-12);
@@ -320,6 +336,24 @@ mod tests {
         assert!(s.contains("steal 2/8 (25.0%)"), "got: {s}");
         assert!(s.contains("100ns/acq"), "got: {s}");
         assert!(s.contains("batch +1/-2"), "got: {s}");
+    }
+
+    #[test]
+    fn zero_makespan_report_has_finite_metrics() {
+        let r = SimReport {
+            processors: 4,
+            makespan: 0,
+            work_ticks: 0,
+            lock_service_ticks: 0,
+            lock_wait_ticks: 0,
+            items_completed: 0,
+            empty_polls: 0,
+        };
+        assert_eq!(r.speedup(1000), 0.0);
+        assert_eq!(r.efficiency(1000), 0.0);
+        assert!(r.speedup(0).is_finite());
+        let no_procs = SimReport { processors: 0, ..r };
+        assert_eq!(no_procs.efficiency(1000), 0.0);
     }
 
     #[test]

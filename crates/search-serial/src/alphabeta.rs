@@ -6,6 +6,7 @@
 use gametree::{GamePosition, SearchStats, Value, Window};
 use tt::{Bound, TranspositionTable, TtAccess, Zobrist};
 
+use crate::control::{CtlAccess, CtlProbe, CtlSearchResult, SearchControl};
 use crate::ordering::{ordered_children_indexed, splice_hint, OrderPolicy};
 use crate::SearchResult;
 
@@ -24,8 +25,34 @@ pub fn alphabeta_window<P: GamePosition>(
     policy: OrderPolicy,
 ) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = ab_rec(pos, depth, window, 0, policy, (), &mut stats);
+    let value = ab_rec(pos, depth, window, 0, policy, (), (), &mut stats).expect("no control");
     SearchResult { value, stats }
+}
+
+/// [`alphabeta`] under a [`SearchControl`]: polls `ctl` at every node and
+/// unwinds when it trips. A completed run is bit-identical to
+/// [`alphabeta`]; an aborted one flags itself via `aborted` and its value
+/// is partial.
+pub fn alphabeta_ctl<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    policy: OrderPolicy,
+    ctl: &SearchControl,
+) -> CtlSearchResult {
+    let probe = CtlProbe::new(ctl);
+    let mut stats = SearchStats::new();
+    match ab_rec(pos, depth, Window::FULL, 0, policy, (), &probe, &mut stats) {
+        Some(value) => CtlSearchResult {
+            value,
+            stats,
+            aborted: None,
+        },
+        None => CtlSearchResult {
+            value: Value::NEG_INF,
+            stats,
+            aborted: ctl.reason(),
+        },
+    }
 }
 
 /// [`alphabeta`] sharing `table`: probe before expanding (an equal-depth
@@ -62,7 +89,7 @@ pub fn alphabeta_window_with<P: GamePosition, T: TtAccess<P>>(
     tt: T,
 ) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = ab_rec(pos, depth, window, 0, policy, tt, &mut stats);
+    let value = ab_rec(pos, depth, window, 0, policy, tt, (), &mut stats).expect("no control");
     SearchResult { value, stats }
 }
 
@@ -80,26 +107,31 @@ pub fn fail_soft_bound(value: Value, window: Window) -> Bound {
     }
 }
 
-fn ab_rec<P: GamePosition, T: TtAccess<P>>(
+#[allow(clippy::too_many_arguments)]
+fn ab_rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
     pos: &P,
     depth: u32,
     window: Window,
     ply: u32,
     policy: OrderPolicy,
     tt: T,
+    ctl: C,
     stats: &mut SearchStats,
-) -> Value {
+) -> Option<Value> {
+    if ctl.check().is_some() {
+        return None;
+    }
     if depth == 0 || pos.degree() == 0 {
         stats.leaf_nodes += 1;
         stats.eval_calls += 1;
         let v = pos.evaluate();
         tt.store(pos, depth, v, Bound::Exact, None);
-        return v;
+        return Some(v);
     }
     let hint = match tt.probe(pos) {
         Some(p) => {
             if let Some(v) = p.cutoff(depth, window) {
-                return v;
+                return Some(v);
             }
             p.hint
         }
@@ -114,6 +146,8 @@ fn ab_rec<P: GamePosition, T: TtAccess<P>>(
     let mut best = None;
     let mut w = window;
     for child in &kids {
+        // An abort below propagates before any store: partial values never
+        // reach the table.
         let t = -ab_rec(
             &child.pos,
             depth - 1,
@@ -121,8 +155,9 @@ fn ab_rec<P: GamePosition, T: TtAccess<P>>(
             ply + 1,
             policy,
             tt,
+            ctl,
             stats,
-        );
+        )?;
         if t > m {
             m = t;
             best = Some(child.nat);
@@ -131,11 +166,11 @@ fn ab_rec<P: GamePosition, T: TtAccess<P>>(
         if m >= window.beta {
             stats.cutoffs += 1;
             tt.store(pos, depth, m, Bound::Lower, best);
-            return m;
+            return Some(m);
         }
     }
     tt.store(pos, depth, m, fail_soft_bound(m, window), best);
-    m
+    Some(m)
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 use gametree::{GamePosition, SearchStats, Value};
 use tt::{Bound, TranspositionTable, TtAccess, Zobrist};
 
+use crate::control::{CtlAccess, CtlProbe, CtlSearchResult, SearchControl};
 use crate::ordering::OrderPolicy;
 use crate::SearchResult;
 
@@ -227,26 +228,92 @@ pub fn er_search_window_with<P: GamePosition, T: TtAccess<P>>(
 ) -> SearchResult {
     let mut stats = SearchStats::new();
     let mut root = ErNode::new(pos.clone(), depth, start_ply);
-    let value = er(&mut root, window.alpha, window.beta, cfg, tt, &mut stats);
+    let value = er(
+        &mut root,
+        window.alpha,
+        window.beta,
+        cfg,
+        tt,
+        (),
+        &mut stats,
+    )
+    .expect("no control handle");
     SearchResult { value, stats }
 }
 
-/// `ER(P, α, β)`: full evaluation of an e-node.
-fn er<P: GamePosition, T: TtAccess<P>>(
+/// [`er_search`] under a [`SearchControl`]: polls `ctl` at every node and
+/// unwinds when it trips. A completed run is bit-identical to
+/// [`er_search`]; an aborted one flags itself via `aborted` and its value
+/// is partial.
+pub fn er_search_ctl<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    cfg: ErConfig,
+    ctl: &SearchControl,
+) -> CtlSearchResult {
+    let probe = CtlProbe::new(ctl);
+    er_search_window_ctl_with(pos, depth, gametree::Window::FULL, cfg, 0, (), &probe)
+}
+
+/// [`er_search_window_with`] generic over *both* handles — table and
+/// control. The parallel engine's serial-frontier jobs instantiate this
+/// with the worker's [`CtlProbe`] so deadline trips are observed inside
+/// long refutation batches, not just between jobs.
+pub fn er_search_window_ctl_with<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
+    pos: &P,
+    depth: u32,
+    window: gametree::Window,
+    cfg: ErConfig,
+    start_ply: u32,
+    tt: T,
+    ctl: C,
+) -> CtlSearchResult {
+    let mut stats = SearchStats::new();
+    let mut root = ErNode::new(pos.clone(), depth, start_ply);
+    match er(
+        &mut root,
+        window.alpha,
+        window.beta,
+        cfg,
+        tt,
+        ctl,
+        &mut stats,
+    ) {
+        Some(value) => CtlSearchResult {
+            value,
+            stats,
+            aborted: None,
+        },
+        None => CtlSearchResult {
+            value: root.value,
+            stats,
+            aborted: ctl.reason(),
+        },
+    }
+}
+
+/// `ER(P, α, β)`: full evaluation of an e-node. `None` means the control
+/// tripped mid-search; the node's tentative state is then meaningless and
+/// nothing was stored for it.
+fn er<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
     n: &mut ErNode<P>,
     alpha: Value,
     beta: Value,
     cfg: ErConfig,
     tt: T,
+    ctl: C,
     stats: &mut SearchStats,
-) -> Value {
+) -> Option<Value> {
+    if ctl.check().is_some() {
+        return None;
+    }
     n.value = alpha;
     let hint = match tt.probe(&n.pos) {
         Some(p) => {
             if let Some(v) = p.cutoff(n.depth, gametree::Window::new(alpha, beta)) {
                 n.value = v;
                 n.done = true;
-                return v;
+                return Some(v);
             }
             p.hint
         }
@@ -263,13 +330,13 @@ fn er<P: GamePosition, T: TtAccess<P>>(
         n.value = n.leaf_value(stats);
         n.done = true;
         tt.store(&n.pos, n.depth, n.value, Bound::Exact, None);
-        return n.value;
+        return Some(n.value);
     }
 
     // Phase 1: Eval_first every child — evaluate the elder grandchildren.
     for i in 0..d {
         let bound = n.value;
-        let t = -eval_first(&mut n.kids[i], -beta, -bound, cfg, tt, stats);
+        let t = -eval_first(&mut n.kids[i], -beta, -bound, cfg, tt, ctl, stats)?;
         if n.kids[i].done {
             if t > n.value {
                 n.value = t;
@@ -279,7 +346,7 @@ fn er<P: GamePosition, T: TtAccess<P>>(
                 stats.cutoffs += 1;
                 n.done = true;
                 n.store(tt, alpha, beta);
-                return n.value;
+                return Some(n.value);
             }
         }
     }
@@ -293,7 +360,7 @@ fn er<P: GamePosition, T: TtAccess<P>>(
     for i in 0..d {
         if !n.kids[i].done {
             let bound = n.value;
-            let t = -refute_rest(&mut n.kids[i], -beta, -bound, cfg, tt, stats);
+            let t = -refute_rest(&mut n.kids[i], -beta, -bound, cfg, tt, ctl, stats)?;
             if t > n.value {
                 n.value = t;
                 n.best = Some(n.kids[i].nat);
@@ -302,33 +369,37 @@ fn er<P: GamePosition, T: TtAccess<P>>(
                 stats.cutoffs += 1;
                 n.done = true;
                 n.store(tt, alpha, beta);
-                return n.value;
+                return Some(n.value);
             }
         }
     }
     n.done = true;
     n.store(tt, alpha, beta);
-    n.value
+    Some(n.value)
 }
 
 /// `Eval_first(P, α, β)`: evaluate P's first child (an e-node, recursively
 /// by ER), installing a tentative value for P. P is `done` if the bound
 /// already causes a cutoff or P has a single child.
-fn eval_first<P: GamePosition, T: TtAccess<P>>(
+fn eval_first<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
     n: &mut ErNode<P>,
     alpha: Value,
     beta: Value,
     cfg: ErConfig,
     tt: T,
+    ctl: C,
     stats: &mut SearchStats,
-) -> Value {
+) -> Option<Value> {
+    if ctl.check().is_some() {
+        return None;
+    }
     n.value = alpha;
     let hint = match tt.probe(&n.pos) {
         Some(p) => {
             if let Some(v) = p.cutoff(n.depth, gametree::Window::new(alpha, beta)) {
                 n.value = v;
                 n.done = true;
-                return v;
+                return Some(v);
             }
             p.hint
         }
@@ -346,10 +417,10 @@ fn eval_first<P: GamePosition, T: TtAccess<P>>(
         n.value = n.leaf_value(stats);
         n.done = true;
         tt.store(&n.pos, n.depth, n.value, Bound::Exact, None);
-        return n.value;
+        return Some(n.value);
     }
     let bound = n.value;
-    let t = -er(&mut n.kids[0], -beta, -bound, cfg, tt, stats);
+    let t = -er(&mut n.kids[0], -beta, -bound, cfg, tt, ctl, stats)?;
     if t > n.value {
         n.value = t;
         n.best = Some(n.kids[0].nat);
@@ -363,20 +434,24 @@ fn eval_first<P: GamePosition, T: TtAccess<P>>(
     if n.done {
         n.store(tt, alpha, beta);
     }
-    n.value
+    Some(n.value)
 }
 
 /// `Refute_rest(P, α, β)`: examine P's remaining children (2..d), each via
 /// `Eval_first` + `Refute_rest`, until P is refuted (value ≥ β) or all
 /// children are exhausted (refutation failed; the value is then exact).
-fn refute_rest<P: GamePosition, T: TtAccess<P>>(
+fn refute_rest<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
     n: &mut ErNode<P>,
     alpha: Value,
     beta: Value,
     cfg: ErConfig,
     tt: T,
+    ctl: C,
     stats: &mut SearchStats,
-) -> Value {
+) -> Option<Value> {
+    if ctl.check().is_some() {
+        return None;
+    }
     // Erratum fix (see module docs): retain the tentative value.
     if alpha > n.value {
         n.value = alpha;
@@ -388,10 +463,10 @@ fn refute_rest<P: GamePosition, T: TtAccess<P>>(
     let d = n.kids.len();
     for i in 1..d {
         let bound = n.value;
-        let mut t = -eval_first(&mut n.kids[i], -beta, -bound, cfg, tt, stats);
+        let mut t = -eval_first(&mut n.kids[i], -beta, -bound, cfg, tt, ctl, stats)?;
         if !n.kids[i].done {
             let bound = n.value;
-            t = -refute_rest(&mut n.kids[i], -beta, -bound, cfg, tt, stats);
+            t = -refute_rest(&mut n.kids[i], -beta, -bound, cfg, tt, ctl, stats)?;
         }
         if t > n.value {
             n.value = t;
@@ -401,12 +476,12 @@ fn refute_rest<P: GamePosition, T: TtAccess<P>>(
             stats.cutoffs += 1;
             n.done = true;
             n.store(tt, floor, beta);
-            return n.value;
+            return Some(n.value);
         }
     }
     n.done = true;
     n.store(tt, floor, beta);
-    n.value
+    Some(n.value)
 }
 
 /// Examines a node with the *refutation* discipline: `Eval_first` (fully
@@ -451,13 +526,47 @@ pub fn er_eval_refute_with<P: GamePosition, T: TtAccess<P>>(
     start_ply: u32,
     tt: T,
 ) -> SearchResult {
+    let r = er_eval_refute_ctl_with(pos, depth, window, cfg, start_ply, tt, ());
+    SearchResult {
+        value: r.value,
+        stats: r.stats,
+    }
+}
+
+/// [`er_eval_refute_with`] generic over *both* handles — table and
+/// control. The serial-frontier refutation jobs of the parallel engine run
+/// through here, so a tripped deadline is noticed inside the batch.
+#[allow(clippy::too_many_arguments)]
+pub fn er_eval_refute_ctl_with<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
+    pos: &P,
+    depth: u32,
+    window: gametree::Window,
+    cfg: ErConfig,
+    start_ply: u32,
+    tt: T,
+    ctl: C,
+) -> CtlSearchResult {
     let mut stats = SearchStats::new();
     let mut n = ErNode::new(pos.clone(), depth, start_ply);
-    let mut t = eval_first(&mut n, window.alpha, window.beta, cfg, tt, &mut stats);
-    if !n.done {
-        t = refute_rest(&mut n, window.alpha, window.beta, cfg, tt, &mut stats);
+    let mut run = || -> Option<Value> {
+        let mut t = eval_first(&mut n, window.alpha, window.beta, cfg, tt, ctl, &mut stats)?;
+        if !n.done {
+            t = refute_rest(&mut n, window.alpha, window.beta, cfg, tt, ctl, &mut stats)?;
+        }
+        Some(t)
+    };
+    match run() {
+        Some(value) => CtlSearchResult {
+            value,
+            stats,
+            aborted: None,
+        },
+        None => CtlSearchResult {
+            value: window.alpha,
+            stats,
+            aborted: ctl.reason(),
+        },
     }
-    SearchResult { value: t, stats }
 }
 
 /// Continues the evaluation of a node whose *first* child has already been
@@ -521,6 +630,35 @@ pub fn er_refute_rest_with<P: GamePosition, T: TtAccess<P>>(
     initial_value: Value,
     tt: T,
 ) -> SearchResult {
+    let r = er_refute_rest_ctl_with(
+        children,
+        child_depth,
+        child_ply,
+        window,
+        cfg,
+        initial_value,
+        tt,
+        (),
+    );
+    SearchResult {
+        value: r.value,
+        stats: r.stats,
+    }
+}
+
+/// [`er_refute_rest_with`] generic over *both* handles — table and
+/// control.
+#[allow(clippy::too_many_arguments)]
+pub fn er_refute_rest_ctl_with<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
+    children: &[P],
+    child_depth: u32,
+    child_ply: u32,
+    window: gametree::Window,
+    cfg: ErConfig,
+    initial_value: Value,
+    tt: T,
+    ctl: C,
+) -> CtlSearchResult {
     let mut stats = SearchStats::new();
     let beta = window.beta;
     let mut value = window.alpha.max(initial_value);
@@ -529,19 +667,37 @@ pub fn er_refute_rest_with<P: GamePosition, T: TtAccess<P>>(
             break;
         }
         let mut n = ErNode::new(child.clone(), child_depth, child_ply);
-        let mut t = -eval_first(&mut n, -beta, -value, cfg, tt, &mut stats);
-        if !n.done {
-            t = -refute_rest(&mut n, -beta, -value, cfg, tt, &mut stats);
-        }
-        if t > value {
-            value = t;
+        let mut step = || -> Option<Value> {
+            let mut t = -eval_first(&mut n, -beta, -value, cfg, tt, ctl, &mut stats)?;
+            if !n.done {
+                t = -refute_rest(&mut n, -beta, -value, cfg, tt, ctl, &mut stats)?;
+            }
+            Some(t)
+        };
+        match step() {
+            Some(t) => {
+                if t > value {
+                    value = t;
+                }
+            }
+            None => {
+                return CtlSearchResult {
+                    value,
+                    stats,
+                    aborted: ctl.reason(),
+                };
+            }
         }
         if value >= beta {
             stats.cutoffs += 1;
             break;
         }
     }
-    SearchResult { value, stats }
+    CtlSearchResult {
+        value,
+        stats,
+        aborted: None,
+    }
 }
 
 #[cfg(test)]

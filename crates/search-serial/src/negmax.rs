@@ -5,12 +5,13 @@
 use gametree::{GamePosition, SearchStats, Value};
 use tt::{Bound, TranspositionTable, TtAccess, Zobrist};
 
+use crate::control::{CtlAccess, CtlProbe, CtlSearchResult, SearchControl};
 use crate::SearchResult;
 
 /// Evaluates `pos` to `depth` plies by exhaustive negamax.
 pub fn negmax<P: GamePosition>(pos: &P, depth: u32) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = negmax_rec(pos, depth, (), &mut stats);
+    let value = negmax_rec(pos, depth, (), (), &mut stats).expect("no control handle");
     SearchResult { value, stats }
 }
 
@@ -23,20 +24,44 @@ pub fn negmax_tt<P: GamePosition + Zobrist>(
     table: &TranspositionTable,
 ) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = negmax_rec(pos, depth, table, &mut stats);
+    let value = negmax_rec(pos, depth, table, (), &mut stats).expect("no control handle");
     SearchResult { value, stats }
 }
 
-fn negmax_rec<P: GamePosition, T: TtAccess<P>>(
+/// [`negmax`] under a [`SearchControl`]: polls `ctl` at every node and
+/// unwinds when it trips. A completed run is bit-identical to [`negmax`];
+/// an aborted one flags itself via `aborted` and its value is partial.
+pub fn negmax_ctl<P: GamePosition>(pos: &P, depth: u32, ctl: &SearchControl) -> CtlSearchResult {
+    let probe = CtlProbe::new(ctl);
+    let mut stats = SearchStats::new();
+    match negmax_rec(pos, depth, (), &probe, &mut stats) {
+        Some(value) => CtlSearchResult {
+            value,
+            stats,
+            aborted: None,
+        },
+        None => CtlSearchResult {
+            value: Value::NEG_INF,
+            stats,
+            aborted: ctl.reason(),
+        },
+    }
+}
+
+fn negmax_rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
     pos: &P,
     depth: u32,
     tt: T,
+    ctl: C,
     stats: &mut SearchStats,
-) -> Value {
+) -> Option<Value> {
+    if ctl.check().is_some() {
+        return None;
+    }
     // Negamax has no window, so only an equal-depth Exact entry helps.
     if let Some(p) = tt.probe(pos) {
         if p.depth == depth && p.bound == Bound::Exact {
-            return p.value;
+            return Some(p.value);
         }
     }
     let moves = pos.moves();
@@ -45,20 +70,22 @@ fn negmax_rec<P: GamePosition, T: TtAccess<P>>(
         stats.eval_calls += 1;
         let v = pos.evaluate();
         tt.store(pos, depth, v, Bound::Exact, None);
-        return v;
+        return Some(v);
     }
     stats.interior_nodes += 1;
     let mut m = Value::NEG_INF;
     let mut best = None;
     for (i, mv) in moves.iter().enumerate() {
-        let t = -negmax_rec(&pos.play(mv), depth - 1, tt, stats);
+        // An abort below propagates before any store: partial values never
+        // reach the table.
+        let t = -negmax_rec(&pos.play(mv), depth - 1, tt, ctl, stats)?;
         if t > m {
             m = t;
             best = Some(i as u16);
         }
     }
     tt.store(pos, depth, m, Bound::Exact, best);
-    m
+    Some(m)
 }
 
 #[cfg(test)]

@@ -12,14 +12,40 @@ use gametree::{GamePosition, SearchStats, Value, Window};
 use tt::{Bound, TranspositionTable, TtAccess, Zobrist};
 
 use crate::alphabeta::fail_soft_bound;
+use crate::control::{CtlAccess, CtlProbe, CtlSearchResult, SearchControl};
 use crate::ordering::{ordered_children_indexed, splice_hint, OrderPolicy};
 use crate::SearchResult;
 
 /// Evaluates `pos` to `depth` plies with principal-variation search.
 pub fn pvs<P: GamePosition>(pos: &P, depth: u32, policy: OrderPolicy) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = rec(pos, depth, Window::FULL, 0, policy, (), &mut stats);
+    let value = rec(pos, depth, Window::FULL, 0, policy, (), (), &mut stats).expect("no control");
     SearchResult { value, stats }
+}
+
+/// [`pvs`] under a [`SearchControl`]: polls `ctl` at every node and
+/// unwinds when it trips. A completed run is bit-identical to [`pvs`]; an
+/// aborted one flags itself via `aborted` and its value is partial.
+pub fn pvs_ctl<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    policy: OrderPolicy,
+    ctl: &SearchControl,
+) -> CtlSearchResult {
+    let probe = CtlProbe::new(ctl);
+    let mut stats = SearchStats::new();
+    match rec(pos, depth, Window::FULL, 0, policy, (), &probe, &mut stats) {
+        Some(value) => CtlSearchResult {
+            value,
+            stats,
+            aborted: None,
+        },
+        None => CtlSearchResult {
+            value: Value::NEG_INF,
+            stats,
+            aborted: ctl.reason(),
+        },
+    }
 }
 
 /// PVS with an explicit initial window (fail-soft).
@@ -30,7 +56,7 @@ pub fn pvs_window<P: GamePosition>(
     policy: OrderPolicy,
 ) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = rec(pos, depth, window, 0, policy, (), &mut stats);
+    let value = rec(pos, depth, window, 0, policy, (), (), &mut stats).expect("no control");
     SearchResult { value, stats }
 }
 
@@ -44,7 +70,8 @@ pub fn pvs_tt<P: GamePosition + Zobrist>(
     table: &TranspositionTable,
 ) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = rec(pos, depth, Window::FULL, 0, policy, table, &mut stats);
+    let value =
+        rec(pos, depth, Window::FULL, 0, policy, table, (), &mut stats).expect("no control");
     SearchResult { value, stats }
 }
 
@@ -57,30 +84,35 @@ pub fn pvs_window_tt<P: GamePosition + Zobrist>(
     table: &TranspositionTable,
 ) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = rec(pos, depth, window, 0, policy, table, &mut stats);
+    let value = rec(pos, depth, window, 0, policy, table, (), &mut stats).expect("no control");
     SearchResult { value, stats }
 }
 
-fn rec<P: GamePosition, T: TtAccess<P>>(
+#[allow(clippy::too_many_arguments)]
+fn rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
     pos: &P,
     depth: u32,
     window: Window,
     ply: u32,
     policy: OrderPolicy,
     tt: T,
+    ctl: C,
     stats: &mut SearchStats,
-) -> Value {
+) -> Option<Value> {
+    if ctl.check().is_some() {
+        return None;
+    }
     if depth == 0 || pos.degree() == 0 {
         stats.leaf_nodes += 1;
         stats.eval_calls += 1;
         let v = pos.evaluate();
         tt.store(pos, depth, v, Bound::Exact, None);
-        return v;
+        return Some(v);
     }
     let hint = match tt.probe(pos) {
         Some(p) => {
             if let Some(v) = p.cutoff(depth, window) {
-                return v;
+                return Some(v);
             }
             p.hint
         }
@@ -95,6 +127,8 @@ fn rec<P: GamePosition, T: TtAccess<P>>(
     let mut best = None;
     let mut w = window;
     for (i, child) in kids.iter().enumerate() {
+        // Aborts below propagate before any store: partial values never
+        // reach the table.
         let t = if i == 0 || !w.alpha.is_finite() {
             // First child (or no bound yet): full remaining window.
             -rec(
@@ -104,8 +138,9 @@ fn rec<P: GamePosition, T: TtAccess<P>>(
                 ply + 1,
                 policy,
                 tt,
+                ctl,
                 stats,
-            )
+            )?
         } else {
             // Null-window probe around the current best.
             let null = Window::new(w.alpha, Value::new(w.alpha.get() + 1));
@@ -116,8 +151,9 @@ fn rec<P: GamePosition, T: TtAccess<P>>(
                 ply + 1,
                 policy,
                 tt,
+                ctl,
                 stats,
-            );
+            )?;
             if probe > w.alpha && probe < window.beta {
                 // Fail-high inside the real window: re-search for the
                 // exact value.
@@ -129,8 +165,9 @@ fn rec<P: GamePosition, T: TtAccess<P>>(
                     ply + 1,
                     policy,
                     tt,
+                    ctl,
                     stats,
-                )
+                )?
             } else {
                 probe
             }
@@ -143,11 +180,11 @@ fn rec<P: GamePosition, T: TtAccess<P>>(
         if m >= window.beta {
             stats.cutoffs += 1;
             tt.store(pos, depth, m, Bound::Lower, best);
-            return m;
+            return Some(m);
         }
     }
     tt.store(pos, depth, m, fail_soft_bound(m, window), best);
-    m
+    Some(m)
 }
 
 #[cfg(test)]

@@ -251,6 +251,12 @@ impl TranspositionTable {
         self.generation.store((g + 1) & 63, Relaxed);
     }
 
+    /// The current generation (mod 64) — lets drivers such as iterative
+    /// deepening assert that each depth ran under its own generation.
+    pub fn generation(&self) -> u8 {
+        self.generation.load(Relaxed)
+    }
+
     fn bucket(&self, hash: u64) -> &Bucket {
         // High bits pick the shard, low bits the bucket within it, so the
         // two indices never alias even for tiny tables.
@@ -532,9 +538,13 @@ mod tests {
     #[test]
     fn generation_wraps_mod_64() {
         let t = TranspositionTable::with_bits(4);
-        for _ in 0..130 {
+        assert_eq!(t.generation(), 0);
+        t.new_search();
+        assert_eq!(t.generation(), 1);
+        for _ in 1..130 {
             t.new_search();
         }
+        assert_eq!(t.generation(), 130 % 64);
         t.store(9, 1, Value::ZERO, Bound::Exact, None);
         assert!(t.probe(9).is_some());
     }

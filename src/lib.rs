@@ -53,7 +53,8 @@
 //! // work stealing are the default; pin or disable them explicitly.
 //! let exec = ThreadsConfig { batch: BatchPolicy::Adaptive, steal: true };
 //! assert_eq!(exec, ThreadsConfig::default());
-//! let ws = run_er_threads_exec(&root, 8, 4, &ErParallelConfig::random_tree(4), exec);
+//! let ws = run_er_threads_exec(&root, 8, 4, &ErParallelConfig::random_tree(4), exec)
+//!     .expect("no deadline, no panic: cannot abort");
 //! assert_eq!(ws.value, ab.value);
 //! assert_eq!(ws.counters().pos_clones_in_lock, 0);
 //!
@@ -62,6 +63,28 @@
 //! let ttr = run_er_threads_tt(&root, 8, 4, 16, &ErParallelConfig::random_tree(4), &table);
 //! assert_eq!(ttr.value, ab.value);
 //! assert!(ttr.tt.expect("table stats").probes > 0);
+//!
+//! // Abort-safe search control (DESIGN.md §10): the same search under a
+//! // deadline or cancellation token returns Err(SearchAborted) instead of
+//! // hanging, and the anytime iterative-deepening driver always reports
+//! // the deepest fully-completed value.
+//! let ctl = SearchControl::unlimited();
+//! let ok = run_er_threads_ctl(&root, 8, 4, &ErParallelConfig::random_tree(4), exec, &ctl)
+//!     .expect("unlimited control cannot trip");
+//! assert_eq!(ok.value, ab.value);
+//!
+//! let id = run_er_threads_id(&root, 8, 4, &ErParallelConfig::random_tree(4), exec,
+//!                            &SearchControl::unlimited());
+//! assert_eq!(id.depth_completed, 8);
+//! assert_eq!(id.value, ab.value); // bit-identical to the fixed-depth run
+//! assert!(id.stopped.is_none());
+//!
+//! let cancelled = SearchControl::unlimited();
+//! cancelled.cancel();
+//! let err = run_er_threads_ctl(&root, 8, 4, &ErParallelConfig::random_tree(4), exec, &cancelled)
+//!     .expect_err("pre-cancelled control must abort");
+//! assert_eq!(err.reason, AbortReason::Cancelled);
+//! assert_eq!(err.counters.len(), 4, "every thread joined");
 //! ```
 
 #![warn(missing_docs)]
@@ -78,9 +101,11 @@ pub use tt;
 pub mod prelude {
     pub use checkers::CheckersPos;
     pub use er_parallel::{
-        run_er_sim, run_er_threads, run_er_threads_exec, run_er_threads_exec_tt, run_er_threads_tt,
-        run_er_threads_with, BatchPolicy, ErParallelConfig, ErRunResult, ErThreadsResult,
-        Speculation, ThreadsConfig, DEFAULT_BATCH, MAX_BATCH,
+        run_er_sim, run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt, run_er_threads_exec,
+        run_er_threads_exec_tt, run_er_threads_id, run_er_threads_id_tt, run_er_threads_tt,
+        run_er_threads_with, AbortReason, BatchPolicy, ErIdResult, ErParallelConfig, ErRunResult,
+        ErThreadsResult, SearchAborted, SearchControl, Speculation, ThreadsConfig, DEFAULT_BATCH,
+        MAX_BATCH,
     };
     pub use gametree::ordered::OrderedTreeSpec;
     pub use gametree::random::RandomTreeSpec;
