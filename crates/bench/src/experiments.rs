@@ -1194,6 +1194,253 @@ pub fn tt_rows(bits: u32) -> Vec<TtRow> {
     rows
 }
 
+/// One traced threaded run: R1 searched with per-worker event tracing on,
+/// with the [`trace::SearchReport`] aggregates that make the run's
+/// behaviour legible — utilization split, lock-wait distribution, steal
+/// traffic, queue depths.
+///
+/// The row also attests the tentpole's zero-interference claim: the same
+/// configuration is run with tracing *off* and both root values are
+/// asserted bit-identical to serial alpha-beta before recording.
+#[derive(Clone, Debug)]
+pub struct TraceRow {
+    /// Table 3 tree name.
+    pub tree: String,
+    /// Search depth in plies.
+    pub depth: u32,
+    /// OS threads used.
+    pub threads: usize,
+    /// Root value (asserted equal to the untraced run and to serial
+    /// alpha-beta before recording).
+    pub value: i32,
+    /// Nodes examined by the traced run (scheduling-dependent; the value
+    /// never is).
+    pub nodes: u64,
+    /// Events retained across all worker rings.
+    pub events: u64,
+    /// Events lost to ring overwrite (bounded rings never reallocate).
+    pub dropped: u64,
+    /// JobExecute spans recorded.
+    pub jobs: u64,
+    /// Mean fraction of wall time workers spent inside jobs.
+    pub busy_fraction: f64,
+    /// Mean fraction of wall time workers spent parked.
+    pub park_fraction: f64,
+    /// Mean nanoseconds per lock-wait span.
+    pub mean_lock_wait_ns: f64,
+    /// Largest lock-wait span observed.
+    pub max_lock_wait_ns: u64,
+    /// Steal probes recorded.
+    pub steal_attempts: u64,
+    /// Steal probes that yielded a job.
+    pub steal_hits: u64,
+    /// Park spans recorded.
+    pub parks: u64,
+    /// Largest sampled per-worker queue depth.
+    pub queue_depth_max: u32,
+    /// Mean sampled queue depth.
+    pub queue_depth_mean: f64,
+    /// Wall-clock milliseconds of the traced run.
+    pub elapsed_ms: f64,
+}
+
+/// Runs R1 with tracing on at each thread count, asserting the traced and
+/// untraced runs agree with serial alpha-beta, and collapses each run's
+/// snapshot into a [`TraceRow`].
+pub fn trace_rows(thread_counts: &[usize]) -> Vec<TraceRow> {
+    use er_parallel::{run_er_threads_exec, run_er_threads_trace, SearchControl, ThreadsConfig};
+    use trace::{EventKind, SearchReport, Tracer};
+    let spec = &crate::trees::random_trees()[0];
+    let cfg = ErParallelConfig {
+        serial_depth: spec.serial_depth,
+        order: spec.order,
+        spec: Speculation::ALL,
+        cost: CostModel::default(),
+    };
+    let exact = alphabeta(&spec.root, spec.depth, spec.order).value;
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let tracer = Tracer::new();
+            let traced = run_er_threads_trace(
+                &spec.root,
+                spec.depth,
+                threads,
+                &cfg,
+                ThreadsConfig::default(),
+                &SearchControl::unlimited(),
+                &tracer,
+            )
+            .expect("unlimited traced run cannot abort");
+            let plain = run_er_threads_exec(
+                &spec.root,
+                spec.depth,
+                threads,
+                &cfg,
+                ThreadsConfig::default(),
+            )
+            .expect("unlimited untraced run cannot abort");
+            assert_eq!(
+                traced.value, exact,
+                "{}@{threads}: traced run disagrees with alpha-beta",
+                spec.name
+            );
+            assert_eq!(
+                plain.value, traced.value,
+                "{}@{threads}: tracing changed the root value",
+                spec.name
+            );
+            let data = tracer.snapshot();
+            assert_eq!(
+                data.workers.len(),
+                threads,
+                "{}@{threads}: one timeline row per worker",
+                spec.name
+            );
+            let report = SearchReport::from_data(&data);
+            TraceRow {
+                tree: spec.name.to_string(),
+                depth: spec.depth,
+                threads,
+                value: traced.value.get(),
+                nodes: traced.stats.nodes(),
+                events: data.total_events(),
+                dropped: data.total_dropped(),
+                jobs: report.count_of(EventKind::JobExecute),
+                busy_fraction: report.mean_busy_fraction(),
+                park_fraction: report.mean_park_fraction(),
+                mean_lock_wait_ns: report.lock_wait.mean_ns(),
+                max_lock_wait_ns: report.lock_wait.max_ns,
+                steal_attempts: report.count_of(EventKind::StealAttempt),
+                steal_hits: report.count_of(EventKind::StealHit),
+                parks: report.count_of(EventKind::Park),
+                queue_depth_max: report.queue_depth.max,
+                queue_depth_mean: report.queue_depth.mean,
+                elapsed_ms: traced.elapsed.as_secs_f64() * 1e3,
+            }
+        })
+        .collect()
+}
+
+/// Processor counts the speculation curve is classified at. Fixed (rather
+/// than following `--threads`) so the deterministic plateau assertion in
+/// `repro trace` always sees the same curve.
+pub const SPECULATION_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// The deterministic speculation curve for R1: mandatory vs speculative
+/// node splits per processor count, from the simulator-backed classifier
+/// (`er_parallel::mandatory::speculation_splits`). Node counts, not
+/// timings — the same curve on every run.
+pub fn speculation_rows() -> Vec<trace::SpecSplit> {
+    let spec = &crate::trees::random_trees()[0];
+    let cfg = ErParallelConfig {
+        serial_depth: spec.serial_depth,
+        order: spec.order,
+        spec: Speculation::ALL,
+        cost: CostModel::default(),
+    };
+    er_parallel::mandatory::speculation_splits(&spec.root, spec.depth, &SPECULATION_COUNTS, &cfg)
+}
+
+/// A Chrome-trace export with full event coverage: the timeline JSON, the
+/// snapshot it came from, and its aggregate report.
+#[derive(Clone, Debug)]
+pub struct ChromeExport {
+    /// Chrome Trace Event Format JSON (load in `chrome://tracing` or
+    /// Perfetto).
+    pub json: String,
+    /// The snapshot the JSON renders.
+    pub data: trace::TraceData,
+    /// Aggregates of the same snapshot.
+    pub report: trace::SearchReport,
+    /// Budgeted attempts needed to cover every event kind.
+    pub attempts: u32,
+}
+
+/// Produces a Chrome-trace export of a table-backed iterative-deepening R1
+/// run at `threads` workers in which **every** declared event kind occurs.
+///
+/// Most kinds appear in any threaded run; the conditional ones are forced
+/// by running under a wall-clock budget sized to trip mid-run (AbortTrip
+/// on workers and driver) while still completing at least one depth
+/// (IdDepthFinish). Budgets are timing-dependent, so the harness retries
+/// across a spread of budgets until coverage is total — the *assertions*
+/// on the returned export are about event structure, never timing margins.
+pub fn chrome_export(threads: usize) -> ChromeExport {
+    use er_parallel::{run_er_threads_id_trace_tt, SearchControl, ThreadsConfig};
+    use std::time::Duration;
+    use trace::{SearchReport, Tracer};
+    let spec = &crate::trees::random_trees()[0];
+    let cfg = ErParallelConfig {
+        serial_depth: spec.serial_depth,
+        order: spec.order,
+        spec: Speculation::ALL,
+        cost: CostModel::default(),
+    };
+    const BUDGETS_MS: [u64; 12] = [40, 20, 80, 10, 160, 60, 5, 320, 100, 30, 640, 15];
+    // Worker rows merge across deepening iterations, so the export's size
+    // is bounded per worker *per depth*; 2048 events each keeps the full
+    // timeline a few megabytes — comfortable for chrome://tracing — while
+    // the rings' overwrite-oldest policy keeps the end of every depth.
+    const EXPORT_RING_CAPACITY: usize = 2048;
+    let mut missing: Vec<&'static str> = Vec::new();
+    for (i, &budget) in BUDGETS_MS.iter().enumerate() {
+        let tracer = Tracer::with_capacity(EXPORT_RING_CAPACITY);
+        let table = tt::TranspositionTable::with_bits(16);
+        let ctl = SearchControl::with_budget(Duration::from_millis(budget));
+        let _ = run_er_threads_id_trace_tt(
+            &spec.root,
+            spec.depth,
+            threads,
+            &cfg,
+            ThreadsConfig::default(),
+            &table,
+            &ctl,
+            &tracer,
+        );
+        let data = tracer.snapshot();
+        missing = data.kinds_missing();
+        if missing.is_empty() {
+            assert_eq!(
+                data.workers.len(),
+                threads,
+                "chrome export: one timeline row per worker"
+            );
+            assert!(
+                !data.driver.events.is_empty(),
+                "chrome export: driver row records the deepening boundaries"
+            );
+            return ChromeExport {
+                json: trace::chrome_json(&data),
+                report: SearchReport::from_data(&data),
+                data,
+                attempts: i as u32 + 1,
+            };
+        }
+    }
+    panic!(
+        "no budget in {BUDGETS_MS:?}ms produced full event coverage; \
+         still missing {missing:?}"
+    );
+}
+
+/// Everything `repro trace` writes to `BENCH_trace.json`.
+#[derive(Clone, Debug)]
+pub struct TraceBench {
+    /// Tree the traced runs searched.
+    pub tree: String,
+    /// Search depth in plies.
+    pub depth: u32,
+    /// One traced run per requested thread count.
+    pub rows: Vec<TraceRow>,
+    /// Deterministic mandatory/speculative split per processor count.
+    pub speculation: Vec<trace::SpecSplit>,
+    /// Events in the Chrome export.
+    pub chrome_events: u64,
+    /// Budgeted attempts the Chrome export needed for full coverage.
+    pub chrome_attempts: u32,
+}
+
 impl_to_json!(SerialCost {
     nodes,
     evals,
@@ -1321,6 +1568,45 @@ impl_to_json!(DeadlineRow {
     elapsed_ms,
     grace_ms,
     matches_fixed_depth
+});
+impl_to_json!(TraceRow {
+    tree,
+    depth,
+    threads,
+    value,
+    nodes,
+    events,
+    dropped,
+    jobs,
+    busy_fraction,
+    park_fraction,
+    mean_lock_wait_ns,
+    max_lock_wait_ns,
+    steal_attempts,
+    steal_hits,
+    parks,
+    queue_depth_max,
+    queue_depth_mean,
+    elapsed_ms
+});
+// `SpecSplit` lives in the trace crate; `ToJson` is this crate's trait, so
+// the registration is ours to make.
+impl_to_json!(trace::SpecSplit {
+    processors,
+    mandatory,
+    examined,
+    mandatory_done,
+    speculative,
+    mandatory_skipped,
+    wasted_fraction
+});
+impl_to_json!(TraceBench {
+    tree,
+    depth,
+    rows,
+    speculation,
+    chrome_events,
+    chrome_attempts
 });
 impl_to_json!(ThreadsRow {
     tree,

@@ -224,6 +224,53 @@ mod tests {
     }
 
     #[test]
+    fn strings_escape_quotes_and_backslashes() {
+        assert_eq!(to_pretty("say \"hi\""), r#""say \"hi\"""#);
+        assert_eq!(to_pretty("C:\\temp\\x"), r#""C:\\temp\\x""#);
+        assert_eq!(to_pretty("\\\""), r#""\\\"""#);
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(to_pretty("a\nb"), r#""a\nb""#);
+        assert_eq!(to_pretty("a\rb"), r#""a\rb""#);
+        assert_eq!(to_pretty("a\tb"), r#""a\tb""#);
+        // Remaining C0 controls use the \u00XX form.
+        assert_eq!(to_pretty("\u{0}"), r#""\u0000""#);
+        assert_eq!(to_pretty("\u{1b}"), r#""\u001b""#);
+        assert_eq!(to_pretty("\u{7}"), r#""\u0007""#);
+    }
+
+    #[test]
+    fn non_ascii_passes_through_unescaped() {
+        // JSON strings are unicode; only controls/quotes/backslashes need
+        // escaping, so multibyte text should survive verbatim.
+        assert_eq!(to_pretty("αβ 木"), "\"αβ 木\"");
+    }
+
+    #[test]
+    fn every_escapable_string_renders_as_valid_json() {
+        // Exhaustive over the full C0 range plus the two quotable chars:
+        // each must round through the writer into something the
+        // dependency-free linter accepts.
+        for code in (0u32..0x20).chain(['"' as u32, '\\' as u32]) {
+            let c = char::from_u32(code).unwrap();
+            let s = format!("x{c}y");
+            let json = to_pretty(s.as_str());
+            trace::lint::check(&json)
+                .unwrap_or_else(|e| panic!("U+{code:04X} rendered invalid JSON: {e}"));
+        }
+    }
+
+    #[test]
+    fn object_keys_are_escaped_too() {
+        let mut out = String::new();
+        write_object(&mut out, 0, &[("we\"ird\nkey", &1u32 as &dyn ToJson)]);
+        assert_eq!(out, "{\n  \"we\\\"ird\\nkey\": 1\n}");
+        trace::lint::check(&out).unwrap();
+    }
+
+    #[test]
     fn nested_vectors_indent_consistently() {
         let v = vec![vec![1u32], vec![2, 3]];
         assert_eq!(

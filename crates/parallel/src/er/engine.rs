@@ -839,6 +839,12 @@ impl<P: GamePosition> ErWorker<P> {
             && (!self.primary.is_empty() || (self.spec_enabled() && !self.spec.is_empty()))
     }
 
+    /// Combined primary + speculative queue length (telemetry sample; the
+    /// threaded back-end records it once per refill when tracing is on).
+    pub fn queue_len(&self) -> usize {
+        self.primary.len() + self.spec.len()
+    }
+
     /// Ordering policy (needed by executors).
     pub fn order(&self) -> OrderPolicy {
         self.cfg.order

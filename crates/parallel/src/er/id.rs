@@ -22,9 +22,13 @@
 use std::time::{Duration, Instant};
 
 use gametree::{GamePosition, SearchStats, Value};
+use trace::{EventKind, Tracer};
 use tt::{TranspositionTable, Zobrist};
 
-use super::threads::{run_er_threads_ctl, run_er_threads_ctl_tt, ThreadsConfig};
+use super::threads::{
+    run_er_threads_ctl, run_er_threads_ctl_tt, run_er_threads_trace, run_er_threads_trace_tt,
+    ThreadsConfig,
+};
 use super::ErParallelConfig;
 use crate::control::{AbortReason, SearchControl};
 
@@ -109,6 +113,72 @@ pub fn run_er_threads_id_tt<P: GamePosition + Zobrist>(
             .map(|r| (r.value, r.stats))
             .map_err(|e| e.reason)
     })
+}
+
+/// [`run_er_threads_id`] with a [`Tracer`] attached: each iteration's
+/// worker activity lands on the same per-worker timeline rows, and the
+/// driver row records an [`EventKind::IdDepthStart`]/[`IdDepthFinish`]
+/// instant pair per depth plus an [`EventKind::AbortTrip`] when deepening
+/// stops early.
+///
+/// [`IdDepthFinish`]: EventKind::IdDepthFinish
+pub fn run_er_threads_id_trace<P: GamePosition>(
+    pos: &P,
+    max_depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    ctl: &SearchControl,
+    tracer: &Tracer,
+) -> ErIdResult {
+    let r = run_id_gen(pos, max_depth, ctl, |depth, ctl| {
+        tracer.driver_instant(EventKind::IdDepthStart, depth);
+        let r = run_er_threads_trace(pos, depth, threads, cfg, exec, ctl, tracer)
+            .map(|r| (r.value, r.stats))
+            .map_err(|e| e.reason);
+        if r.is_ok() {
+            tracer.driver_instant(EventKind::IdDepthFinish, depth);
+        }
+        r
+    });
+    note_stop(&r, tracer);
+    r
+}
+
+/// [`run_er_threads_id_trace`] with all iterations sharing `table`; table
+/// probes and stores are recorded as [`EventKind::TtProbe`] /
+/// [`EventKind::TtStore`] instants on the worker rows.
+#[allow(clippy::too_many_arguments)]
+pub fn run_er_threads_id_trace_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    max_depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    table: &TranspositionTable,
+    ctl: &SearchControl,
+    tracer: &Tracer,
+) -> ErIdResult {
+    let r = run_id_gen(pos, max_depth, ctl, |depth, ctl| {
+        table.new_search();
+        tracer.driver_instant(EventKind::IdDepthStart, depth);
+        let r = run_er_threads_trace_tt(pos, depth, threads, cfg, exec, table, ctl, tracer)
+            .map(|r| (r.value, r.stats))
+            .map_err(|e| e.reason);
+        if r.is_ok() {
+            tracer.driver_instant(EventKind::IdDepthFinish, depth);
+        }
+        r
+    });
+    note_stop(&r, tracer);
+    r
+}
+
+/// Records the driver-side abort observation when deepening stopped early.
+fn note_stop(r: &ErIdResult, tracer: &Tracer) {
+    if let Some(reason) = r.stopped {
+        tracer.driver_instant(EventKind::AbortTrip, reason as u32);
+    }
 }
 
 /// The deepening loop, shared by the table-free and table-backed drivers.

@@ -99,8 +99,12 @@ pub struct ErRunResult {
 }
 
 pub use engine::{run_er_sim, run_er_sim_tt};
-pub use id::{run_er_threads_id, run_er_threads_id_tt, DepthResult, ErIdResult};
+pub use id::{
+    run_er_threads_id, run_er_threads_id_trace, run_er_threads_id_trace_tt, run_er_threads_id_tt,
+    DepthResult, ErIdResult,
+};
 pub use threads::{
     run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt, run_er_threads_exec,
-    run_er_threads_exec_tt, run_er_threads_tt, BatchPolicy, ThreadsConfig,
+    run_er_threads_exec_tt, run_er_threads_trace, run_er_threads_trace_tt, run_er_threads_tt,
+    BatchPolicy, ThreadsConfig,
 };

@@ -66,6 +66,7 @@ use std::time::Instant;
 
 use gametree::{GamePosition, SearchStats, Value};
 use problem_heap::{ws_deque, PublishSlab, ThreadCounters, WsStealer};
+use trace::{EventKind, TraceAccess, Traced, Tracer, WorkerTrace};
 use tt::{TranspositionTable, TtAccess, TtStats, Zobrist};
 
 use super::engine::{execute_task, ErWorker, Outcome, Select, Task};
@@ -222,6 +223,7 @@ pub fn run_er_threads_exec<P: GamePosition>(
         exec,
         (),
         &SearchControl::unlimited(),
+        (),
     )
 }
 
@@ -237,7 +239,45 @@ pub fn run_er_threads_ctl<P: GamePosition>(
     exec: ThreadsConfig,
     ctl: &SearchControl,
 ) -> Result<ErThreadsResult, SearchAborted> {
-    run_er_threads_gen(pos, depth, threads, cfg, exec, (), ctl)
+    run_er_threads_gen(pos, depth, threads, cfg, exec, (), ctl, ())
+}
+
+/// [`run_er_threads_ctl`] with a [`Tracer`] attached: every worker records
+/// its activity (job spans, lock waits/holds, steals, parks, queue depths,
+/// abort trips) into a private bounded ring, submitted to `tracer` when
+/// the thread joins. The root value is bit-identical to the untraced run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_er_threads_trace<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    ctl: &SearchControl,
+    tracer: &Tracer,
+) -> Result<ErThreadsResult, SearchAborted> {
+    run_er_threads_gen(pos, depth, threads, cfg, exec, (), ctl, tracer)
+}
+
+/// [`run_er_threads_trace`] with a shared transposition table: the trace
+/// additionally records every table probe and store (the handle is wrapped
+/// in [`trace::Traced`] and rides into `execute_task` and the
+/// serial-frontier searches unchanged).
+#[allow(clippy::too_many_arguments)]
+pub fn run_er_threads_trace_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    table: &TranspositionTable,
+    ctl: &SearchControl,
+    tracer: &Tracer,
+) -> Result<ErThreadsResult, SearchAborted> {
+    let before = table.stats();
+    let mut r = run_er_threads_gen(pos, depth, threads, cfg, exec, table, ctl, tracer)?;
+    r.tt = Some(table.stats().since(&before));
+    Ok(r)
 }
 
 /// [`run_er_threads_with`] with all workers sharing `table`: every thread
@@ -293,7 +333,7 @@ pub fn run_er_threads_ctl_tt<P: GamePosition + Zobrist>(
     ctl: &SearchControl,
 ) -> Result<ErThreadsResult, SearchAborted> {
     let before = table.stats();
-    let mut r = run_er_threads_gen(pos, depth, threads, cfg, exec, table, ctl)?;
+    let mut r = run_er_threads_gen(pos, depth, threads, cfg, exec, table, ctl, ())?;
     r.tt = Some(table.stats().since(&before));
     Ok(r)
 }
@@ -356,8 +396,20 @@ impl<P: GamePosition> Drop for PanicSentinel<'_, P> {
     }
 }
 
+/// Maps a task to its trace-argument index (see [`trace::job_label`]).
+fn task_arg(task: &Task) -> u32 {
+    match task {
+        Task::Leaf => 0,
+        Task::CachedLeaf(_) => 1,
+        Task::Movegen { .. } => 2,
+        Task::NextChild => 3,
+        Task::ExpandRest => 4,
+        Task::Serial { .. } => 5,
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
-fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
+fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync, R: TraceAccess>(
     pos: &P,
     depth: u32,
     threads: usize,
@@ -365,6 +417,7 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
     exec: ThreadsConfig,
     tt: T,
     ctl: &SearchControl,
+    tr: R,
 ) -> Result<ErThreadsResult, SearchAborted> {
     assert!(threads > 0);
     let (fixed_batch, adaptive) = match exec.batch {
@@ -414,6 +467,11 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                         done_flag,
                     };
                     let probe = CtlProbe::new(ctl);
+                    // Per-worker recorder: `()` when tracing is off, so
+                    // every recording call below compiles away and the
+                    // loop is byte-identical to the untraced build.
+                    let wtr = tr.worker(me);
+                    let ttw = Traced::new(tt, &wtr);
                     let mut cx = WorkerCtx::<P> {
                         counters: ThreadCounters::default(),
                         ready: Vec::with_capacity(MAX_BATCH),
@@ -435,6 +493,7 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                         let holding = Instant::now();
                         cx.counters.lock_acquisitions += 1;
                         cx.counters.lock_wait_nanos += waited;
+                        wtr.span_at(EventKind::LockWait, waiting, waited, 0);
                         for (id, outcome) in cx.ready.drain(..) {
                             cx.counters.outcomes_applied += 1;
                             if g.worker.apply(id, outcome) {
@@ -485,6 +544,7 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                             }
                             cx.counters.idle_parks += 1;
                             g.parked += 1;
+                            let park_start = wtr.now_ns();
                             while !g.done && !g.worker.work_available() {
                                 // A poisoned wait still hands the guard
                                 // back; an aborting sibling has set `done`,
@@ -492,6 +552,13 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                                 g = idle.wait(g).unwrap_or_else(PoisonError::into_inner);
                             }
                             g.parked -= 1;
+                            wtr.span(
+                                EventKind::Park,
+                                park_start,
+                                wtr.now_ns().saturating_sub(park_start),
+                                0,
+                            );
+                            wtr.instant(EventKind::Unpark, 0);
                             cx.steal_pass = steal_on;
                         }
                         if g.done {
@@ -500,7 +567,9 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                             // deque jobs are simply abandoned (they were
                             // never counted as executed).
                             idle.notify_all();
-                            cx.counters.lock_hold_nanos += holding.elapsed().as_nanos() as u64;
+                            let hold = holding.elapsed().as_nanos() as u64;
+                            cx.counters.lock_hold_nanos += hold;
+                            wtr.span_at(EventKind::LockHold, holding, hold, 0);
                             break 'rounds false;
                         }
                         // Targeted hand-off: if work remains after this
@@ -511,7 +580,15 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                             idle.notify_one();
                         }
                         let refilled = cx.refill.len();
-                        cx.counters.lock_hold_nanos += holding.elapsed().as_nanos() as u64;
+                        if R::ENABLED {
+                            // Sampled once per refill, still under the lock
+                            // (queue lengths are guarded state); recording
+                            // itself stays in the private ring.
+                            wtr.instant(EventKind::QueueDepth, g.worker.queue_len() as u32);
+                        }
+                        let hold = holding.elapsed().as_nanos() as u64;
+                        cx.counters.lock_hold_nanos += hold;
+                        wtr.span_at(EventKind::LockHold, holding, hold, refilled as u32);
                         drop(g);
 
                         // ---- Execute phase, entirely outside the lock.
@@ -528,7 +605,7 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                             // applicable outcome: the control tripped
                             // mid-job or the task panicked (already caught
                             // and converted into a trip).
-                            if !run_job(&mut cx, arena, id, &task, order, tt, &probe) {
+                            if !run_job(&mut cx, arena, id, &task, order, ttw, &probe, &wtr) {
                                 break 'rounds true;
                             }
                             executed_this_round += 1;
@@ -545,14 +622,16 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                                 for off in 1..threads {
                                     let j = (me + off) % threads;
                                     cx.counters.steal_attempts += 1;
+                                    wtr.instant(EventKind::StealAttempt, j as u32);
                                     if let Some(jr) = stealers[j].steal() {
                                         cx.counters.steal_hits += 1;
+                                        wtr.instant(EventKind::StealHit, j as u32);
                                         stolen = Some(jr);
                                         break;
                                     }
                                 }
                                 let Some((id, task)) = stolen else { break };
-                                if !run_job(&mut cx, arena, id, &task, order, tt, &probe) {
+                                if !run_job(&mut cx, arena, id, &task, order, ttw, &probe, &wtr) {
                                     break 'rounds true;
                                 }
                                 executed_this_round += 1;
@@ -598,6 +677,10 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                         // partial run's outcomes must not touch the tree),
                         // mark the run done under a poison-tolerant lock,
                         // and wake every parked sibling.
+                        wtr.instant_now(
+                            EventKind::AbortTrip,
+                            ctl.reason().map(|r| r as u32).unwrap_or(0),
+                        );
                         cx.counters.jobs_aborted += cx.ready.len() as u64;
                         cx.ready.clear();
                         while own.pop().is_some() {
@@ -609,6 +692,7 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
                         drop(g);
                         idle.notify_all();
                     }
+                    tr.submit(wtr);
                     cx.counters
                 })
             })
@@ -657,7 +741,8 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync>(
 /// control tripped inside a serial-frontier batch, or the task panicked —
 /// the panic is caught here and converted into a `WorkerPanicked` trip, so
 /// an evaluator bug aborts the run instead of poisoning the heap mutex.
-fn run_job<P: GamePosition, T: TtAccess<P>>(
+#[allow(clippy::too_many_arguments)]
+fn run_job<P: GamePosition, T: TtAccess<P>, W: WorkerTrace>(
     cx: &mut WorkerCtx<P>,
     arena: &PublishSlab<std::sync::Arc<P>>,
     id: NodeId,
@@ -665,6 +750,7 @@ fn run_job<P: GamePosition, T: TtAccess<P>>(
     order: search_serial::ordering::OrderPolicy,
     tt: T,
     probe: &CtlProbe<'_>,
+    wtr: &W,
 ) -> bool {
     cx.counters.jobs_executed += 1;
     let pos: Option<&P> = task.needs_pos().then(|| {
@@ -672,6 +758,7 @@ fn run_job<P: GamePosition, T: TtAccess<P>>(
             .get(id as usize)
             .expect("position published before the job was queued")
     });
+    let job_start = wtr.now_ns();
     let outcome = match catch_unwind(AssertUnwindSafe(|| {
         execute_task(task, pos, order, tt, probe)
     })) {
@@ -682,6 +769,12 @@ fn run_job<P: GamePosition, T: TtAccess<P>>(
             return false;
         }
     };
+    wtr.span(
+        EventKind::JobExecute,
+        job_start,
+        wtr.now_ns().saturating_sub(job_start),
+        task_arg(task),
+    );
     if matches!(outcome, Outcome::Aborted) {
         cx.counters.jobs_aborted += 1;
         return false;

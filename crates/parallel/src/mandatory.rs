@@ -140,6 +140,36 @@ pub fn classify_er_run<P: GamePosition>(
     }
 }
 
+/// [`classify_er_run`] repackaged as the telemetry subsystem's
+/// [`trace::SpecSplit`]: one deterministic mandatory/speculative node
+/// split per processor count, suitable for
+/// [`trace::SearchReport::with_speculation`]. Deterministic — the
+/// classification runs on the simulator, so the same tree and processor
+/// count always yield the same node counts (this is what the `repro trace`
+/// plateau assertion leans on).
+pub fn speculation_splits<P: GamePosition>(
+    pos: &P,
+    depth: u32,
+    processor_counts: &[usize],
+    cfg: &ErParallelConfig,
+) -> Vec<trace::SpecSplit> {
+    processor_counts
+        .iter()
+        .map(|&k| {
+            let r = classify_er_run(pos, depth, k, cfg);
+            trace::SpecSplit {
+                processors: k,
+                mandatory: r.mandatory as u64,
+                examined: r.examined as u64,
+                mandatory_done: r.mandatory_done as u64,
+                speculative: r.speculative as u64,
+                mandatory_skipped: r.mandatory_skipped as u64,
+                wasted_fraction: r.speculative_fraction(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

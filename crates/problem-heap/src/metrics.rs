@@ -145,15 +145,20 @@ impl ThreadCounters {
 
 impl std::fmt::Display for ThreadCounters {
     /// One-line contention summary used by the bench output, e.g.
-    /// `acq/job 0.14 | steal 23/410 (5.6%) | wait 312ns/acq | batch +3/-1`.
+    /// `acq/job 0.14 | steal 23/410 (5.6%) | park 7/wake 5 | aborted 0 |
+    /// wait 312ns/acq | batch +3/-1`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "acq/job {:.3} | steal {}/{} ({:.1}%) | wait {:.0}ns/acq | batch +{}/-{}",
+            "acq/job {:.3} | steal {}/{} ({:.1}%) | park {}/wake {} | aborted {} | \
+             wait {:.0}ns/acq | batch +{}/-{}",
             self.acquisitions_per_job(),
             self.steal_hits,
             self.steal_attempts,
             self.steal_hit_rate() * 100.0,
+            self.idle_parks,
+            self.wakeups,
+            self.jobs_aborted,
             self.mean_lock_wait_nanos(),
             self.batch_grows,
             self.batch_shrinks,
@@ -328,14 +333,48 @@ mod tests {
             lock_wait_nanos: 1000,
             batch_grows: 1,
             batch_shrinks: 2,
+            idle_parks: 7,
+            wakeups: 5,
+            jobs_aborted: 3,
             ..ThreadCounters::default()
         };
         let s = format!("{c}");
         assert!(!s.contains('\n'));
         assert!(s.contains("acq/job 0.250"), "got: {s}");
         assert!(s.contains("steal 2/8 (25.0%)"), "got: {s}");
+        assert!(s.contains("park 7/wake 5"), "got: {s}");
+        assert!(s.contains("aborted 3"), "got: {s}");
         assert!(s.contains("100ns/acq"), "got: {s}");
         assert!(s.contains("batch +1/-2"), "got: {s}");
+    }
+
+    #[test]
+    fn thread_counters_display_golden_format() {
+        // Pin the exact layout: downstream logs are grepped by humans and
+        // scripts, so a format change must be deliberate.
+        let c = ThreadCounters {
+            lock_acquisitions: 10,
+            jobs_executed: 40,
+            steal_attempts: 8,
+            steal_hits: 2,
+            lock_wait_nanos: 1000,
+            batch_grows: 1,
+            batch_shrinks: 2,
+            idle_parks: 7,
+            wakeups: 5,
+            jobs_aborted: 3,
+            ..ThreadCounters::default()
+        };
+        assert_eq!(
+            format!("{c}"),
+            "acq/job 0.250 | steal 2/8 (25.0%) | park 7/wake 5 | aborted 3 | \
+             wait 100ns/acq | batch +1/-2"
+        );
+        assert_eq!(
+            format!("{}", ThreadCounters::default()),
+            "acq/job 0.000 | steal 0/0 (0.0%) | park 0/wake 0 | aborted 0 | \
+             wait 0ns/acq | batch +0/-0"
+        );
     }
 
     #[test]

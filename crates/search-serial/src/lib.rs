@@ -25,6 +25,7 @@ pub mod nodeep;
 pub mod ordering;
 pub mod pv;
 pub mod pvs;
+pub mod traced;
 
 use gametree::{SearchStats, Value};
 
@@ -55,3 +56,7 @@ pub use nodeep::alphabeta_nodeep;
 pub use ordering::{splice_hint, OrderPolicy, OrderedChild};
 pub use pv::{alphabeta_pv, PvResult};
 pub use pvs::{pvs, pvs_ctl, pvs_tt, pvs_window, pvs_window_tt};
+pub use traced::{
+    alphabeta_ctl_traced, er_search_ctl_traced, er_search_ctl_tt_traced, negmax_ctl_traced,
+    pvs_ctl_traced,
+};

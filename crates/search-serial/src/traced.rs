@@ -1,0 +1,187 @@
+//! Traced twins of the serial `*_ctl` entry points (DESIGN.md §11).
+//!
+//! Each twin delegates to its untraced `*_ctl` original — so results are
+//! bit-identical by construction, value *and* node counts — and records a
+//! whole-search [`EventKind::JobExecute`] span (argument
+//! [`JOB_ARG_SEARCH`]) plus an [`EventKind::AbortTrip`] instant when the
+//! control tripped. The table-backed variant threads a
+//! [`Traced`](trace::Traced)-wrapped handle through the generic core, so
+//! every TT probe and store of the serial search lands in the ring too.
+//!
+//! With the `()` recorder every twin compiles to a direct call of its
+//! original: tracing off costs nothing, exactly like `TtAccess`.
+
+use gametree::GamePosition;
+use trace::{EventKind, Traced, WorkerTrace, JOB_ARG_SEARCH};
+use tt::{TranspositionTable, Zobrist};
+
+use crate::control::{CtlProbe, CtlSearchResult, SearchControl};
+use crate::er::{er_search_window_ctl_with, ErConfig};
+use crate::ordering::OrderPolicy;
+use crate::{alphabeta_ctl, er_search_ctl, negmax_ctl, pvs_ctl};
+
+/// Records the whole-search span (and abort instant) around `f`.
+fn spanned<W: WorkerTrace>(tr: &W, f: impl FnOnce() -> CtlSearchResult) -> CtlSearchResult {
+    let t0 = tr.now_ns();
+    let r = f();
+    tr.span(
+        EventKind::JobExecute,
+        t0,
+        tr.now_ns().saturating_sub(t0),
+        JOB_ARG_SEARCH,
+    );
+    if let Some(reason) = r.aborted {
+        tr.instant_now(EventKind::AbortTrip, reason as u32);
+    }
+    r
+}
+
+/// [`negmax_ctl`] with a whole-search span recorded into `tr`.
+pub fn negmax_ctl_traced<P: GamePosition, W: WorkerTrace>(
+    pos: &P,
+    depth: u32,
+    ctl: &SearchControl,
+    tr: &W,
+) -> CtlSearchResult {
+    spanned(tr, || negmax_ctl(pos, depth, ctl))
+}
+
+/// [`alphabeta_ctl`] with a whole-search span recorded into `tr`.
+pub fn alphabeta_ctl_traced<P: GamePosition, W: WorkerTrace>(
+    pos: &P,
+    depth: u32,
+    policy: OrderPolicy,
+    ctl: &SearchControl,
+    tr: &W,
+) -> CtlSearchResult {
+    spanned(tr, || alphabeta_ctl(pos, depth, policy, ctl))
+}
+
+/// [`pvs_ctl`] with a whole-search span recorded into `tr`.
+pub fn pvs_ctl_traced<P: GamePosition, W: WorkerTrace>(
+    pos: &P,
+    depth: u32,
+    policy: OrderPolicy,
+    ctl: &SearchControl,
+    tr: &W,
+) -> CtlSearchResult {
+    spanned(tr, || pvs_ctl(pos, depth, policy, ctl))
+}
+
+/// [`er_search_ctl`] with a whole-search span recorded into `tr`.
+pub fn er_search_ctl_traced<P: GamePosition, W: WorkerTrace>(
+    pos: &P,
+    depth: u32,
+    cfg: ErConfig,
+    ctl: &SearchControl,
+    tr: &W,
+) -> CtlSearchResult {
+    spanned(tr, || er_search_ctl(pos, depth, cfg, ctl))
+}
+
+/// Serial ER under a control *and* a shared table, with the table handle
+/// wrapped so every probe/store is recorded alongside the search span.
+pub fn er_search_ctl_tt_traced<P: GamePosition + Zobrist, W: WorkerTrace>(
+    pos: &P,
+    depth: u32,
+    cfg: ErConfig,
+    table: &TranspositionTable,
+    ctl: &SearchControl,
+    tr: &W,
+) -> CtlSearchResult {
+    spanned(tr, || {
+        let probe = CtlProbe::new(ctl);
+        er_search_window_ctl_with(
+            pos,
+            depth,
+            gametree::Window::FULL,
+            cfg,
+            0,
+            Traced::new(table, tr),
+            &probe,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gametree::random::RandomTreeSpec;
+    use trace::{TraceAccess, Tracer};
+
+    #[test]
+    fn traced_twins_match_untraced_exactly() {
+        // Serial searches are deterministic, so the equivalence here is
+        // exact on value AND stats (examined-node counts).
+        let root = RandomTreeSpec::new(11, 4, 6).root();
+        let ctl = SearchControl::unlimited();
+        let tracer = Tracer::new();
+        let w = (&tracer).worker(0);
+
+        let a = negmax_ctl(&root, 6, &ctl);
+        let b = negmax_ctl_traced(&root, 6, &ctl, &w);
+        assert_eq!((a.value, a.stats), (b.value, b.stats));
+
+        let a = alphabeta_ctl(&root, 6, OrderPolicy::NATURAL, &ctl);
+        let b = alphabeta_ctl_traced(&root, 6, OrderPolicy::NATURAL, &ctl, &w);
+        assert_eq!((a.value, a.stats), (b.value, b.stats));
+
+        let a = pvs_ctl(&root, 6, OrderPolicy::NATURAL, &ctl);
+        let b = pvs_ctl_traced(&root, 6, OrderPolicy::NATURAL, &ctl, &w);
+        assert_eq!((a.value, a.stats), (b.value, b.stats));
+
+        let a = er_search_ctl(&root, 6, ErConfig::NATURAL, &ctl);
+        let b = er_search_ctl_traced(&root, 6, ErConfig::NATURAL, &ctl, &w);
+        assert_eq!((a.value, a.stats), (b.value, b.stats));
+
+        (&tracer).submit(w);
+        let data = tracer.snapshot();
+        assert_eq!(
+            data.counts()[EventKind::JobExecute as usize],
+            4,
+            "one whole-search span per twin"
+        );
+    }
+
+    #[test]
+    fn unit_recorder_twin_is_equivalent_and_free() {
+        let root = RandomTreeSpec::new(7, 3, 5).root();
+        let ctl = SearchControl::unlimited();
+        let a = negmax_ctl(&root, 5, &ctl);
+        let b = negmax_ctl_traced(&root, 5, &ctl, &());
+        assert_eq!((a.value, a.stats), (b.value, b.stats));
+    }
+
+    #[test]
+    fn tt_traced_serial_records_table_traffic() {
+        let root = RandomTreeSpec::new(4, 4, 6).root();
+        let ctl = SearchControl::unlimited();
+        let table = TranspositionTable::with_bits(12);
+        let tracer = Tracer::new();
+        let w = (&tracer).worker(0);
+        let r = er_search_ctl_tt_traced(&root, 6, ErConfig::NATURAL, &table, &ctl, &w);
+        assert!(r.aborted.is_none());
+        assert_eq!(
+            r.value,
+            er_search_ctl(&root, 6, ErConfig::NATURAL, &ctl).value
+        );
+        (&tracer).submit(w);
+        let c = tracer.snapshot().counts();
+        assert!(c[EventKind::TtProbe as usize] > 0, "probes recorded");
+        assert!(c[EventKind::TtStore as usize] > 0, "stores recorded");
+    }
+
+    #[test]
+    fn aborted_twin_records_the_trip() {
+        let root = RandomTreeSpec::new(2, 5, 8).root();
+        let ctl = SearchControl::unlimited();
+        ctl.cancel();
+        let tracer = Tracer::new();
+        let w = (&tracer).worker(0);
+        let r = negmax_ctl_traced(&root, 8, &ctl, &w);
+        assert!(r.aborted.is_some());
+        (&tracer).submit(w);
+        let c = tracer.snapshot().counts();
+        assert_eq!(c[EventKind::AbortTrip as usize], 1);
+    }
+}

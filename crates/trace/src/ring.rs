@@ -1,0 +1,151 @@
+//! Fixed-capacity event ring: the per-worker storage behind
+//! [`WorkerTracer`](crate::WorkerTracer).
+//!
+//! The ring allocates its full capacity up front and never again; when it
+//! is full the *oldest* event is overwritten and a dropped counter bumps,
+//! so a long search degrades to "the most recent window of activity"
+//! instead of unbounded memory or a hot-path branch to a slow path.
+
+use crate::event::TraceEvent;
+
+/// A bounded overwrite-oldest buffer of [`TraceEvent`]s.
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next write position once the buffer has wrapped.
+    next: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (`capacity >= 1`).
+    pub fn new(capacity: usize) -> EventRing {
+        let cap = capacity.max(1);
+        EventRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event, overwriting the oldest when full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no event has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events overwritten (oldest-first) because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the ring, returning the retained events oldest-first plus
+    /// the dropped count.
+    pub fn into_ordered(mut self) -> (Vec<TraceEvent>, u64) {
+        // `next` is the oldest slot once wrapped; rotating it to the front
+        // restores chronological order.
+        self.buf.rotate_left(self.next);
+        (self.buf, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            kind: EventKind::QueueDepth,
+            ts_ns: ts,
+            dur_ns: 0,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let mut r = EventRing::new(8);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let (evs, dropped) = r.into_ordered();
+        assert_eq!(dropped, 0);
+        let ts: Vec<u64> = evs.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_wrap_overwrites_oldest_first() {
+        let mut r = EventRing::new(4);
+        for t in 0..10 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 4, "never exceeds capacity");
+        assert_eq!(r.dropped(), 6, "events 0..6 were overwritten");
+        let (evs, dropped) = r.into_ordered();
+        assert_eq!(dropped, 6);
+        let ts: Vec<u64> = evs.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9], "newest window, oldest-first");
+    }
+
+    #[test]
+    fn exact_fill_then_one_more() {
+        let mut r = EventRing::new(3);
+        for t in 0..3 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.dropped(), 0);
+        r.push(ev(3));
+        assert_eq!(r.dropped(), 1);
+        let (evs, _) = r.into_ordered();
+        let ts: Vec<u64> = evs.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = EventRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+        let (evs, _) = r.into_ordered();
+        assert_eq!(evs[0].ts_ns, 2);
+    }
+
+    #[test]
+    fn no_reallocation_after_construction() {
+        let mut r = EventRing::new(16);
+        let cap_before = r.buf.capacity();
+        for t in 0..1000 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.buf.capacity(), cap_before, "ring must never reallocate");
+    }
+}

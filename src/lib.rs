@@ -23,7 +23,11 @@
 //!   §4 baselines: MWF, tree-splitting, pv-splitting, parallel aspiration;
 //! * [`tt`] — sharded lockless concurrent transposition table shared by
 //!   every back-end's `*_tt` entry points (an extension beyond the paper;
-//!   DESIGN.md §8).
+//!   DESIGN.md §8);
+//! * [`trace`] — per-worker search telemetry: bounded lock-free event
+//!   rings behind zero-cost `*_trace` entry points, post-run utilization
+//!   and speculation reports, and Chrome-trace timeline export
+//!   (DESIGN.md §11).
 //!
 //! ## Quickstart
 //!
@@ -85,6 +89,21 @@
 //!     .expect_err("pre-cancelled control must abort");
 //! assert_eq!(err.reason, AbortReason::Cancelled);
 //! assert_eq!(err.counters.len(), 4, "every thread joined");
+//!
+//! // Search telemetry (DESIGN.md §11): the same search with per-worker
+//! // event tracing on. Tracing is observation only — the root value is
+//! // bit-identical — and the snapshot aggregates to a utilization report
+//! // and exports as a Chrome-trace timeline.
+//! let tracer = Tracer::new();
+//! let traced = run_er_threads_trace(&root, 8, 4, &ErParallelConfig::random_tree(4), exec,
+//!                                   &SearchControl::unlimited(), &tracer)
+//!     .expect("unlimited control cannot trip");
+//! assert_eq!(traced.value, ab.value);
+//! let data = tracer.snapshot();
+//! assert_eq!(data.workers.len(), 4, "one timeline row per worker");
+//! let report = SearchReport::from_data(&data);
+//! assert!(report.count_of(EventKind::JobExecute) > 0);
+//! trace::lint::check(&chrome_json(&data)).expect("well-formed Chrome trace");
 //! ```
 
 #![warn(missing_docs)]
@@ -95,6 +114,7 @@ pub use gametree;
 pub use othello;
 pub use problem_heap;
 pub use search_serial;
+pub use trace;
 pub use tt;
 
 /// The most common imports in one place.
@@ -102,10 +122,11 @@ pub mod prelude {
     pub use checkers::CheckersPos;
     pub use er_parallel::{
         run_er_sim, run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt, run_er_threads_exec,
-        run_er_threads_exec_tt, run_er_threads_id, run_er_threads_id_tt, run_er_threads_tt,
-        run_er_threads_with, AbortReason, BatchPolicy, ErIdResult, ErParallelConfig, ErRunResult,
-        ErThreadsResult, SearchAborted, SearchControl, Speculation, ThreadsConfig, DEFAULT_BATCH,
-        MAX_BATCH,
+        run_er_threads_exec_tt, run_er_threads_id, run_er_threads_id_trace,
+        run_er_threads_id_trace_tt, run_er_threads_id_tt, run_er_threads_trace,
+        run_er_threads_trace_tt, run_er_threads_tt, run_er_threads_with, AbortReason, BatchPolicy,
+        ErIdResult, ErParallelConfig, ErRunResult, ErThreadsResult, SearchAborted, SearchControl,
+        Speculation, ThreadsConfig, DEFAULT_BATCH, MAX_BATCH,
     };
     pub use gametree::ordered::OrderedTreeSpec;
     pub use gametree::random::RandomTreeSpec;
@@ -114,8 +135,12 @@ pub mod prelude {
     pub use problem_heap::ThreadCounters;
     pub use problem_heap::{CostModel, SimReport};
     pub use search_serial::{
-        alphabeta, alphabeta_nodeep, alphabeta_tt, aspiration, er_search, er_search_tt, negmax,
-        negmax_tt, ErConfig, OrderPolicy, SearchResult,
+        alphabeta, alphabeta_ctl_traced, alphabeta_nodeep, alphabeta_tt, aspiration, er_search,
+        er_search_ctl_traced, er_search_tt, negmax, negmax_tt, ErConfig, OrderPolicy, SearchResult,
+    };
+    pub use trace::{
+        chrome_json, EventKind, SearchReport, SpecSplit, TraceAccess, TraceData, Tracer,
+        WorkerTrace,
     };
     pub use tt::{Bound, TranspositionTable, TtStats, Zobrist};
 }
