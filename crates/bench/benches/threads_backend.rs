@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use er_bench::trees::random_trees;
 use er_parallel::{run_er_threads_with, ErParallelConfig, ErThreadsResult, Speculation};
 use problem_heap::CostModel;
+use search_serial::SelectivityConfig;
 use std::hint::black_box;
 
 fn r1_config() -> ErParallelConfig {
@@ -16,6 +17,7 @@ fn r1_config() -> ErParallelConfig {
         order: r1.order,
         spec: Speculation::ALL,
         cost: CostModel::default(),
+        sel: SelectivityConfig::OFF,
     }
 }
 

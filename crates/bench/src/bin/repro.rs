@@ -9,6 +9,11 @@
 //! repro baselines   §4/§8: ER vs MWF / aspiration / tree-splitting /
 //!                   pv-splitting, plus Akl's MWF plateau
 //! repro ablation    §5: contribution of each speculation mechanism
+//! repro ordering    Marsland's ordering-strength metric, plus the
+//!                   dynamic killer/history + aspiration node-count
+//!                   grid on O1 with its timing-free asserts (accepts
+//!                   --threads 1,4,16; writes BENCH_ordering.json at
+//!                   the repo root and results/ordering_chrome.json)
 //! repro threads     real-thread back-end: contention counters and
 //!                   memoized-evaluation savings (writes
 //!                   BENCH_threads.json at the repo root)
@@ -42,6 +47,7 @@ use er_bench::experiments::{
 };
 use er_bench::trees::{degree_label, othello_trees, random_trees};
 use problem_heap::CostModel;
+use search_serial::SelectivityConfig;
 
 fn save_json<T: er_bench::json::ToJson>(name: &str, value: &T) {
     fs::create_dir_all("results").expect("create results/");
@@ -339,6 +345,7 @@ fn gantt() {
         order: t.order,
         spec: er_parallel::Speculation::ALL,
         cost: CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     for k in [4usize, 16] {
         let r = run_er_sim(&t.root, t.depth, k, &cfg);
@@ -354,13 +361,40 @@ fn gantt() {
 }
 
 fn ordering() {
+    use er_bench::experiments::{dyn_ordering_rows, DYN_ORDERING_DELTA_TIGHT};
+
+    let mut workers: Vec<usize> = vec![1, 4, 16];
+    let mut args = std::env::args().skip(2);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                workers = args
+                    .next()
+                    .and_then(|v| {
+                        v.split(',')
+                            .map(|s| s.trim().parse::<usize>().ok())
+                            .collect::<Option<Vec<usize>>>()
+                    })
+                    .filter(|list| !list.is_empty() && list.iter().all(|&t| (1..=64).contains(&t)))
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a comma-separated list like 1,4,16");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown ordering option '{other}'; use --threads 1,4,16");
+                std::process::exit(2);
+            }
+        }
+    }
+
     println!("\n=== Workload ordering strength (Marsland's §4.4 metric) ===");
-    let rows = ordering_rows();
+    let strength = ordering_rows();
     println!(
         "{:<5} {:>6} {:>7} {:>11} {:>13} {:>8} {:>8}",
         "tree", "depth", "sorted", "first-best", "quarter-best", "degree", "strong?"
     );
-    for r in &rows {
+    for r in &strength {
         println!(
             "{:<5} {:>6} {:>7} {:>10.0}% {:>12.0}% {:>8.1} {:>8}",
             r.tree,
@@ -372,7 +406,150 @@ fn ordering() {
             if r.strongly_ordered { "yes" } else { "no" }
         );
     }
-    save_json("ordering", &rows);
+
+    println!("\n=== Dynamic ordering + aspiration: O1 node counts (workers {workers:?}) ===");
+    let rows = dyn_ordering_rows(&workers);
+    // Byte-reproducibility: the simulator is deterministic, so a second
+    // run must reproduce every count exactly.
+    assert_eq!(
+        rows,
+        dyn_ordering_rows(&workers),
+        "dynamic-ordering rows must be byte-reproducible"
+    );
+    println!(
+        "{:<26} {:>7} {:>5} {:>9} {:>8} {:>5} {:>5} {:>7} {:>7} {:>7}",
+        "config",
+        "workers",
+        "delta",
+        "nodes",
+        "vs-base",
+        "hits",
+        "re",
+        "killer",
+        "history",
+        "value"
+    );
+    for r in &rows {
+        println!(
+            "{:<26} {:>7} {:>5} {:>9} {:>7.1}% {:>5} {:>5} {:>7} {:>7} {:>7}",
+            r.config,
+            r.workers,
+            r.delta,
+            r.nodes,
+            100.0 * r.nodes_vs_baseline,
+            r.window_hits,
+            r.re_searches,
+            r.killer_hits,
+            r.history_hits,
+            r.value
+        );
+    }
+
+    // Timing-free acceptance asserts (node counts, never wall clock).
+    let nodes_of = |config: &str, k: usize| {
+        rows.iter()
+            .find(|r| r.config == config && r.workers == k)
+            .map(|r| r.nodes)
+            .expect("row present")
+    };
+    for &k in &workers {
+        assert!(
+            nodes_of("ordering", k) <= nodes_of("baseline", k),
+            "ordering must not add nodes at {k} workers"
+        );
+    }
+    if workers.contains(&4) {
+        let base = nodes_of("baseline", 4);
+        let both = nodes_of("ordering+aspiration", 4);
+        assert!(
+            both * 10 <= base * 9,
+            "ordering+aspiration must save >= 10% of nodes at 4 workers \
+             ({both} vs {base})"
+        );
+        println!(
+            "\nordering+aspiration at 4 workers: {both} nodes vs {base} baseline \
+             ({:.1}% saved)",
+            100.0 * (1.0 - both as f64 / base as f64)
+        );
+    }
+
+    // A traced threaded run under the deliberately tight window: the
+    // aspiration re-searches must show up as driver-row trace events and
+    // the Chrome export must stay well-formed.
+    let o1 = othello_trees()[0];
+    let cfg = er_parallel::ErParallelConfig {
+        serial_depth: o1.serial_depth,
+        order: o1.order,
+        spec: er_parallel::Speculation::ALL,
+        cost: CostModel::default(),
+        sel: SelectivityConfig::OFF,
+    };
+    let table = tt::TranspositionTable::with_bits(16);
+    let tracer = trace::Tracer::new();
+    let traced = er_parallel::run_er_threads_id_asp_trace_tt(
+        &o1.root,
+        o1.depth,
+        2,
+        &cfg,
+        er_parallel::ThreadsConfig::default(),
+        &table,
+        er_parallel::AspirationConfig::narrow(DYN_ORDERING_DELTA_TIGHT),
+        &er_parallel::SearchControl::unlimited(),
+        &tracer,
+    );
+    let data = tracer.snapshot();
+    let report = trace::SearchReport::from_data(&data);
+    let researches = report.count_of(trace::EventKind::AspirationResearch);
+    assert_eq!(
+        researches, traced.re_searches,
+        "one AspirationResearch trace event per counted re-search"
+    );
+    let chrome = trace::chrome_json(&data);
+    trace::lint::check(&chrome).expect("aspiration Chrome trace must be valid JSON");
+    fs::create_dir_all("results").expect("create results/");
+    fs::write("results/ordering_chrome.json", &chrome).expect("write ordering chrome trace");
+    println!(
+        "\ntraced threaded run (tight ±{DYN_ORDERING_DELTA_TIGHT} window): \
+         {} re-searches, {} window hits, {} trace events \
+         -> results/ordering_chrome.json",
+        traced.re_searches,
+        traced.window_hits,
+        data.total_events()
+    );
+
+    // results/ordering.json carries both sections; BENCH_ordering.json at
+    // the repo root mirrors the dynamic rows like the other BENCH files.
+    // The trace linter double-checks everything we wrote is valid JSON.
+    let combined = OrderingReport {
+        strength,
+        dynamic: rows,
+    };
+    save_json("ordering", &combined);
+    let pretty = er_bench::json::to_pretty(&combined);
+    trace::lint::check(&pretty).expect("results/ordering.json must be valid JSON");
+    let bench = er_bench::json::to_pretty(&combined.dynamic);
+    trace::lint::check(&bench).expect("BENCH_ordering.json must be valid JSON");
+    let mut f = fs::File::create("BENCH_ordering.json").expect("create BENCH_ordering.json");
+    f.write_all(bench.as_bytes())
+        .expect("write BENCH_ordering.json");
+    println!("  -> BENCH_ordering.json");
+}
+
+/// The two sections of `results/ordering.json`: the static
+/// ordering-strength metric and the dynamic-ordering node-count grid.
+struct OrderingReport {
+    strength: Vec<er_bench::experiments::OrderingRow>,
+    dynamic: Vec<er_bench::experiments::DynOrderingRow>,
+}
+
+impl er_bench::json::ToJson for OrderingReport {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        er_bench::json::write_object(
+            out,
+            indent,
+            &[("strength", &self.strength), ("dynamic", &self.dynamic)],
+        );
+    }
 }
 
 fn threads() {

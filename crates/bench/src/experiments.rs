@@ -7,7 +7,7 @@
 
 use gametree::{GamePosition, Value};
 use problem_heap::CostModel;
-use search_serial::{alphabeta, er_search, ErConfig, OrderPolicy};
+use search_serial::{alphabeta, er_search, ErConfig, OrderPolicy, SelectivityConfig};
 
 use crate::json::impl_to_json;
 
@@ -51,7 +51,14 @@ pub struct SerialReference {
 /// Measures both serial algorithms on a tree.
 pub fn serial_reference<P: GamePosition>(spec: &TreeSpec<P>, cost: &CostModel) -> SerialReference {
     let ab = alphabeta(&spec.root, spec.depth, spec.order);
-    let er = er_search(&spec.root, spec.depth, ErConfig { order: spec.order });
+    let er = er_search(
+        &spec.root,
+        spec.depth,
+        ErConfig {
+            order: spec.order,
+            sel: SelectivityConfig::OFF,
+        },
+    );
     assert_eq!(
         ab.value, er.value,
         "{}: serial algorithms disagree",
@@ -117,6 +124,7 @@ pub fn er_curve<P: GamePosition>(spec: &TreeSpec<P>, cost: &CostModel) -> ErCurv
         order: spec.order,
         spec: Speculation::ALL,
         cost: *cost,
+        sel: SelectivityConfig::OFF,
     };
     let points = PROCESSOR_COUNTS
         .iter()
@@ -186,6 +194,7 @@ pub fn baseline_curves<P: GamePosition>(
         order: spec.order,
         spec: Speculation::ALL,
         cost: *cost,
+        sel: SelectivityConfig::OFF,
     };
     curves.push(BaselineCurve {
         algorithm: "ER".into(),
@@ -336,6 +345,7 @@ pub fn ablation_curves<P: GamePosition>(
                 order: spec.order,
                 spec: *spec_flags,
                 cost: *cost,
+                sel: SelectivityConfig::OFF,
             };
             AblationCurve {
                 config: name.to_string(),
@@ -439,6 +449,7 @@ pub fn overhead_rows<P: GamePosition>(spec: &TreeSpec<P>, cost: &CostModel) -> V
         order: spec.order,
         spec: Speculation::ALL,
         cost: *cost,
+        sel: SelectivityConfig::OFF,
     };
     [1usize, 4, 8, 16]
         .iter()
@@ -495,6 +506,7 @@ pub fn sweep_rows() -> Vec<SweepRow> {
                     order: spec.order,
                     spec: Speculation::ALL,
                     cost,
+                    sel: SelectivityConfig::OFF,
                 };
                 for k in [4usize, 16] {
                     let r = run_er_sim(&spec.root, spec.depth, k, &cfg);
@@ -573,6 +585,183 @@ pub fn ordering_rows() -> Vec<OrderingRow> {
     rows
 }
 
+/// Primary aspiration half-width for the dynamic-ordering experiment:
+/// wide enough that O1's depth-to-depth root drift stays inside every
+/// window (zero re-searches), narrow enough to prune hard.
+pub const DYN_ORDERING_DELTA: i32 = 40;
+
+/// Deliberately too-tight secondary half-width: O1's early iterations
+/// fail outside it, exercising the fail-high/low re-search accounting the
+/// wider setting never triggers.
+pub const DYN_ORDERING_DELTA_TIGHT: i32 = 25;
+
+/// One deterministic-simulator measurement of the dynamic-ordering stack:
+/// a full iterative-deepening loop over O1 at one worker count, under one
+/// configuration of the {killer/history tables, aspiration windows} pair.
+/// Node counts are byte-reproducible — the simulator is single-threaded
+/// and seedless — so equal rows across two runs mean equal behavior, not
+/// just equal summaries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DynOrderingRow {
+    /// Table 3 tree name (O1).
+    pub tree: String,
+    /// Simulated workers.
+    pub workers: usize,
+    /// Configuration label: `baseline`, `aspiration`, `ordering`,
+    /// `ordering+aspiration`, or `ordering+aspiration-tight`.
+    pub config: String,
+    /// Aspiration half-width (0 = full windows at every depth).
+    pub delta: i32,
+    /// Deepest iteration searched.
+    pub max_depth: u32,
+    /// Final root value — asserted identical across every configuration.
+    pub value: i32,
+    /// Nodes examined, summed over all iterations (and re-searches).
+    pub nodes: u64,
+    /// Probes that landed strictly inside their narrowed window.
+    pub window_hits: u64,
+    /// Widened re-searches after a probe failed high or low.
+    pub re_searches: u64,
+    /// Beta cutoffs by a move the tables listed as a current killer.
+    pub killer_hits: u64,
+    /// Beta cutoffs by a history-ranked non-killer.
+    pub history_hits: u64,
+    /// `nodes / baseline nodes` at the same worker count.
+    pub nodes_vs_baseline: f64,
+}
+
+/// Accumulated outcome of one simulated deepening loop.
+#[derive(Clone)]
+struct SimIdRun {
+    value: Value,
+    nodes: u64,
+    window_hits: u64,
+    re_searches: u64,
+    killer_hits: u64,
+    history_hits: u64,
+}
+
+/// Runs the aspiration-windowed deepening protocol (er::id's exact rule:
+/// full window at depth 1, `±delta` probe after, one widened re-search on
+/// failure) on the deterministic simulator, with or without shared
+/// killer/history tables. `ordering == false, delta == 0` is bit-identical
+/// to the plain `run_er_sim` loop — the PR-5 baseline.
+fn sim_id_run<P: GamePosition>(
+    root: &P,
+    max_depth: u32,
+    workers: usize,
+    cfg: &ErParallelConfig,
+    ordering: bool,
+    delta: i32,
+) -> SimIdRun {
+    use er_parallel::run_er_sim_window_ord;
+    use gametree::Window;
+    use search_serial::OrderingTables;
+
+    let tables = OrderingTables::new();
+    let mut out = SimIdRun {
+        value: Value::ZERO,
+        nodes: 0,
+        window_hits: 0,
+        re_searches: 0,
+        killer_hits: 0,
+        history_hits: 0,
+    };
+    let mut prev: Option<Value> = None;
+    for depth in 1..=max_depth {
+        if ordering && depth > 1 {
+            tables.age();
+        }
+        let window = match prev {
+            Some(p) if delta > 0 => Window::new(
+                Value::new(p.get().saturating_sub(delta)),
+                Value::new(p.get().saturating_add(delta)),
+            ),
+            _ => Window::FULL,
+        };
+        let run = |w: Window, out: &mut SimIdRun| {
+            let r = if ordering {
+                run_er_sim_window_ord(root, depth, w, workers, cfg, (), &tables)
+            } else {
+                run_er_sim_window_ord(root, depth, w, workers, cfg, (), ())
+            };
+            out.nodes += r.stats.nodes();
+            out.killer_hits += r.stats.killer_hits;
+            out.history_hits += r.stats.history_hits;
+            r.value
+        };
+        let mut value = run(window, &mut out);
+        if window != Window::FULL && (value >= window.beta || value <= window.alpha) {
+            out.re_searches += 1;
+            let rw = if value >= window.beta {
+                Window::new(Value::new(window.beta.get() - 1), Value::INF)
+            } else {
+                Window::new(Value::NEG_INF, Value::new(window.alpha.get() + 1))
+            };
+            value = run(rw, &mut out);
+        } else if window != Window::FULL {
+            out.window_hits += 1;
+        }
+        prev = Some(value);
+        out.value = value;
+    }
+    out
+}
+
+/// The dynamic-ordering grid: O1 at Table 3 settings in the deterministic
+/// simulator, at each requested worker count, under five configurations —
+/// the PR-5 baseline, each mechanism alone, both together at the primary
+/// half-width, and both at the deliberately tight half-width that forces
+/// re-searches. Every configuration's final root value is asserted equal
+/// to the baseline's before a row is recorded.
+pub fn dyn_ordering_rows(worker_counts: &[usize]) -> Vec<DynOrderingRow> {
+    let o1 = &crate::trees::othello_trees()[0];
+    let cfg = ErParallelConfig {
+        serial_depth: o1.serial_depth,
+        order: o1.order,
+        spec: Speculation::ALL,
+        cost: CostModel::default(),
+        sel: SelectivityConfig::OFF,
+    };
+    let configs: [(&str, bool, i32); 5] = [
+        ("baseline", false, 0),
+        ("aspiration", false, DYN_ORDERING_DELTA),
+        ("ordering", true, 0),
+        ("ordering+aspiration", true, DYN_ORDERING_DELTA),
+        ("ordering+aspiration-tight", true, DYN_ORDERING_DELTA_TIGHT),
+    ];
+    let mut rows = Vec::new();
+    for &workers in worker_counts {
+        let baseline = sim_id_run(&o1.root, o1.depth, workers, &cfg, false, 0);
+        for (config, ordering, delta) in configs {
+            let r = if ordering || delta > 0 {
+                sim_id_run(&o1.root, o1.depth, workers, &cfg, ordering, delta)
+            } else {
+                baseline.clone()
+            };
+            assert_eq!(
+                r.value, baseline.value,
+                "{config} at {workers} workers changed the root value"
+            );
+            rows.push(DynOrderingRow {
+                tree: o1.name.to_string(),
+                workers,
+                config: config.to_string(),
+                delta,
+                max_depth: o1.depth,
+                value: r.value.get(),
+                nodes: r.nodes,
+                window_hits: r.window_hits,
+                re_searches: r.re_searches,
+                killer_hits: r.killer_hits,
+                history_hits: r.history_hits,
+                nodes_vs_baseline: r.nodes as f64 / baseline.nodes.max(1) as f64,
+            });
+        }
+    }
+    rows
+}
+
 /// One threaded back-end measurement: a tree searched with real OS
 /// threads at a given (threads, batch) setting, with the contention
 /// counters that justify the decomposed-lock design.
@@ -635,6 +824,7 @@ fn threads_row<P: GamePosition>(
         order,
         spec: Speculation::ALL,
         cost: CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     let r = run_er_threads_with(root, depth, threads, batch, &cfg);
     let exact = alphabeta(root, depth, order).value;
@@ -792,6 +982,7 @@ fn scaling_row<P: GamePosition>(
         order,
         spec: Speculation::ALL,
         cost: CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     let exact = alphabeta(root, depth, order).value;
     let mut c = ThreadCounters::default();
@@ -926,6 +1117,7 @@ fn deadline_anytime_row<P: GamePosition>(
         order: tree.order,
         spec: Speculation::ALL,
         cost: CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     let ctl = match budget {
         Some(b) => SearchControl::with_budget(b),
@@ -967,6 +1159,7 @@ fn deadline_equality_row<P: GamePosition>(tree: &TreeSpec<P>, threads: usize) ->
         order: tree.order,
         spec: Speculation::ALL,
         cost: CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     let fixed = run_er_threads_exec(
         &tree.root,
@@ -1093,6 +1286,7 @@ fn tt_row<P: GamePosition + tt::Zobrist>(
         order,
         spec: Speculation::ALL,
         cost: CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     // A fresh table per configuration keeps rows independent.
     let table = tt::TranspositionTable::with_bits(bits.max(2));
@@ -1256,6 +1450,7 @@ pub fn trace_rows(thread_counts: &[usize]) -> Vec<TraceRow> {
         order: spec.order,
         spec: Speculation::ALL,
         cost: CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     let exact = alphabeta(&spec.root, spec.depth, spec.order).value;
     thread_counts
@@ -1338,6 +1533,7 @@ pub fn speculation_rows() -> Vec<trace::SpecSplit> {
         order: spec.order,
         spec: Speculation::ALL,
         cost: CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     er_parallel::mandatory::speculation_splits(&spec.root, spec.depth, &SPECULATION_COUNTS, &cfg)
 }
@@ -1357,17 +1553,30 @@ pub struct ChromeExport {
     pub attempts: u32,
 }
 
-/// Produces a Chrome-trace export of a table-backed iterative-deepening R1
-/// run at `threads` workers in which **every** declared event kind occurs.
+/// Produces a Chrome-trace export at `threads` workers in which **every**
+/// declared event kind occurs, from three kinds of run sharing one
+/// tracer: a short aspiration-windowed O1 prelude, steal-shaped shallow
+/// O1 rounds, and a budgeted deepening R1 run that trips its deadline.
 ///
-/// Most kinds appear in any threaded run; the conditional ones are forced
-/// by running under a wall-clock budget sized to trip mid-run (AbortTrip
-/// on workers and driver) while still completing at least one depth
-/// (IdDepthFinish). Budgets are timing-dependent, so the harness retries
-/// across a spread of budgets until coverage is total — the *assertions*
-/// on the returned export are about event structure, never timing margins.
+/// Most kinds appear in any threaded run; the conditional ones are each
+/// forced by the run shaped for them. AspirationResearch and QExtension
+/// are driver-row instants only the aspiration driver emits: a depth-3
+/// tight-window deepening of O1 with quiescent selectivity yields both
+/// deterministically (the Othello root value oscillates with search
+/// parity, so every probe fails out of its ±1 window, and O1's frontier
+/// always holds tactically unstable leaves to extend) — and, being a
+/// deepening run, it also pins IdDepthStart/Finish. StealHit is
+/// scheduling-dependent, so bounded steal-rich rounds repeat until one
+/// survives in a ring. AbortTrip needs a wall-clock budget sized to trip
+/// the R1 run mid-search; budgets are timing-dependent, so the harness
+/// retries across a spread until coverage is total — the *assertions*
+/// on the returned export are about event structure, never timing
+/// margins.
 pub fn chrome_export(threads: usize) -> ChromeExport {
-    use er_parallel::{run_er_threads_id_trace_tt, SearchControl, ThreadsConfig};
+    use er_parallel::{
+        run_er_threads_id_asp_trace_tt, run_er_threads_id_trace_tt, AspirationConfig, BatchPolicy,
+        SearchControl, ThreadsConfig,
+    };
     use std::time::Duration;
     use trace::{SearchReport, Tracer};
     let spec = &crate::trees::random_trees()[0];
@@ -1376,16 +1585,78 @@ pub fn chrome_export(threads: usize) -> ChromeExport {
         order: spec.order,
         spec: Speculation::ALL,
         cost: CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     const BUDGETS_MS: [u64; 12] = [40, 20, 80, 10, 160, 60, 5, 320, 100, 30, 640, 15];
+    // A steal-shaped round lands a ring-surviving hit ~3 times in 4 on a
+    // single-core host; six rounds make an all-miss attempt negligible.
+    const STEAL_ROUNDS: u32 = 6;
     // Worker rows merge across deepening iterations, so the export's size
     // is bounded per worker *per depth*; 2048 events each keeps the full
     // timeline a few megabytes — comfortable for chrome://tracing — while
     // the rings' overwrite-oldest policy keeps the end of every depth.
     const EXPORT_RING_CAPACITY: usize = 2048;
     let mut missing: Vec<&'static str> = Vec::new();
+    let o1 = &crate::trees::othello_trees()[0];
+    let sel_cfg = ErParallelConfig {
+        serial_depth: o1.serial_depth,
+        order: o1.order,
+        spec: Speculation::ALL,
+        cost: CostModel::default(),
+        sel: SelectivityConfig::QUIESCENT,
+    };
     for (i, &budget) in BUDGETS_MS.iter().enumerate() {
         let tracer = Tracer::with_capacity(EXPORT_RING_CAPACITY);
+        // Driver-level kinds first: the O1 prelude's worker rows merge
+        // with (and may be partly overwritten by) the R1 run's, but
+        // AspirationResearch and QExtension live on the driver row,
+        // whose handful of instants the ring never evicts.
+        let _ = run_er_threads_id_asp_trace_tt(
+            &o1.root,
+            3,
+            threads,
+            &sel_cfg,
+            ThreadsConfig::default(),
+            &tt::TranspositionTable::with_bits(14),
+            AspirationConfig::narrow(1),
+            &SearchControl::unlimited(),
+            &tracer,
+        );
+        // StealHit is the rarest kind on a small host: a successful
+        // steal needs a thief scheduled against a victim whose deque is
+        // still full, and the ring's overwrite-oldest policy then has to
+        // keep the event to the end of the run. A shallow Othello search
+        // over a thin serial frontier with a large fixed batch maximizes
+        // stealable deque content while keeping the run short; worker
+        // rows merge across runs, so repeating it until a hit survives
+        // in some ring (bounded rounds) accumulates — the budgeted run
+        // below is then responsible for AbortTrip alone.
+        let steal_cfg = ErParallelConfig {
+            serial_depth: 3,
+            ..sel_cfg
+        };
+        let steal_exec = ThreadsConfig {
+            batch: BatchPolicy::Fixed(16),
+            ..ThreadsConfig::default()
+        };
+        for _ in 0..STEAL_ROUNDS {
+            let _ = er_parallel::run_er_threads_trace(
+                &o1.root,
+                5,
+                threads,
+                &steal_cfg,
+                steal_exec,
+                &SearchControl::unlimited(),
+                &tracer,
+            );
+            let hit = tracer
+                .snapshot()
+                .all_events()
+                .any(|e| e.kind == trace::EventKind::StealHit);
+            if hit {
+                break;
+            }
+        }
         let table = tt::TranspositionTable::with_bits(16);
         let ctl = SearchControl::with_budget(Duration::from_millis(budget));
         let _ = run_er_threads_id_trace_tt(
@@ -1503,6 +1774,20 @@ impl_to_json!(SweepRow {
     processors,
     speedup,
     nodes
+});
+impl_to_json!(DynOrderingRow {
+    tree,
+    workers,
+    config,
+    delta,
+    max_depth,
+    value,
+    nodes,
+    window_hits,
+    re_searches,
+    killer_hits,
+    history_hits,
+    nodes_vs_baseline
 });
 impl_to_json!(OrderingRow {
     tree,

@@ -26,8 +26,10 @@ use std::sync::Arc;
 use gametree::{GamePosition, SearchStats, Value, Window};
 use problem_heap::{simulate, HeapWorker, StableQueue, TakenWork};
 use search_serial::control::CtlAccess;
-use search_serial::er::{er_eval_refute_ctl_with, er_search_window_ctl_with, ErConfig};
-use search_serial::ordering::{ordered_children_indexed, splice_hint, OrderPolicy};
+use search_serial::er::{er_eval_refute_ord, er_search_window_ord, ErConfig};
+use search_serial::ordering::{
+    ordered_children_indexed, ordered_children_ranked, splice_hint, OrdAccess, OrderPolicy,
+};
 use tt::{Bound, TtAccess};
 
 use super::{ErParallelConfig, ErRunResult};
@@ -152,12 +154,18 @@ pub enum Select {
 /// (byte-identical to the pre-control code), a `&CtlProbe` in the threaded
 /// back-end so a deadline is observed *inside* long serial-frontier
 /// refutation batches. A tripped control surfaces as [`Outcome::Aborted`].
-pub fn execute_task<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
+///
+/// `ord` is the (possibly absent) shared killer/history handle: `()` keeps
+/// every path bit-identical to the ordering-free engine; an
+/// `&OrderingTables` ranks non-e-node children dynamically and collects
+/// cutoff credit from the serial frontier.
+pub fn execute_task<P: GamePosition, T: TtAccess<P>, C: CtlAccess, O: OrdAccess>(
     task: &Task,
     pos: Option<&P>,
-    order: OrderPolicy,
+    cfg: ErConfig,
     tt: T,
     ctl: C,
+    ord: O,
 ) -> Outcome<P> {
     match *task {
         Task::Leaf => {
@@ -191,10 +199,15 @@ pub fn execute_task<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
                 None => None,
             };
             let mut s = SearchStats::new();
-            // E-node children are never statically sorted (§7): NATURAL
-            // enumerates them with their indices and no evaluator calls.
-            let policy = if enode { OrderPolicy::NATURAL } else { order };
-            let mut indexed = ordered_children_indexed(pos, ply, policy, &mut s);
+            // E-node children are never statically sorted (§7) — and never
+            // dynamically ranked either: their order is immaterial because
+            // every child will be examined. Non-e-node children get the
+            // static policy plus killer/history ranking.
+            let mut indexed = if enode {
+                ordered_children_indexed(pos, ply, OrderPolicy::NATURAL, &mut s)
+            } else {
+                ordered_children_ranked(pos, ply, cfg.order, ord, &mut s)
+            };
             if splice_hint(&mut indexed, hint) {
                 tt.note_hint_used();
             }
@@ -232,11 +245,10 @@ pub fn execute_task<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
             refute,
         } => {
             let pos = pos.expect("serial task reads its position");
-            let cfg = ErConfig { order };
             let r = if refute {
-                er_eval_refute_ctl_with(pos, depth, window, cfg, ply, tt, ctl)
+                er_eval_refute_ord(pos, depth, window, cfg, ply, tt, ctl, ord)
             } else {
-                er_search_window_ctl_with(pos, depth, window, cfg, ply, tt, ctl)
+                er_search_window_ord(pos, depth, window, cfg, ply, tt, ctl, ord)
             };
             if !r.is_complete() {
                 return Outcome::Aborted;
@@ -274,8 +286,15 @@ pub struct ErWorker<P: GamePosition> {
 impl<P: GamePosition> ErWorker<P> {
     /// A worker ready to search `pos` to `depth` plies.
     pub fn new(pos: P, depth: u32, cfg: ErParallelConfig) -> ErWorker<P> {
+        ErWorker::new_windowed(pos, depth, Window::FULL, cfg)
+    }
+
+    /// [`ErWorker::new`] with an explicit root window (aspiration search):
+    /// every dynamic window in the tree — and every serial-frontier job —
+    /// inherits the narrowed bounds.
+    pub fn new_windowed(pos: P, depth: u32, window: Window, cfg: ErParallelConfig) -> ErWorker<P> {
         let mut w = ErWorker {
-            tree: SearchTree::new(pos, depth),
+            tree: SearchTree::new_windowed(pos, depth, window),
             primary: StableQueue::new(),
             spec: StableQueue::new(),
             cfg,
@@ -849,6 +868,15 @@ impl<P: GamePosition> ErWorker<P> {
     pub fn order(&self) -> OrderPolicy {
         self.cfg.order
     }
+
+    /// The serial-search configuration forwarded to frontier jobs: the
+    /// static ordering policy plus the selectivity knobs.
+    pub fn serial_cfg(&self) -> ErConfig {
+        ErConfig {
+            order: self.cfg.order,
+            sel: self.cfg.sel,
+        }
+    }
 }
 
 /// One executed job in a simulated run's trace (diagnostics for the
@@ -878,14 +906,15 @@ fn task_kind(task: &Task) -> &'static str {
 
 /// Simulation adapter: `take` = select + execute (charging virtual cost),
 /// `complete` = apply.
-struct SimAdapter<P: GamePosition, T: TtAccess<P>> {
+struct SimAdapter<P: GamePosition, T: TtAccess<P>, O: OrdAccess> {
     worker: ErWorker<P>,
     inflight: Vec<Option<(NodeId, Outcome<P>)>>,
     trace: Vec<JobTrace>,
     tt: T,
+    ord: O,
 }
 
-impl<P: GamePosition, T: TtAccess<P>> HeapWorker for SimAdapter<P, T> {
+impl<P: GamePosition, T: TtAccess<P>, O: OrdAccess> HeapWorker for SimAdapter<P, T, O> {
     fn take(&mut self, now: u64) -> Option<TakenWork> {
         match self.worker.select() {
             Select::Empty => None,
@@ -907,9 +936,10 @@ impl<P: GamePosition, T: TtAccess<P>> HeapWorker for SimAdapter<P, T> {
                 let outcome = execute_task(
                     &job.task,
                     Some(self.worker.node_pos(job.id)),
-                    self.worker.order(),
+                    self.worker.serial_cfg(),
                     self.tt,
                     (),
+                    self.ord,
                 );
                 let cost = self.worker.cost_of(&outcome);
                 let token = self.inflight.len() as u64;
@@ -945,7 +975,7 @@ pub fn run_er_sim<P: GamePosition>(
     processors: usize,
     cfg: &ErParallelConfig,
 ) -> ErRunResult {
-    run_er_sim_gen(pos, depth, processors, cfg, ())
+    run_er_sim_gen(pos, depth, Window::FULL, processors, cfg, (), ())
 }
 
 /// Runs simulated parallel ER with every virtual processor sharing
@@ -959,21 +989,56 @@ pub fn run_er_sim_tt<P: GamePosition + tt::Zobrist>(
     cfg: &ErParallelConfig,
     table: &tt::TranspositionTable,
 ) -> ErRunResult {
-    run_er_sim_gen(pos, depth, processors, cfg, table)
+    run_er_sim_gen(pos, depth, Window::FULL, processors, cfg, table, ())
 }
 
-fn run_er_sim_gen<P: GamePosition, T: TtAccess<P>>(
+/// [`run_er_sim`] with shared killer/history tables ranking non-e-node
+/// children and the serial frontier. Node counts change (that is the
+/// point); the root value does not. Still fully deterministic: one OS
+/// thread updates the tables in a fixed job order, so the same
+/// configuration always examines the same nodes.
+pub fn run_er_sim_ord<P: GamePosition, T: TtAccess<P>, O: OrdAccess>(
     pos: &P,
     depth: u32,
     processors: usize,
     cfg: &ErParallelConfig,
     tt: T,
+    ord: O,
+) -> ErRunResult {
+    run_er_sim_gen(pos, depth, Window::FULL, processors, cfg, tt, ord)
+}
+
+/// [`run_er_sim_ord`] with an explicit root window (the aspiration
+/// driver's probe). The result is exact only inside `window`; outside it
+/// is a fail-hard bound in the failing direction.
+pub fn run_er_sim_window_ord<P: GamePosition, T: TtAccess<P>, O: OrdAccess>(
+    pos: &P,
+    depth: u32,
+    window: Window,
+    processors: usize,
+    cfg: &ErParallelConfig,
+    tt: T,
+    ord: O,
+) -> ErRunResult {
+    run_er_sim_gen(pos, depth, window, processors, cfg, tt, ord)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_er_sim_gen<P: GamePosition, T: TtAccess<P>, O: OrdAccess>(
+    pos: &P,
+    depth: u32,
+    window: Window,
+    processors: usize,
+    cfg: &ErParallelConfig,
+    tt: T,
+    ord: O,
 ) -> ErRunResult {
     let mut adapter = SimAdapter {
-        worker: ErWorker::new(pos.clone(), depth, *cfg),
+        worker: ErWorker::new_windowed(pos.clone(), depth, window, *cfg),
         inflight: Vec::new(),
         trace: Vec::new(),
         tt,
+        ord,
     };
     let report = simulate(&mut adapter, processors, cfg.cost.heap_latency);
     ErRunResult {

@@ -21,13 +21,15 @@
 
 use std::time::{Duration, Instant};
 
-use gametree::{GamePosition, SearchStats, Value};
+use gametree::{GamePosition, SearchStats, Value, Window};
 use trace::{EventKind, Tracer};
 use tt::{TranspositionTable, Zobrist};
 
+use search_serial::OrderingTables;
+
 use super::threads::{
     run_er_threads_ctl, run_er_threads_ctl_tt, run_er_threads_trace, run_er_threads_trace_tt,
-    ThreadsConfig,
+    run_er_threads_window_ord, ThreadsConfig,
 };
 use super::ErParallelConfig;
 use crate::control::{AbortReason, SearchControl};
@@ -62,6 +64,12 @@ pub struct ErIdResult {
     pub stopped: Option<AbortReason>,
     /// Total wall-clock time across all iterations.
     pub elapsed: Duration,
+    /// Aspiration probes that landed strictly inside their narrowed window
+    /// (no re-search needed). Always 0 for the full-window drivers.
+    pub window_hits: u64,
+    /// Widened re-searches launched after a probe failed outside its
+    /// window. Always 0 for the full-window drivers.
+    pub re_searches: u64,
 }
 
 impl ErIdResult {
@@ -199,6 +207,8 @@ fn run_id_gen<P: GamePosition>(
         per_depth: Vec::new(),
         stopped: None,
         elapsed: Duration::ZERO,
+        window_hits: 0,
+        re_searches: 0,
     };
     for depth in 1..=max_depth {
         // Don't launch a thread pool for an iteration that is already
@@ -225,6 +235,345 @@ fn run_id_gen<P: GamePosition>(
                 break;
             }
         }
+    }
+    result.elapsed = start.elapsed();
+    result
+}
+
+/// Configuration of the aspiration-windowed deepening driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AspirationConfig {
+    /// Half-width of the aspiration window centred on the previous
+    /// iteration's root value. `0` disables narrowing: every depth probes
+    /// the full window (useful for isolating the ordering effect).
+    pub delta: i32,
+    /// Share killer/history tables across iterations — aged once per depth
+    /// bump — and forward them to move generation and every
+    /// serial-frontier job.
+    pub ordering: bool,
+}
+
+impl AspirationConfig {
+    /// Neither narrowing nor dynamic ordering: the aspiration driver
+    /// degenerates to the plain deepening loop.
+    pub const OFF: AspirationConfig = AspirationConfig {
+        delta: 0,
+        ordering: false,
+    };
+
+    /// Both mechanisms on with the given window half-width.
+    pub fn narrow(delta: i32) -> AspirationConfig {
+        AspirationConfig {
+            delta,
+            ordering: true,
+        }
+    }
+}
+
+/// Aspiration-windowed anytime deepening (table-free): depth 1 runs under
+/// the full window; each later depth first probes a window of `±asp.delta`
+/// around the previous depth's root value. A probe that lands inside its
+/// window is exact and cheap (the narrow bounds prune harder everywhere);
+/// one that fails high or low is re-searched once with the failed side
+/// opened, which is exact in one pass under fail-hard clamping.
+///
+/// With `asp.ordering`, one shared [`OrderingTables`] ranks children at
+/// every depth; history ages at each depth bump so stale credit decays.
+pub fn run_er_threads_id_asp<P: GamePosition>(
+    pos: &P,
+    max_depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    asp: AspirationConfig,
+    ctl: &SearchControl,
+) -> ErIdResult {
+    if asp.ordering {
+        let tables = OrderingTables::new();
+        run_id_asp_gen(
+            pos,
+            max_depth,
+            asp,
+            ctl,
+            None,
+            |depth| {
+                if depth > 1 {
+                    tables.age();
+                }
+            },
+            |depth, window, ctl| {
+                run_er_threads_window_ord(
+                    pos,
+                    depth,
+                    window,
+                    threads,
+                    cfg,
+                    exec,
+                    (),
+                    ctl,
+                    (),
+                    &tables,
+                )
+                .map(|r| (r.value, r.stats))
+                .map_err(|e| e.reason)
+            },
+        )
+    } else {
+        run_id_asp_gen(
+            pos,
+            max_depth,
+            asp,
+            ctl,
+            None,
+            |_| {},
+            |depth, window, ctl| {
+                run_er_threads_window_ord(pos, depth, window, threads, cfg, exec, (), ctl, (), ())
+                    .map(|r| (r.value, r.stats))
+                    .map_err(|e| e.reason)
+            },
+        )
+    }
+}
+
+/// [`run_er_threads_id_asp`] with all iterations sharing `table` (each
+/// depth starts a new table generation, as in [`run_er_threads_id_tt`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_er_threads_id_asp_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    max_depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    table: &TranspositionTable,
+    asp: AspirationConfig,
+    ctl: &SearchControl,
+) -> ErIdResult {
+    if asp.ordering {
+        let tables = OrderingTables::new();
+        run_id_asp_gen(
+            pos,
+            max_depth,
+            asp,
+            ctl,
+            None,
+            |depth| {
+                table.new_search();
+                if depth > 1 {
+                    tables.age();
+                }
+            },
+            |depth, window, ctl| {
+                run_er_threads_window_ord(
+                    pos,
+                    depth,
+                    window,
+                    threads,
+                    cfg,
+                    exec,
+                    table,
+                    ctl,
+                    (),
+                    &tables,
+                )
+                .map(|r| (r.value, r.stats))
+                .map_err(|e| e.reason)
+            },
+        )
+    } else {
+        run_id_asp_gen(
+            pos,
+            max_depth,
+            asp,
+            ctl,
+            None,
+            |_| table.new_search(),
+            |depth, window, ctl| {
+                run_er_threads_window_ord(
+                    pos,
+                    depth,
+                    window,
+                    threads,
+                    cfg,
+                    exec,
+                    table,
+                    ctl,
+                    (),
+                    (),
+                )
+                .map(|r| (r.value, r.stats))
+                .map_err(|e| e.reason)
+            },
+        )
+    }
+}
+
+/// [`run_er_threads_id_asp_tt`] with a [`Tracer`] attached: besides the
+/// usual depth instants, the driver row records one
+/// [`EventKind::AspirationResearch`] instant per widened re-search and an
+/// [`EventKind::QExtension`] instant per depth whose serial frontier
+/// extended unstable leaves (`arg` = extension count).
+#[allow(clippy::too_many_arguments)]
+pub fn run_er_threads_id_asp_trace_tt<P: GamePosition + Zobrist>(
+    pos: &P,
+    max_depth: u32,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    table: &TranspositionTable,
+    asp: AspirationConfig,
+    ctl: &SearchControl,
+    tracer: &Tracer,
+) -> ErIdResult {
+    let r = if asp.ordering {
+        let tables = OrderingTables::new();
+        run_id_asp_gen(
+            pos,
+            max_depth,
+            asp,
+            ctl,
+            Some(tracer),
+            |depth| {
+                table.new_search();
+                if depth > 1 {
+                    tables.age();
+                }
+            },
+            |depth, window, ctl| {
+                run_er_threads_window_ord(
+                    pos, depth, window, threads, cfg, exec, table, ctl, tracer, &tables,
+                )
+                .map(|r| (r.value, r.stats))
+                .map_err(|e| e.reason)
+            },
+        )
+    } else {
+        run_id_asp_gen(
+            pos,
+            max_depth,
+            asp,
+            ctl,
+            Some(tracer),
+            |_| table.new_search(),
+            |depth, window, ctl| {
+                run_er_threads_window_ord(
+                    pos,
+                    depth,
+                    window,
+                    threads,
+                    cfg,
+                    exec,
+                    table,
+                    ctl,
+                    tracer,
+                    (),
+                )
+                .map(|r| (r.value, r.stats))
+                .map_err(|e| e.reason)
+            },
+        )
+    };
+    note_stop(&r, tracer);
+    r
+}
+
+/// The aspiration deepening loop shared by the table-free and table-backed
+/// drivers. `pre_depth` runs once per depth *before* the probe (table
+/// generation bump, history aging) — never again for the re-search, so a
+/// fail-out re-searches against the same table state its probe saw.
+#[allow(clippy::too_many_arguments)]
+fn run_id_asp_gen<P: GamePosition>(
+    pos: &P,
+    max_depth: u32,
+    asp: AspirationConfig,
+    ctl: &SearchControl,
+    tracer: Option<&Tracer>,
+    mut pre_depth: impl FnMut(u32),
+    mut search: impl FnMut(u32, Window, &SearchControl) -> Result<(Value, SearchStats), AbortReason>,
+) -> ErIdResult {
+    let start = Instant::now();
+    let mut result = ErIdResult {
+        value: pos.evaluate(),
+        depth_completed: 0,
+        per_depth: Vec::new(),
+        stopped: None,
+        elapsed: Duration::ZERO,
+        window_hits: 0,
+        re_searches: 0,
+    };
+    let mut prev: Option<Value> = None;
+    for depth in 1..=max_depth {
+        if let Some(reason) = ctl.poll() {
+            result.stopped = Some(reason);
+            break;
+        }
+        pre_depth(depth);
+        if let Some(t) = tracer {
+            t.driver_instant(EventKind::IdDepthStart, depth);
+        }
+        let iter_start = Instant::now();
+        let window = match prev {
+            Some(v) if asp.delta > 0 => Window::new(
+                Value::new(v.get() - asp.delta),
+                Value::new(v.get() + asp.delta),
+            ),
+            _ => Window::FULL,
+        };
+        let (probe_value, probe_stats) = match search(depth, window, ctl) {
+            Ok(r) => r,
+            Err(reason) => {
+                result.stopped = Some(reason);
+                break;
+            }
+        };
+        let mut nodes = probe_stats.nodes();
+        let mut q_ext = probe_stats.q_extensions;
+        let failed =
+            window != Window::FULL && (probe_value >= window.beta || probe_value <= window.alpha);
+        let value = if failed {
+            // Fail-out: open the failed side and keep the sound bound from
+            // the probe on the other. The true value lies strictly inside
+            // the widened window, so one re-search is exact.
+            result.re_searches += 1;
+            if let Some(t) = tracer {
+                t.driver_instant(EventKind::AspirationResearch, depth);
+            }
+            let re = if probe_value >= window.beta {
+                Window::new(Value::new(window.beta.get() - 1), Value::INF)
+            } else {
+                Window::new(Value::NEG_INF, Value::new(window.alpha.get() + 1))
+            };
+            match search(depth, re, ctl) {
+                Ok((v, s)) => {
+                    nodes += s.nodes();
+                    q_ext += s.q_extensions;
+                    v
+                }
+                Err(reason) => {
+                    result.stopped = Some(reason);
+                    break;
+                }
+            }
+        } else {
+            if window != Window::FULL {
+                result.window_hits += 1;
+            }
+            probe_value
+        };
+        if let Some(t) = tracer {
+            if q_ext > 0 {
+                t.driver_instant(EventKind::QExtension, q_ext.min(u64::from(u32::MAX)) as u32);
+            }
+            t.driver_instant(EventKind::IdDepthFinish, depth);
+        }
+        prev = Some(value);
+        result.value = value;
+        result.depth_completed = depth;
+        result.per_depth.push(DepthResult {
+            depth,
+            value,
+            nodes,
+            elapsed: iter_start.elapsed(),
+        });
     }
     result.elapsed = start.elapsed();
     result

@@ -7,7 +7,7 @@ pub mod threads;
 
 use gametree::{SearchStats, Value};
 use problem_heap::{CostModel, SimReport};
-use search_serial::OrderPolicy;
+use search_serial::{OrderPolicy, SelectivityConfig};
 
 /// Which of §5's three speculative-work mechanisms are enabled. The paper's
 /// implementation "exploits all three sources"; the ablation experiments
@@ -56,6 +56,10 @@ pub struct ErParallelConfig {
     pub spec: Speculation,
     /// Virtual costs of the primitive operations.
     pub cost: CostModel,
+    /// Selective-deepening knobs forwarded to the serial frontier
+    /// (quiescence extension). [`SelectivityConfig::OFF`] keeps runs
+    /// bit-identical to builds that predate the knob.
+    pub sel: SelectivityConfig,
 }
 
 impl ErParallelConfig {
@@ -66,6 +70,7 @@ impl ErParallelConfig {
             order: OrderPolicy::NATURAL,
             spec: Speculation::ALL,
             cost: CostModel::default(),
+            sel: SelectivityConfig::OFF,
         }
     }
 
@@ -77,6 +82,7 @@ impl ErParallelConfig {
             order: OrderPolicy::OTHELLO,
             spec: Speculation::ALL,
             cost: CostModel::default(),
+            sel: SelectivityConfig::OFF,
         }
     }
 }
@@ -98,13 +104,14 @@ pub struct ErRunResult {
     pub examined_keys: Vec<u64>,
 }
 
-pub use engine::{run_er_sim, run_er_sim_tt};
+pub use engine::{run_er_sim, run_er_sim_ord, run_er_sim_tt, run_er_sim_window_ord};
 pub use id::{
-    run_er_threads_id, run_er_threads_id_trace, run_er_threads_id_trace_tt, run_er_threads_id_tt,
-    DepthResult, ErIdResult,
+    run_er_threads_id, run_er_threads_id_asp, run_er_threads_id_asp_trace_tt,
+    run_er_threads_id_asp_tt, run_er_threads_id_trace, run_er_threads_id_trace_tt,
+    run_er_threads_id_tt, AspirationConfig, DepthResult, ErIdResult,
 };
 pub use threads::{
     run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt, run_er_threads_exec,
     run_er_threads_exec_tt, run_er_threads_trace, run_er_threads_trace_tt, run_er_threads_tt,
-    BatchPolicy, ThreadsConfig,
+    run_er_threads_window_ord, BatchPolicy, ThreadsConfig,
 };

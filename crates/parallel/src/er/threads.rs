@@ -64,10 +64,13 @@ use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
-use gametree::{GamePosition, SearchStats, Value};
+use gametree::{GamePosition, SearchStats, Value, Window};
 use problem_heap::{ws_deque, PublishSlab, ThreadCounters, WsStealer};
 use trace::{EventKind, TraceAccess, Traced, Tracer, WorkerTrace};
 use tt::{TranspositionTable, TtAccess, TtStats, Zobrist};
+
+use search_serial::er::ErConfig;
+use search_serial::ordering::OrdAccess;
 
 use super::engine::{execute_task, ErWorker, Outcome, Select, Task};
 use super::ErParallelConfig;
@@ -218,11 +221,13 @@ pub fn run_er_threads_exec<P: GamePosition>(
     run_er_threads_gen(
         pos,
         depth,
+        Window::FULL,
         threads,
         cfg,
         exec,
         (),
         &SearchControl::unlimited(),
+        (),
         (),
     )
 }
@@ -239,7 +244,18 @@ pub fn run_er_threads_ctl<P: GamePosition>(
     exec: ThreadsConfig,
     ctl: &SearchControl,
 ) -> Result<ErThreadsResult, SearchAborted> {
-    run_er_threads_gen(pos, depth, threads, cfg, exec, (), ctl, ())
+    run_er_threads_gen(
+        pos,
+        depth,
+        Window::FULL,
+        threads,
+        cfg,
+        exec,
+        (),
+        ctl,
+        (),
+        (),
+    )
 }
 
 /// [`run_er_threads_ctl`] with a [`Tracer`] attached: every worker records
@@ -256,7 +272,18 @@ pub fn run_er_threads_trace<P: GamePosition>(
     ctl: &SearchControl,
     tracer: &Tracer,
 ) -> Result<ErThreadsResult, SearchAborted> {
-    run_er_threads_gen(pos, depth, threads, cfg, exec, (), ctl, tracer)
+    run_er_threads_gen(
+        pos,
+        depth,
+        Window::FULL,
+        threads,
+        cfg,
+        exec,
+        (),
+        ctl,
+        tracer,
+        (),
+    )
 }
 
 /// [`run_er_threads_trace`] with a shared transposition table: the trace
@@ -275,7 +302,18 @@ pub fn run_er_threads_trace_tt<P: GamePosition + Zobrist>(
     tracer: &Tracer,
 ) -> Result<ErThreadsResult, SearchAborted> {
     let before = table.stats();
-    let mut r = run_er_threads_gen(pos, depth, threads, cfg, exec, table, ctl, tracer)?;
+    let mut r = run_er_threads_gen(
+        pos,
+        depth,
+        Window::FULL,
+        threads,
+        cfg,
+        exec,
+        table,
+        ctl,
+        tracer,
+        (),
+    )?;
     r.tt = Some(table.stats().since(&before));
     Ok(r)
 }
@@ -333,7 +371,18 @@ pub fn run_er_threads_ctl_tt<P: GamePosition + Zobrist>(
     ctl: &SearchControl,
 ) -> Result<ErThreadsResult, SearchAborted> {
     let before = table.stats();
-    let mut r = run_er_threads_gen(pos, depth, threads, cfg, exec, table, ctl, ())?;
+    let mut r = run_er_threads_gen(
+        pos,
+        depth,
+        Window::FULL,
+        threads,
+        cfg,
+        exec,
+        table,
+        ctl,
+        (),
+        (),
+    )?;
     r.tt = Some(table.stats().since(&before));
     Ok(r)
 }
@@ -408,17 +457,55 @@ fn task_arg(task: &Task) -> u32 {
     }
 }
 
+/// The fully general threaded entry point: an explicit root window (the
+/// aspiration driver's probe), any table handle, any trace recorder, and a
+/// shared killer/history handle (`()` disables dynamic ordering and keeps
+/// the run bit-identical to [`run_er_threads_ctl`]'s schedule space).
+///
+/// With a narrowed `window` the result is exact only if it falls strictly
+/// inside it; outside it is a fail-hard bound in the failing direction,
+/// which the driver detects and re-searches.
 #[allow(clippy::too_many_arguments)]
-fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync, R: TraceAccess>(
+pub fn run_er_threads_window_ord<P, T, R, O>(
     pos: &P,
     depth: u32,
+    window: Window,
     threads: usize,
     cfg: &ErParallelConfig,
     exec: ThreadsConfig,
     tt: T,
     ctl: &SearchControl,
     tr: R,
-) -> Result<ErThreadsResult, SearchAborted> {
+    ord: O,
+) -> Result<ErThreadsResult, SearchAborted>
+where
+    P: GamePosition,
+    T: TtAccess<P> + Send + Sync,
+    R: TraceAccess,
+    O: OrdAccess + Send + Sync,
+{
+    run_er_threads_gen(pos, depth, window, threads, cfg, exec, tt, ctl, tr, ord)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_er_threads_gen<P, T, R, O>(
+    pos: &P,
+    depth: u32,
+    window: Window,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    tt: T,
+    ctl: &SearchControl,
+    tr: R,
+    ord: O,
+) -> Result<ErThreadsResult, SearchAborted>
+where
+    P: GamePosition,
+    T: TtAccess<P> + Send + Sync,
+    R: TraceAccess,
+    O: OrdAccess + Send + Sync,
+{
     assert!(threads > 0);
     let (fixed_batch, adaptive) = match exec.batch {
         BatchPolicy::Fixed(b) => (b.clamp(1, DEQUE_CAP), false),
@@ -427,7 +514,7 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync, R: TraceAcc
     let steal_on = exec.steal && threads > 1;
 
     let shared = Mutex::new(Shared {
-        worker: ErWorker::new(pos.clone(), depth, *cfg),
+        worker: ErWorker::new_windowed(pos.clone(), depth, window, *cfg),
         parked: 0,
         done: false,
     });
@@ -438,7 +525,10 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync, R: TraceAcc
     // The position arena: published under the lock (refcount bumps), read
     // lock-free by owners and thieves alike.
     let arena: PublishSlab<std::sync::Arc<P>> = PublishSlab::new();
-    let order = cfg.order;
+    let scfg = ErConfig {
+        order: cfg.order,
+        sel: cfg.sel,
+    };
     let start = Instant::now();
 
     let mut owners = Vec::with_capacity(threads);
@@ -605,7 +695,7 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync, R: TraceAcc
                             // applicable outcome: the control tripped
                             // mid-job or the task panicked (already caught
                             // and converted into a trip).
-                            if !run_job(&mut cx, arena, id, &task, order, ttw, &probe, &wtr) {
+                            if !run_job(&mut cx, arena, id, &task, scfg, ttw, &probe, &wtr, ord) {
                                 break 'rounds true;
                             }
                             executed_this_round += 1;
@@ -631,7 +721,8 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync, R: TraceAcc
                                     }
                                 }
                                 let Some((id, task)) = stolen else { break };
-                                if !run_job(&mut cx, arena, id, &task, order, ttw, &probe, &wtr) {
+                                if !run_job(&mut cx, arena, id, &task, scfg, ttw, &probe, &wtr, ord)
+                                {
                                     break 'rounds true;
                                 }
                                 executed_this_round += 1;
@@ -742,15 +833,16 @@ fn run_er_threads_gen<P: GamePosition, T: TtAccess<P> + Send + Sync, R: TraceAcc
 /// the panic is caught here and converted into a `WorkerPanicked` trip, so
 /// an evaluator bug aborts the run instead of poisoning the heap mutex.
 #[allow(clippy::too_many_arguments)]
-fn run_job<P: GamePosition, T: TtAccess<P>, W: WorkerTrace>(
+fn run_job<P: GamePosition, T: TtAccess<P>, W: WorkerTrace, O: OrdAccess>(
     cx: &mut WorkerCtx<P>,
     arena: &PublishSlab<std::sync::Arc<P>>,
     id: NodeId,
     task: &Task,
-    order: search_serial::ordering::OrderPolicy,
+    scfg: ErConfig,
     tt: T,
     probe: &CtlProbe<'_>,
     wtr: &W,
+    ord: O,
 ) -> bool {
     cx.counters.jobs_executed += 1;
     let pos: Option<&P> = task.needs_pos().then(|| {
@@ -760,7 +852,7 @@ fn run_job<P: GamePosition, T: TtAccess<P>, W: WorkerTrace>(
     });
     let job_start = wtr.now_ns();
     let outcome = match catch_unwind(AssertUnwindSafe(|| {
-        execute_task(task, pos, order, tt, probe)
+        execute_task(task, pos, scfg, tt, probe, ord)
     })) {
         Ok(outcome) => outcome,
         Err(_) => {
@@ -778,6 +870,14 @@ fn run_job<P: GamePosition, T: TtAccess<P>, W: WorkerTrace>(
     if matches!(outcome, Outcome::Aborted) {
         cx.counters.jobs_aborted += 1;
         return false;
+    }
+    if let Outcome::Serial { stats, .. } = &outcome {
+        // Harvest the serial frontier's ordering/selectivity counters into
+        // the per-thread totals the bench output surfaces.
+        cx.counters.re_searches += stats.re_searches;
+        cx.counters.killer_hits += stats.killer_hits;
+        cx.counters.history_hits += stats.history_hits;
+        cx.counters.q_extensions += stats.q_extensions;
     }
     cx.ready.push((id, outcome));
     true

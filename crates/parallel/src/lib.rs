@@ -27,8 +27,10 @@ pub use er::threads::{
     DEFAULT_BATCH, MAX_BATCH,
 };
 pub use er::{
-    run_er_sim, run_er_sim_tt, run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt,
-    run_er_threads_exec, run_er_threads_exec_tt, run_er_threads_id, run_er_threads_id_trace,
-    run_er_threads_id_trace_tt, run_er_threads_id_tt, run_er_threads_trace,
-    run_er_threads_trace_tt, DepthResult, ErIdResult, ErParallelConfig, ErRunResult, Speculation,
+    run_er_sim, run_er_sim_ord, run_er_sim_tt, run_er_sim_window_ord, run_er_threads,
+    run_er_threads_ctl, run_er_threads_ctl_tt, run_er_threads_exec, run_er_threads_exec_tt,
+    run_er_threads_id, run_er_threads_id_asp, run_er_threads_id_asp_trace_tt,
+    run_er_threads_id_asp_tt, run_er_threads_id_trace, run_er_threads_id_trace_tt,
+    run_er_threads_id_tt, run_er_threads_trace, run_er_threads_trace_tt, run_er_threads_window_ord,
+    AspirationConfig, DepthResult, ErIdResult, ErParallelConfig, ErRunResult, Speculation,
 };

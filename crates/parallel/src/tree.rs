@@ -161,6 +161,10 @@ impl<P: GamePosition> Node<P> {
 #[derive(Debug)]
 pub struct SearchTree<P: GamePosition> {
     nodes: Vec<Node<P>>,
+    /// Initial window at the root. [`Window::FULL`] for a plain search;
+    /// an aspiration driver narrows it around the previous iteration's
+    /// value so every dynamic window in the tree inherits the bounds.
+    root_window: Window,
 }
 
 /// The root node's id.
@@ -170,6 +174,13 @@ impl<P: GamePosition> SearchTree<P> {
     /// A tree containing only the root (an e-node, per the elder-grandchild
     /// strategy the root's evaluation starts with).
     pub fn new(pos: P, depth: u32) -> SearchTree<P> {
+        SearchTree::new_windowed(pos, depth, Window::FULL)
+    }
+
+    /// [`SearchTree::new`] with an explicit root window (aspiration
+    /// search). The result is exact only if it falls strictly inside
+    /// `window`; outside it is a bound in the failing direction.
+    pub fn new_windowed(pos: P, depth: u32, window: Window) -> SearchTree<P> {
         SearchTree {
             nodes: vec![Node::new(
                 Arc::new(pos),
@@ -179,6 +190,7 @@ impl<P: GamePosition> SearchTree<P> {
                 Kind::ENode,
                 ROOT_PATH_KEY,
             )],
+            root_window: window,
         }
     }
 
@@ -237,7 +249,7 @@ impl<P: GamePosition> SearchTree<P> {
                 let pw = self.window(p);
                 (-pw.beta, -pw.alpha)
             }
-            None => (Value::NEG_INF, Value::INF),
+            None => (self.root_window.alpha, self.root_window.beta),
         };
         alpha = alpha.max(n.value);
         Window { alpha, beta }

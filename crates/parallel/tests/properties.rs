@@ -11,7 +11,7 @@ use gametree::arena::{leaf, node, ArenaTree, TreeSpec};
 use gametree::random::RandomTreeSpec;
 use gametree::{GamePosition, Value};
 use proptest::prelude::*;
-use search_serial::{negmax, OrderPolicy};
+use search_serial::{negmax, ErConfig, OrderPolicy, SelectivityConfig};
 
 fn arb_tree() -> impl Strategy<Value = TreeSpec> {
     let leaf_strategy = (-100i32..100).prop_map(leaf);
@@ -40,6 +40,7 @@ proptest! {
                 early_choice: bits & 4 != 0,
             },
             cost: problem_heap::CostModel::default(),
+            sel: SelectivityConfig::OFF,
         };
         let r = run_er_sim(&root, 32, k, &cfg);
         prop_assert_eq!(r.value, negmax(&root, 32).value);
@@ -124,7 +125,17 @@ fn drive_labels<P: GamePosition>(
                     Task::Serial { refute: true, .. } => "serial-refute",
                 });
                 let pos = job.task.needs_pos().then(|| w.node_pos(job.id).clone());
-                let outcome = execute_task(&job.task, pos.as_ref(), cfg.order, (), ());
+                let outcome = execute_task(
+                    &job.task,
+                    pos.as_ref(),
+                    ErConfig {
+                        order: cfg.order,
+                        sel: cfg.sel,
+                    },
+                    (),
+                    (),
+                    (),
+                );
                 if w.apply(job.id, outcome) {
                     break;
                 }
@@ -220,6 +231,7 @@ fn threads_match_negmax_on_shallow_othello() {
         order: search_serial::OrderPolicy::OTHELLO,
         spec: Speculation::ALL,
         cost: problem_heap::CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     let exact = negmax(&root, 4).value;
     for threads in [1usize, 4] {
@@ -243,6 +255,7 @@ fn threads_match_negmax_on_shallow_checkers() {
         order: search_serial::OrderPolicy::OTHELLO,
         spec: Speculation::ALL,
         cost: problem_heap::CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     let exact = negmax(&root, 5).value;
     for threads in [1usize, 4] {
@@ -273,6 +286,7 @@ fn exec_matrix_matches_negmax_on_shallow_othello() {
         order: search_serial::OrderPolicy::OTHELLO,
         spec: Speculation::ALL,
         cost: problem_heap::CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     let exact = negmax(&root, 4).value;
     for threads in [1usize, 2, 4, 8] {
@@ -295,6 +309,7 @@ fn exec_matrix_matches_negmax_on_shallow_checkers() {
         order: search_serial::OrderPolicy::OTHELLO,
         spec: Speculation::ALL,
         cost: problem_heap::CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     let exact = negmax(&root, 5).value;
     for threads in [1usize, 2, 4, 8] {

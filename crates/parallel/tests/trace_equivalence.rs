@@ -17,7 +17,7 @@ use er_parallel::{
 };
 use gametree::random::RandomTreeSpec;
 use proptest::prelude::*;
-use search_serial::{negmax, OrderPolicy};
+use search_serial::{negmax, OrderPolicy, SelectivityConfig};
 use trace::{EventKind, Tracer};
 
 const THREAD_MATRIX: [usize; 4] = [1, 2, 4, 8];
@@ -93,6 +93,7 @@ fn traced_tt_matches_untraced_on_othello() {
         order: OrderPolicy::OTHELLO,
         spec: Speculation::ALL,
         cost: problem_heap::CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     let exact = negmax(&root, 4).value;
     for threads in [1usize, 4] {
@@ -143,6 +144,7 @@ fn traced_values_match_untraced_on_checkers() {
         order: OrderPolicy::OTHELLO,
         spec: Speculation::ALL,
         cost: problem_heap::CostModel::default(),
+        sel: SelectivityConfig::OFF,
     };
     let exact = negmax(&root, 5).value;
     for threads in THREAD_MATRIX {

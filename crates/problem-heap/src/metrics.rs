@@ -82,6 +82,17 @@ pub struct ThreadCounters {
     /// Jobs whose outcomes were discarded by the abort protocol (deadline,
     /// cancellation, or worker panic) instead of being applied.
     pub jobs_aborted: u64,
+    /// Widened re-searches performed inside this thread's serial-frontier
+    /// jobs (PVS null-window fail-highs, aspiration fail-outs).
+    pub re_searches: u64,
+    /// Serial-frontier beta cutoffs achieved by a current killer move.
+    pub killer_hits: u64,
+    /// Serial-frontier beta cutoffs achieved by a history-ranked move that
+    /// was not a killer.
+    pub history_hits: u64,
+    /// Depth-horizon leaves extended by the quiescence rule in this
+    /// thread's serial-frontier jobs.
+    pub q_extensions: u64,
 }
 
 impl ThreadCounters {
@@ -102,6 +113,10 @@ impl ThreadCounters {
         self.batch_grows += other.batch_grows;
         self.batch_shrinks += other.batch_shrinks;
         self.jobs_aborted += other.jobs_aborted;
+        self.re_searches += other.re_searches;
+        self.killer_hits += other.killer_hits;
+        self.history_hits += other.history_hits;
+        self.q_extensions += other.q_extensions;
     }
 
     /// Mean jobs obtained per lock acquisition — the batching win the
@@ -146,12 +161,12 @@ impl ThreadCounters {
 impl std::fmt::Display for ThreadCounters {
     /// One-line contention summary used by the bench output, e.g.
     /// `acq/job 0.14 | steal 23/410 (5.6%) | park 7/wake 5 | aborted 0 |
-    /// wait 312ns/acq | batch +3/-1`.
+    /// wait 312ns/acq | batch +3/-1 | re-search 2 | ord k4/h9 | qext 0`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
             "acq/job {:.3} | steal {}/{} ({:.1}%) | park {}/wake {} | aborted {} | \
-             wait {:.0}ns/acq | batch +{}/-{}",
+             wait {:.0}ns/acq | batch +{}/-{} | re-search {} | ord k{}/h{} | qext {}",
             self.acquisitions_per_job(),
             self.steal_hits,
             self.steal_attempts,
@@ -162,6 +177,10 @@ impl std::fmt::Display for ThreadCounters {
             self.mean_lock_wait_nanos(),
             self.batch_grows,
             self.batch_shrinks,
+            self.re_searches,
+            self.killer_hits,
+            self.history_hits,
+            self.q_extensions,
         )
     }
 }
@@ -230,6 +249,7 @@ mod tests {
             eval_calls: 50, // 30 leaves + 20 sorting probes
             sorts: 5,
             cutoffs: 0,
+            ..SearchStats::new()
         };
         assert_eq!(cm.serial_ticks(&stats), 10 * 2 + 50 * 8);
     }
@@ -282,6 +302,10 @@ mod tests {
             batch_grows: 1,
             batch_shrinks: 0,
             jobs_aborted: 2,
+            re_searches: 4,
+            killer_hits: 6,
+            history_hits: 2,
+            q_extensions: 1,
         };
         let b = ThreadCounters {
             lock_acquisitions: 5,
@@ -299,6 +323,10 @@ mod tests {
             batch_grows: 0,
             batch_shrinks: 2,
             jobs_aborted: 1,
+            re_searches: 1,
+            killer_hits: 3,
+            history_hits: 5,
+            q_extensions: 0,
         };
         a.merge(&b);
         assert_eq!(a.lock_acquisitions, 15);
@@ -313,6 +341,10 @@ mod tests {
         assert_eq!(a.batch_grows, 1);
         assert_eq!(a.batch_shrinks, 2);
         assert_eq!(a.jobs_aborted, 3);
+        assert_eq!(a.re_searches, 5);
+        assert_eq!(a.killer_hits, 9);
+        assert_eq!(a.history_hits, 7);
+        assert_eq!(a.q_extensions, 1);
         assert!((a.jobs_per_acquisition() - 50.0 / 15.0).abs() < 1e-12);
         assert!((a.acquisitions_per_job() - 15.0 / 50.0).abs() < 1e-12);
         assert!((a.steal_hit_rate() - 0.3).abs() < 1e-12);
@@ -346,6 +378,9 @@ mod tests {
         assert!(s.contains("aborted 3"), "got: {s}");
         assert!(s.contains("100ns/acq"), "got: {s}");
         assert!(s.contains("batch +1/-2"), "got: {s}");
+        assert!(s.contains("re-search 0"), "got: {s}");
+        assert!(s.contains("ord k0/h0"), "got: {s}");
+        assert!(s.contains("qext 0"), "got: {s}");
     }
 
     #[test]
@@ -363,17 +398,21 @@ mod tests {
             idle_parks: 7,
             wakeups: 5,
             jobs_aborted: 3,
+            re_searches: 4,
+            killer_hits: 6,
+            history_hits: 2,
+            q_extensions: 1,
             ..ThreadCounters::default()
         };
         assert_eq!(
             format!("{c}"),
             "acq/job 0.250 | steal 2/8 (25.0%) | park 7/wake 5 | aborted 3 | \
-             wait 100ns/acq | batch +1/-2"
+             wait 100ns/acq | batch +1/-2 | re-search 4 | ord k6/h2 | qext 1"
         );
         assert_eq!(
             format!("{}", ThreadCounters::default()),
             "acq/job 0.000 | steal 0/0 (0.0%) | park 0/wake 0 | aborted 0 | \
-             wait 0ns/acq | batch +0/-0"
+             wait 0ns/acq | batch +0/-0 | re-search 0 | ord k0/h0 | qext 0"
         );
     }
 

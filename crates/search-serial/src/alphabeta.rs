@@ -7,7 +7,7 @@ use gametree::{GamePosition, SearchStats, Value, Window};
 use tt::{Bound, TranspositionTable, TtAccess, Zobrist};
 
 use crate::control::{CtlAccess, CtlProbe, CtlSearchResult, SearchControl};
-use crate::ordering::{ordered_children_indexed, splice_hint, OrderPolicy};
+use crate::ordering::{note_cutoff, ordered_children_ranked, splice_hint, OrdAccess, OrderPolicy};
 use crate::SearchResult;
 
 /// Full-window alpha-beta evaluation of `pos` to `depth` plies.
@@ -25,7 +25,7 @@ pub fn alphabeta_window<P: GamePosition>(
     policy: OrderPolicy,
 ) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = ab_rec(pos, depth, window, 0, policy, (), (), &mut stats).expect("no control");
+    let value = ab_rec(pos, depth, window, 0, policy, (), (), (), &mut stats).expect("no control");
     SearchResult { value, stats }
 }
 
@@ -41,7 +41,17 @@ pub fn alphabeta_ctl<P: GamePosition>(
 ) -> CtlSearchResult {
     let probe = CtlProbe::new(ctl);
     let mut stats = SearchStats::new();
-    match ab_rec(pos, depth, Window::FULL, 0, policy, (), &probe, &mut stats) {
+    match ab_rec(
+        pos,
+        depth,
+        Window::FULL,
+        0,
+        policy,
+        (),
+        &probe,
+        (),
+        &mut stats,
+    ) {
         Some(value) => CtlSearchResult {
             value,
             stats,
@@ -88,8 +98,23 @@ pub fn alphabeta_window_with<P: GamePosition, T: TtAccess<P>>(
     policy: OrderPolicy,
     tt: T,
 ) -> SearchResult {
+    alphabeta_window_ord(pos, depth, window, policy, tt, ())
+}
+
+/// [`alphabeta_window_with`] additionally generic over the dynamic
+/// move-ordering handle (`()` or `&OrderingTables`): killer/history
+/// ranking after the policy sort, cutoff credit recorded back into the
+/// tables. The `()` instantiation is exactly [`alphabeta_window_with`].
+pub fn alphabeta_window_ord<P: GamePosition, T: TtAccess<P>, O: OrdAccess>(
+    pos: &P,
+    depth: u32,
+    window: Window,
+    policy: OrderPolicy,
+    tt: T,
+    ord: O,
+) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = ab_rec(pos, depth, window, 0, policy, tt, (), &mut stats).expect("no control");
+    let value = ab_rec(pos, depth, window, 0, policy, tt, (), ord, &mut stats).expect("no control");
     SearchResult { value, stats }
 }
 
@@ -108,7 +133,7 @@ pub fn fail_soft_bound(value: Value, window: Window) -> Bound {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn ab_rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
+fn ab_rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess, O: OrdAccess>(
     pos: &P,
     depth: u32,
     window: Window,
@@ -116,6 +141,7 @@ fn ab_rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
     policy: OrderPolicy,
     tt: T,
     ctl: C,
+    ord: O,
     stats: &mut SearchStats,
 ) -> Option<Value> {
     if ctl.check().is_some() {
@@ -138,7 +164,7 @@ fn ab_rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
         None => None,
     };
     stats.interior_nodes += 1;
-    let mut kids = ordered_children_indexed(pos, ply, policy, stats);
+    let mut kids = ordered_children_ranked(pos, ply, policy, ord, stats);
     if splice_hint(&mut kids, hint) {
         tt.note_hint_used();
     }
@@ -156,6 +182,7 @@ fn ab_rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
             policy,
             tt,
             ctl,
+            ord,
             stats,
         )?;
         if t > m {
@@ -165,6 +192,7 @@ fn ab_rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
         w = w.raise_alpha(m);
         if m >= window.beta {
             stats.cutoffs += 1;
+            note_cutoff(ord, ply, depth, child.nat, stats);
             tt.store(pos, depth, m, Bound::Lower, best);
             return Some(m);
         }

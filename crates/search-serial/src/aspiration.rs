@@ -50,11 +50,13 @@ pub fn aspiration<P: GamePosition>(
     let mut stats = first.stats;
     let (value, probe) = if first.value >= w.beta {
         // Fail high: the true value is >= first.value.
+        stats.re_searches += 1;
         let re = alphabeta_window(pos, depth, Window::new(first.value, Value::INF), policy);
         stats.merge(&re.stats);
         (re.value, Probe::FailHigh)
     } else if first.value <= w.alpha {
         // Fail low: the true value is <= first.value.
+        stats.re_searches += 1;
         let re = alphabeta_window(pos, depth, Window::new(Value::NEG_INF, first.value), policy);
         stats.merge(&re.stats);
         (re.value, Probe::FailLow)
@@ -87,6 +89,7 @@ pub fn aspiration_tt<P: GamePosition + Zobrist>(
     let first = alphabeta_window_tt(pos, depth, w, policy, table);
     let mut stats = first.stats;
     let (value, probe) = if first.value >= w.beta {
+        stats.re_searches += 1;
         let re = alphabeta_window_tt(
             pos,
             depth,
@@ -97,6 +100,7 @@ pub fn aspiration_tt<P: GamePosition + Zobrist>(
         stats.merge(&re.stats);
         (re.value, Probe::FailHigh)
     } else if first.value <= w.alpha {
+        stats.re_searches += 1;
         let re = alphabeta_window_tt(
             pos,
             depth,

@@ -39,23 +39,27 @@ pub struct SearchResult {
 }
 
 pub use alphabeta::{
-    alphabeta, alphabeta_ctl, alphabeta_tt, alphabeta_window, alphabeta_window_tt,
-    alphabeta_window_with, fail_soft_bound,
+    alphabeta, alphabeta_ctl, alphabeta_tt, alphabeta_window, alphabeta_window_ord,
+    alphabeta_window_tt, alphabeta_window_with, fail_soft_bound,
 };
 pub use aspiration::{aspiration, aspiration_static, aspiration_tt};
 pub use control::{AbortReason, CtlAccess, CtlProbe, CtlSearchResult, SearchControl, CHECK_PERIOD};
 pub use er::{
-    er_eval_refute, er_eval_refute_ctl_with, er_eval_refute_tt, er_eval_refute_with,
-    er_refute_rest, er_refute_rest_ctl_with, er_refute_rest_tt, er_refute_rest_with, er_search,
-    er_search_ctl, er_search_tt, er_search_window, er_search_window_ctl_with, er_search_window_tt,
+    er_eval_refute, er_eval_refute_ctl_with, er_eval_refute_ord, er_eval_refute_tt,
+    er_eval_refute_with, er_refute_rest, er_refute_rest_ctl_with, er_refute_rest_ord,
+    er_refute_rest_tt, er_refute_rest_with, er_search, er_search_ctl, er_search_tt,
+    er_search_window, er_search_window_ctl_with, er_search_window_ord, er_search_window_tt,
     er_search_window_with, ErConfig,
 };
 pub use iterative::{iterative_deepening, IterativeResult};
 pub use negmax::{negmax, negmax_ctl, negmax_tt};
 pub use nodeep::alphabeta_nodeep;
-pub use ordering::{splice_hint, OrderPolicy, OrderedChild};
+pub use ordering::{
+    note_cutoff, ordered_children_indexed, ordered_children_ranked, rank_children, rank_key,
+    splice_hint, OrdAccess, OrderPolicy, OrderedChild, OrderingTables, SelectivityConfig,
+};
 pub use pv::{alphabeta_pv, PvResult};
-pub use pvs::{pvs, pvs_ctl, pvs_tt, pvs_window, pvs_window_tt};
+pub use pvs::{pvs, pvs_ctl, pvs_tt, pvs_window, pvs_window_ord, pvs_window_tt};
 pub use traced::{
     alphabeta_ctl_traced, er_search_ctl_traced, er_search_ctl_tt_traced, negmax_ctl_traced,
     pvs_ctl_traced,

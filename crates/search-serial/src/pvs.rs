@@ -13,13 +13,14 @@ use tt::{Bound, TranspositionTable, TtAccess, Zobrist};
 
 use crate::alphabeta::fail_soft_bound;
 use crate::control::{CtlAccess, CtlProbe, CtlSearchResult, SearchControl};
-use crate::ordering::{ordered_children_indexed, splice_hint, OrderPolicy};
+use crate::ordering::{note_cutoff, ordered_children_ranked, splice_hint, OrdAccess, OrderPolicy};
 use crate::SearchResult;
 
 /// Evaluates `pos` to `depth` plies with principal-variation search.
 pub fn pvs<P: GamePosition>(pos: &P, depth: u32, policy: OrderPolicy) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = rec(pos, depth, Window::FULL, 0, policy, (), (), &mut stats).expect("no control");
+    let value =
+        rec(pos, depth, Window::FULL, 0, policy, (), (), (), &mut stats).expect("no control");
     SearchResult { value, stats }
 }
 
@@ -34,7 +35,17 @@ pub fn pvs_ctl<P: GamePosition>(
 ) -> CtlSearchResult {
     let probe = CtlProbe::new(ctl);
     let mut stats = SearchStats::new();
-    match rec(pos, depth, Window::FULL, 0, policy, (), &probe, &mut stats) {
+    match rec(
+        pos,
+        depth,
+        Window::FULL,
+        0,
+        policy,
+        (),
+        &probe,
+        (),
+        &mut stats,
+    ) {
         Some(value) => CtlSearchResult {
             value,
             stats,
@@ -56,7 +67,7 @@ pub fn pvs_window<P: GamePosition>(
     policy: OrderPolicy,
 ) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = rec(pos, depth, window, 0, policy, (), (), &mut stats).expect("no control");
+    let value = rec(pos, depth, window, 0, policy, (), (), (), &mut stats).expect("no control");
     SearchResult { value, stats }
 }
 
@@ -70,8 +81,18 @@ pub fn pvs_tt<P: GamePosition + Zobrist>(
     table: &TranspositionTable,
 ) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value =
-        rec(pos, depth, Window::FULL, 0, policy, table, (), &mut stats).expect("no control");
+    let value = rec(
+        pos,
+        depth,
+        Window::FULL,
+        0,
+        policy,
+        table,
+        (),
+        (),
+        &mut stats,
+    )
+    .expect("no control");
     SearchResult { value, stats }
 }
 
@@ -83,13 +104,27 @@ pub fn pvs_window_tt<P: GamePosition + Zobrist>(
     policy: OrderPolicy,
     table: &TranspositionTable,
 ) -> SearchResult {
+    pvs_window_ord(pos, depth, window, policy, table, ())
+}
+
+/// [`pvs_window_tt`] generic over *both* handles — table and dynamic
+/// move-ordering. Killer/history ranking steers the null-window probes
+/// onto refuting children, which is precisely where PVS's bet pays off.
+pub fn pvs_window_ord<P: GamePosition, T: TtAccess<P>, O: OrdAccess>(
+    pos: &P,
+    depth: u32,
+    window: Window,
+    policy: OrderPolicy,
+    tt: T,
+    ord: O,
+) -> SearchResult {
     let mut stats = SearchStats::new();
-    let value = rec(pos, depth, window, 0, policy, table, (), &mut stats).expect("no control");
+    let value = rec(pos, depth, window, 0, policy, tt, (), ord, &mut stats).expect("no control");
     SearchResult { value, stats }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
+fn rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess, O: OrdAccess>(
     pos: &P,
     depth: u32,
     window: Window,
@@ -97,6 +132,7 @@ fn rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
     policy: OrderPolicy,
     tt: T,
     ctl: C,
+    ord: O,
     stats: &mut SearchStats,
 ) -> Option<Value> {
     if ctl.check().is_some() {
@@ -119,7 +155,7 @@ fn rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
         None => None,
     };
     stats.interior_nodes += 1;
-    let mut kids = ordered_children_indexed(pos, ply, policy, stats);
+    let mut kids = ordered_children_ranked(pos, ply, policy, ord, stats);
     if splice_hint(&mut kids, hint) {
         tt.note_hint_used();
     }
@@ -139,6 +175,7 @@ fn rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
                 policy,
                 tt,
                 ctl,
+                ord,
                 stats,
             )?
         } else {
@@ -152,11 +189,13 @@ fn rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
                 policy,
                 tt,
                 ctl,
+                ord,
                 stats,
             )?;
             if probe > w.alpha && probe < window.beta {
                 // Fail-high inside the real window: re-search for the
                 // exact value.
+                stats.re_searches += 1;
                 let re = Window::new(probe, window.beta).raise_alpha(w.alpha);
                 -rec(
                     &child.pos,
@@ -166,6 +205,7 @@ fn rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
                     policy,
                     tt,
                     ctl,
+                    ord,
                     stats,
                 )?
             } else {
@@ -179,6 +219,7 @@ fn rec<P: GamePosition, T: TtAccess<P>, C: CtlAccess>(
         w = w.raise_alpha(m);
         if m >= window.beta {
             stats.cutoffs += 1;
+            note_cutoff(ord, ply, depth, child.nat, stats);
             tt.store(pos, depth, m, Bound::Lower, best);
             return Some(m);
         }

@@ -131,7 +131,7 @@ proptest! {
         let exact = negmax(&root, height).value;
         let policy = OrderPolicy { sort_ply_limit: limit };
         prop_assert_eq!(alphabeta(&root, height, policy).value, exact);
-        prop_assert_eq!(er_search(&root, height, ErConfig { order: policy }).value, exact);
+        prop_assert_eq!(er_search(&root, height, ErConfig { order: policy, ..ErConfig::NATURAL }).value, exact);
     }
 }
 

@@ -146,6 +146,8 @@ mod tests {
             driver: RowData {
                 events: vec![
                     ev(EventKind::IdDepthStart, 0, 0, 1),
+                    ev(EventKind::AspirationResearch, 9000, 0, 1),
+                    ev(EventKind::QExtension, 12000, 0, 2),
                     ev(EventKind::IdDepthFinish, 17000, 0, 1),
                 ],
                 dropped: 0,

@@ -5,7 +5,7 @@
 //! allocation.
 
 /// Number of declared event kinds ([`EventKind::ALL`] has this length).
-pub const KIND_COUNT: usize = 13;
+pub const KIND_COUNT: usize = 15;
 
 /// The typed events the back-ends record. Span kinds carry a duration;
 /// instant kinds are points in time (`dur_ns == 0`).
@@ -43,6 +43,12 @@ pub enum EventKind {
     /// Instant: the abort protocol was observed tripping
     /// (`arg` = abort-reason discriminant, 0 when unknown).
     AbortTrip = 12,
+    /// Instant: an aspiration probe failed outside its window and the
+    /// driver launched a widened re-search (`arg` = depth).
+    AspirationResearch = 13,
+    /// Instant: a depth's serial frontier extended unstable horizon leaves
+    /// (`arg` = number of quiescence extensions this depth).
+    QExtension = 14,
 }
 
 impl EventKind {
@@ -61,6 +67,8 @@ impl EventKind {
         EventKind::IdDepthStart,
         EventKind::IdDepthFinish,
         EventKind::AbortTrip,
+        EventKind::AspirationResearch,
+        EventKind::QExtension,
     ];
 
     /// Stable human-readable name (also the Chrome-trace event name).
@@ -79,6 +87,8 @@ impl EventKind {
             EventKind::IdDepthStart => "id-depth-start",
             EventKind::IdDepthFinish => "id-depth-finish",
             EventKind::AbortTrip => "abort-trip",
+            EventKind::AspirationResearch => "aspiration-research",
+            EventKind::QExtension => "q-extension",
         }
     }
 
@@ -91,8 +101,11 @@ impl EventKind {
             EventKind::StealAttempt | EventKind::StealHit => "steal",
             EventKind::Park | EventKind::Unpark => "idle",
             EventKind::TtProbe | EventKind::TtStore => "tt",
-            EventKind::IdDepthStart | EventKind::IdDepthFinish => "id",
+            EventKind::IdDepthStart | EventKind::IdDepthFinish | EventKind::AspirationResearch => {
+                "id"
+            }
             EventKind::AbortTrip => "abort",
+            EventKind::QExtension => "sel",
         }
     }
 

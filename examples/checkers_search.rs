@@ -27,6 +27,7 @@ fn main() {
         depth,
         ErConfig {
             order: OrderPolicy::OTHELLO,
+            sel: SelectivityConfig::OFF,
         },
     );
     assert_eq!(ab.value, er.value);
@@ -45,6 +46,7 @@ fn main() {
         order: OrderPolicy::OTHELLO,
         spec: Speculation::ALL,
         cost,
+        sel: SelectivityConfig::OFF,
     };
     println!("\nparallel ER vs tree-splitting (speedup vs fastest serial):");
     for k in [4usize, 8, 16] {

@@ -33,6 +33,7 @@ fn main() {
         order: OrderPolicy::NATURAL,
         spec: Speculation::ALL,
         cost,
+        sel: SelectivityConfig::OFF,
     };
     let guess = alphabeta(&root, height - 2, OrderPolicy::NATURAL).value;
 

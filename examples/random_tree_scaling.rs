@@ -38,6 +38,7 @@ fn main() {
         order: OrderPolicy::NATURAL,
         spec: Speculation::ALL,
         cost,
+        sel: SelectivityConfig::OFF,
     };
     println!(
         "\n{:>6} {:>9} {:>11} {:>9} {:>11}",

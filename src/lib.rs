@@ -121,10 +121,11 @@ pub use tt;
 pub mod prelude {
     pub use checkers::CheckersPos;
     pub use er_parallel::{
-        run_er_sim, run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt, run_er_threads_exec,
-        run_er_threads_exec_tt, run_er_threads_id, run_er_threads_id_trace,
-        run_er_threads_id_trace_tt, run_er_threads_id_tt, run_er_threads_trace,
-        run_er_threads_trace_tt, run_er_threads_tt, run_er_threads_with, AbortReason, BatchPolicy,
+        run_er_sim, run_er_sim_ord, run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt,
+        run_er_threads_exec, run_er_threads_exec_tt, run_er_threads_id, run_er_threads_id_asp,
+        run_er_threads_id_asp_tt, run_er_threads_id_trace, run_er_threads_id_trace_tt,
+        run_er_threads_id_tt, run_er_threads_trace, run_er_threads_trace_tt, run_er_threads_tt,
+        run_er_threads_window_ord, run_er_threads_with, AbortReason, AspirationConfig, BatchPolicy,
         ErIdResult, ErParallelConfig, ErRunResult, ErThreadsResult, SearchAborted, SearchControl,
         Speculation, ThreadsConfig, DEFAULT_BATCH, MAX_BATCH,
     };
@@ -136,7 +137,8 @@ pub mod prelude {
     pub use problem_heap::{CostModel, SimReport};
     pub use search_serial::{
         alphabeta, alphabeta_ctl_traced, alphabeta_nodeep, alphabeta_tt, aspiration, er_search,
-        er_search_ctl_traced, er_search_tt, negmax, negmax_tt, ErConfig, OrderPolicy, SearchResult,
+        er_search_ctl_traced, er_search_tt, negmax, negmax_tt, ErConfig, OrderPolicy,
+        OrderingTables, SearchResult, SelectivityConfig,
     };
     pub use trace::{
         chrome_json, EventKind, SearchReport, SpecSplit, TraceAccess, TraceData, Tracer,

@@ -134,7 +134,14 @@ fn er_beats_every_baseline_on_checkers_at_sixteen() {
     let depth = 8;
     let order = OrderPolicy::OTHELLO;
     let ab = alphabeta(&pos, depth, order);
-    let er_serial = er_search(&pos, depth, ErConfig { order });
+    let er_serial = er_search(
+        &pos,
+        depth,
+        ErConfig {
+            order,
+            sel: SelectivityConfig::OFF,
+        },
+    );
     let sb = cm
         .serial_ticks(&ab.stats)
         .min(cm.serial_ticks(&er_serial.stats));
@@ -144,6 +151,7 @@ fn er_beats_every_baseline_on_checkers_at_sixteen() {
         order,
         spec: Speculation::ALL,
         cost: cm,
+        sel: SelectivityConfig::OFF,
     };
     let er = run_er_sim(&pos, depth, 16, &cfg);
     let er_speedup = er.report.speedup(sb);

@@ -24,6 +24,7 @@ fn all_values<P: GamePosition>(
         order,
         spec: Speculation::ALL,
         cost,
+        sel: SelectivityConfig::OFF,
     };
     let mut out = vec![
         ("negmax".to_string(), negmax(pos, depth).value),
@@ -38,7 +39,15 @@ fn all_values<P: GamePosition>(
         ),
         (
             "serial ER".to_string(),
-            er_search(pos, depth, ErConfig { order }).value,
+            er_search(
+                pos,
+                depth,
+                ErConfig {
+                    order,
+                    sel: SelectivityConfig::OFF,
+                },
+            )
+            .value,
         ),
     ];
     for k in [1usize, 3, 7] {
