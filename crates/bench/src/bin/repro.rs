@@ -33,7 +33,16 @@
 //!                   full-coverage Chrome-trace timeline (accepts
 //!                   --threads 1,2,4,8; writes BENCH_trace.json at the
 //!                   repo root and results/trace_chrome.json)
-//! repro all         everything above
+//! repro serve       multi-session engine server under load: mixed
+//!                   families/priorities against fixed admission caps,
+//!                   latency percentiles, shed accounting, per-class
+//!                   fairness (accepts --sessions N, --threads N,
+//!                   --tt-bits N; writes BENCH_serve.json at the repo
+//!                   root)
+//! repro uci         interactive UCI-style protocol loop over
+//!                   stdin/stdout (try `echo "go movetime 20" |
+//!                   repro uci`)
+//! repro all         everything above (except the interactive `uci`)
 //! ```
 //!
 //! Results are printed as tables and written as JSON under `results/`.
@@ -363,30 +372,9 @@ fn gantt() {
 fn ordering() {
     use er_bench::experiments::{dyn_ordering_rows, DYN_ORDERING_DELTA_TIGHT};
 
-    let mut workers: Vec<usize> = vec![1, 4, 16];
-    let mut args = std::env::args().skip(2);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--threads" => {
-                workers = args
-                    .next()
-                    .and_then(|v| {
-                        v.split(',')
-                            .map(|s| s.trim().parse::<usize>().ok())
-                            .collect::<Option<Vec<usize>>>()
-                    })
-                    .filter(|list| !list.is_empty() && list.iter().all(|&t| (1..=64).contains(&t)))
-                    .unwrap_or_else(|| {
-                        eprintln!("--threads needs a comma-separated list like 1,4,16");
-                        std::process::exit(2);
-                    });
-            }
-            other => {
-                eprintln!("unknown ordering option '{other}'; use --threads 1,4,16");
-                std::process::exit(2);
-            }
-        }
-    }
+    let mut cli = er_bench::cli::Cli::from_env("ordering");
+    let workers = cli.threads_list(&[1, 4, 16]);
+    cli.finish();
 
     println!("\n=== Workload ordering strength (Marsland's §4.4 metric) ===");
     let strength = ordering_rows();
@@ -554,6 +542,7 @@ impl er_bench::json::ToJson for OrderingReport {
 
 fn threads() {
     use er_bench::experiments::threads_rows;
+    er_bench::cli::Cli::from_env("threads").finish();
     println!("\n=== Threaded back-end: contention and memoization (R1, O1) ===");
     let rows = threads_rows();
     println!(
@@ -628,22 +617,9 @@ fn threads() {
 
 fn tt() {
     use er_bench::experiments::tt_rows;
-    let mut bits = tt::DEFAULT_BITS;
-    let mut args = std::env::args().skip(2);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--tt-bits" => {
-                bits = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--tt-bits needs an integer in 2..=30");
-                    std::process::exit(2);
-                });
-            }
-            other => {
-                eprintln!("unknown tt option '{other}'; use --tt-bits N");
-                std::process::exit(2);
-            }
-        }
-    }
+    let mut cli = er_bench::cli::Cli::from_env("tt");
+    let bits = cli.tt_bits(tt::DEFAULT_BITS);
+    cli.finish();
     println!("\n=== Transposition table: R1/O1, table off vs on (2^{bits} entries) ===");
     let rows = tt_rows(bits);
     println!(
@@ -748,30 +724,9 @@ fn tt() {
 
 fn scaling() {
     use er_bench::experiments::{scaling_rows, ScalingRow};
-    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
-    let mut args = std::env::args().skip(2);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| {
-                        v.split(',')
-                            .map(|s| s.trim().parse::<usize>().ok())
-                            .collect::<Option<Vec<usize>>>()
-                    })
-                    .filter(|list| !list.is_empty() && list.iter().all(|&t| (1..=64).contains(&t)))
-                    .unwrap_or_else(|| {
-                        eprintln!("--threads needs a comma-separated list like 1,2,4,8");
-                        std::process::exit(2);
-                    });
-            }
-            other => {
-                eprintln!("unknown scaling option '{other}'; use --threads 1,2,4,8");
-                std::process::exit(2);
-            }
-        }
-    }
+    let mut cli = er_bench::cli::Cli::from_env("scaling");
+    let threads = cli.threads_list(&[1, 2, 4, 8]);
+    cli.finish();
     println!(
         "\n=== Scaling: work-stealing layer vs baseline (R1, O1; threads {threads:?}) ===\n\
          (baseline = fixed batch, no stealing, every job through the heap mutex;\n\
@@ -858,7 +813,9 @@ fn scaling() {
 
 fn deadline() {
     use er_bench::experiments::deadline_rows;
-    let threads = 4usize;
+    let mut cli = er_bench::cli::Cli::from_env("deadline");
+    let threads = cli.count("--threads", 4, 1..=64) as usize;
+    cli.finish();
     println!(
         "\n=== Abort-safe control: anytime ID under deadlines (R1/O1/C1, {threads} threads) ==="
     );
@@ -958,30 +915,9 @@ fn trace() {
     use er_bench::experiments::{
         chrome_export, speculation_rows, trace_rows, TraceBench, SPECULATION_COUNTS,
     };
-    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
-    let mut args = std::env::args().skip(2);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| {
-                        v.split(',')
-                            .map(|s| s.trim().parse::<usize>().ok())
-                            .collect::<Option<Vec<usize>>>()
-                    })
-                    .filter(|list| !list.is_empty() && list.iter().all(|&t| (1..=64).contains(&t)))
-                    .unwrap_or_else(|| {
-                        eprintln!("--threads needs a comma-separated list like 1,2,4,8");
-                        std::process::exit(2);
-                    });
-            }
-            other => {
-                eprintln!("unknown trace option '{other}'; use --threads 1,2,4,8");
-                std::process::exit(2);
-            }
-        }
-    }
+    let mut cli = er_bench::cli::Cli::from_env("trace");
+    let threads = cli.threads_list(&[1, 2, 4, 8]);
+    cli.finish();
     println!("\n=== Search telemetry: traced R1 runs (threads {threads:?}) ===");
     let rows = trace_rows(&threads);
     println!(
@@ -1115,6 +1051,79 @@ fn trace() {
     println!("  -> BENCH_trace.json");
 }
 
+fn serve() {
+    let mut cli = er_bench::cli::Cli::from_env("serve");
+    let sessions = cli.count("--sessions", 64, 1..=4096) as usize;
+    let threads = cli.count("--threads", 4, 1..=64) as usize;
+    let tt_bits = cli.tt_bits(16);
+    cli.finish();
+
+    println!(
+        "\n=== Multi-session engine server: {sessions} sessions on {threads} \
+         worker(s), caps {} active x {} queued ===",
+        er_bench::serve::MAX_ACTIVE,
+        er_bench::serve::MAX_QUEUED
+    );
+    let bench = er_bench::serve::serve_bench(sessions, threads, tt_bits);
+
+    println!(
+        "admitted {} / shed {} / retried-to-completion {} (errored {}, \
+         solo mismatches {})",
+        bench.admitted, bench.shed, bench.completed, bench.errored, bench.solo_mismatches
+    );
+    println!(
+        "latency p50 {:.1}ms p99 {:.1}ms, p99/budget {:.3}, throughput \
+         {:.1} sessions/s over {:.0}ms, {} degraded",
+        bench.p50_latency_ms,
+        bench.p99_latency_ms,
+        bench.p99_budget_ratio,
+        bench.throughput_per_s,
+        bench.wall_ms,
+        bench.degraded
+    );
+    println!(
+        "{:<12} {:>6} {:>8} {:>12} {:>12} {:>7}",
+        "class", "weight", "sessions", "service ms", "latency ms", "share"
+    );
+    for c in &bench.classes {
+        println!(
+            "{:<12} {:>6} {:>8} {:>12.2} {:>12.1} {:>6.1}%",
+            c.class,
+            c.weight,
+            c.sessions,
+            c.mean_service_ms,
+            c.mean_latency_ms,
+            100.0 * c.service_share
+        );
+    }
+    println!(
+        "fairness spread (max/min weight-normalized service): {:.2}",
+        bench.fairness_spread
+    );
+
+    let rendered = er_bench::json::to_pretty(&bench);
+    trace::lint::check(&rendered).expect("BENCH_serve.json must be well-formed JSON");
+    save_json("serve", &bench);
+    let mut f = fs::File::create("BENCH_serve.json").expect("create BENCH_serve.json");
+    f.write_all(rendered.as_bytes())
+        .expect("write BENCH_serve.json");
+    println!("  -> BENCH_serve.json");
+}
+
+fn uci() {
+    let mut cli = er_bench::cli::Cli::from_env("uci");
+    let threads = cli.count("--threads", 2, 1..=64) as usize;
+    let tt_bits = cli.tt_bits(16);
+    cli.finish();
+    let cfg = engine_server::uci::UciConfig {
+        threads,
+        tt_bits,
+        ..engine_server::uci::UciConfig::default()
+    };
+    let stdin = std::io::stdin();
+    engine_server::uci::run(stdin.lock(), std::io::stdout(), cfg).expect("protocol loop I/O");
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     match arg.as_str() {
@@ -1134,6 +1143,8 @@ fn main() {
         "scaling" => scaling(),
         "deadline" => deadline(),
         "trace" => trace(),
+        "serve" => serve(),
+        "uci" => uci(),
         "all" => {
             table3();
             fig(10);
@@ -1151,12 +1162,13 @@ fn main() {
             scaling();
             deadline();
             trace();
+            serve();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; use \
                  table3|fig10|fig11|fig12|fig13|baselines|ablation|overhead|sweep|ordering|\
-                 gantt|threads|tt|scaling|deadline|trace|all"
+                 gantt|threads|tt|scaling|deadline|trace|serve|uci|all"
             );
             std::process::exit(2);
         }

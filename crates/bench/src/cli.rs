@@ -1,0 +1,232 @@
+//! Shared command-line parsing for the `repro` experiment binary.
+//!
+//! Every experiment subcommand takes the same few flag shapes — a
+//! comma-separated thread list (`--threads 1,4,16`), a table size
+//! (`--tt-bits 18`), a bounded count (`--sessions 64`) — and before this
+//! module each subcommand carried its own copy of the parse loop, with
+//! its own error wording. [`Cli`] centralizes the grammar: an experiment
+//! pulls the flags it supports, then calls [`Cli::finish`], which rejects
+//! anything left over with a usage line naming exactly the flags that
+//! experiment registered.
+//!
+//! The `try_*` methods return `Result` so the grammar is unit-testable;
+//! the plain methods are the binary-facing wrappers that print the error
+//! and exit with status 2, preserving the repro CLI's contract.
+
+use std::ops::RangeInclusive;
+
+/// One subcommand's argument stream.
+pub struct Cli {
+    experiment: &'static str,
+    args: Vec<String>,
+    /// Usage fragments of every flag this experiment registered, for the
+    /// unknown-option message.
+    usage: Vec<String>,
+}
+
+impl Cli {
+    /// Captures the process arguments after `repro <experiment>`.
+    pub fn from_env(experiment: &'static str) -> Cli {
+        Cli::new(experiment, std::env::args().skip(2).collect())
+    }
+
+    /// A parser over an explicit argument vector (tests).
+    pub fn new(experiment: &'static str, args: Vec<String>) -> Cli {
+        Cli {
+            experiment,
+            args,
+            usage: Vec::new(),
+        }
+    }
+
+    /// Removes `flag` and its value from the stream, if present.
+    fn take_value(&mut self, flag: &str, example: &str) -> Result<Option<String>, String> {
+        self.usage.push(format!("{flag} {example}"));
+        let Some(i) = self.args.iter().position(|a| a == flag) else {
+            return Ok(None);
+        };
+        if i + 1 >= self.args.len() {
+            return Err(format!("{flag} needs a value, like `{flag} {example}`"));
+        }
+        let v = self.args.remove(i + 1);
+        self.args.remove(i);
+        Ok(Some(v))
+    }
+
+    /// `--threads` as a comma-separated worker-count list, each in
+    /// `1..=64`. Absent flag yields `default`.
+    pub fn try_threads_list(&mut self, default: &[usize]) -> Result<Vec<usize>, String> {
+        let example = join(default);
+        match self.take_value("--threads", &example)? {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|s| s.trim().parse::<usize>().ok())
+                .collect::<Option<Vec<usize>>>()
+                .filter(|list| !list.is_empty() && list.iter().all(|&t| (1..=64).contains(&t)))
+                .ok_or_else(|| format!("--threads needs a comma-separated list like {example}")),
+        }
+    }
+
+    /// Exiting wrapper over [`Self::try_threads_list`].
+    pub fn threads_list(&mut self, default: &[usize]) -> Vec<usize> {
+        let r = self.try_threads_list(default);
+        self.ok_or_die(r)
+    }
+
+    /// A single integer flag constrained to `range`. Absent flag yields
+    /// `default`.
+    pub fn try_count(
+        &mut self,
+        flag: &'static str,
+        default: u64,
+        range: RangeInclusive<u64>,
+    ) -> Result<u64, String> {
+        match self.take_value(flag, &default.to_string())? {
+            None => Ok(default),
+            Some(v) => v
+                .trim()
+                .parse::<u64>()
+                .ok()
+                .filter(|n| range.contains(n))
+                .ok_or_else(|| {
+                    format!(
+                        "{flag} needs an integer in {}..={}",
+                        range.start(),
+                        range.end()
+                    )
+                }),
+        }
+    }
+
+    /// Exiting wrapper over [`Self::try_count`].
+    pub fn count(&mut self, flag: &'static str, default: u64, range: RangeInclusive<u64>) -> u64 {
+        let r = self.try_count(flag, default, range);
+        self.ok_or_die(r)
+    }
+
+    /// `--tt-bits` in the table's supported `2..=30`.
+    pub fn try_tt_bits(&mut self, default: u32) -> Result<u32, String> {
+        self.try_count("--tt-bits", u64::from(default), 2..=30)
+            .map(|b| b as u32)
+    }
+
+    /// Exiting wrapper over [`Self::try_tt_bits`].
+    pub fn tt_bits(&mut self, default: u32) -> u32 {
+        let r = self.try_tt_bits(default);
+        self.ok_or_die(r)
+    }
+
+    /// Rejects any argument no accessor consumed.
+    pub fn try_finish(self) -> Result<(), String> {
+        match self.args.first() {
+            None => Ok(()),
+            Some(other) => {
+                let usage = if self.usage.is_empty() {
+                    "this experiment takes no options".to_string()
+                } else {
+                    format!("use {}", self.usage.join(" / "))
+                };
+                Err(format!(
+                    "unknown {} option '{other}'; {usage}",
+                    self.experiment
+                ))
+            }
+        }
+    }
+
+    /// Exiting wrapper over [`Self::try_finish`].
+    pub fn finish(self) {
+        let name = self.experiment;
+        if let Err(e) = self.try_finish() {
+            die(name, &e);
+        }
+    }
+
+    fn ok_or_die<T>(&self, r: Result<T, String>) -> T {
+        r.unwrap_or_else(|e| die(self.experiment, &e))
+    }
+}
+
+fn join(list: &[usize]) -> String {
+    list.iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn die(experiment: &str, msg: &str) -> ! {
+    eprintln!("repro {experiment}: {msg}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::new("test", args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn absent_flags_yield_defaults() {
+        let mut c = cli(&[]);
+        assert_eq!(c.try_threads_list(&[1, 4, 16]).unwrap(), vec![1, 4, 16]);
+        assert_eq!(c.try_tt_bits(18).unwrap(), 18);
+        assert_eq!(c.try_count("--sessions", 64, 1..=4096).unwrap(), 64);
+        assert!(c.try_finish().is_ok());
+    }
+
+    #[test]
+    fn threads_lists_parse_with_spaces_and_bounds() {
+        let mut c = cli(&["--threads", "1, 2,8"]);
+        assert_eq!(c.try_threads_list(&[1]).unwrap(), vec![1, 2, 8]);
+        assert!(c.try_finish().is_ok());
+
+        for bad in ["0", "65", "", "1,,2", "two"] {
+            let mut c = cli(&["--threads", bad]);
+            let e = c.try_threads_list(&[1, 4]).unwrap_err();
+            assert!(e.contains("comma-separated list like 1,4"), "{e}");
+        }
+    }
+
+    #[test]
+    fn counts_enforce_their_ranges() {
+        let mut c = cli(&["--tt-bits", "20"]);
+        assert_eq!(c.try_tt_bits(18).unwrap(), 20);
+        let mut c = cli(&["--tt-bits", "31"]);
+        assert!(c.try_tt_bits(18).unwrap_err().contains("2..=30"));
+        let mut c = cli(&["--sessions", "0"]);
+        assert!(c
+            .try_count("--sessions", 64, 1..=4096)
+            .unwrap_err()
+            .contains("1..=4096"));
+    }
+
+    #[test]
+    fn flags_combine_in_any_order() {
+        let mut c = cli(&["--tt-bits", "12", "--threads", "4", "--sessions", "16"]);
+        assert_eq!(c.try_threads_list(&[1]).unwrap(), vec![4]);
+        assert_eq!(c.try_count("--sessions", 64, 1..=4096).unwrap(), 16);
+        assert_eq!(c.try_tt_bits(18).unwrap(), 12);
+        assert!(c.try_finish().is_ok());
+    }
+
+    #[test]
+    fn leftovers_name_the_experiment_and_its_flags() {
+        let mut c = cli(&["--wat"]);
+        c.try_threads_list(&[1, 2]).unwrap();
+        let e = c.try_finish().unwrap_err();
+        assert!(e.contains("unknown test option '--wat'"), "{e}");
+        assert!(e.contains("--threads 1,2"), "{e}");
+    }
+
+    #[test]
+    fn missing_values_are_rejected() {
+        let mut c = cli(&["--threads"]);
+        assert!(c
+            .try_threads_list(&[1])
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+}

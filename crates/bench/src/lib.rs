@@ -1,9 +1,12 @@
 //! Experiment harness for the reproduction: tree definitions (Table 3),
 //! the experiments behind Figures 10–13, the §4 baseline comparison, and
-//! the speculation ablation. The `repro` binary drives everything.
+//! the speculation ablation. The `repro` binary drives everything; its
+//! subcommands share one flag grammar via [`cli`].
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
 pub mod json;
+pub mod serve;
 pub mod trees;

@@ -1,0 +1,418 @@
+//! The `repro serve` load generator: a synthetic multi-tenant workload
+//! against the engine server's session scheduler.
+//!
+//! The experiment submits `sessions` mixed-family, mixed-priority,
+//! mixed-budget search requests against fixed admission caps
+//! ([`MAX_ACTIVE`] active × [`MAX_QUEUED`] queued), runs the scheduler to
+//! idle, retries whatever admission shed (the retry wave always fits — the
+//! first wave has drained), and distils the run into a [`ServeBench`]
+//! report with latency percentiles, throughput, shed accounting, and the
+//! per-class fairness split.
+//!
+//! Three properties are **asserted**, not just reported, every time the
+//! experiment runs (they are the engine server's acceptance criteria):
+//!
+//! 1. *Zero errored sessions* — every admitted session produces a result;
+//!    degradation (deadline before `max_depth`) is a result, not an error.
+//! 2. *Transparency* — every session's returned value is bit-identical to
+//!    a solo alpha-beta search of its position at the depth the session
+//!    actually completed, shared table and all.
+//! 3. *Latency is budget-bounded* — deadlines are armed at submission, so
+//!    a budgeted session's completion latency stays within 2× its budget
+//!    at the 99th percentile. (Zero-budget degradation probes are bounded
+//!    by slice grace rather than budget and are excluded from this one
+//!    metric; they still count toward the other two.)
+//!
+//! Overload shedding is asserted whenever the offered load actually
+//! exceeds capacity (`sessions > MAX_ACTIVE + MAX_QUEUED`), which the
+//! default `--sessions 64` does and the CI smoke's `--sessions 16` does
+//! not.
+
+use std::time::{Duration, Instant};
+
+use engine_server::{
+    serve_batch_on, AnyPos, Priority, Response, SchedulerConfig, SessionRequest, SessionResult,
+    SessionScheduler,
+};
+use er_parallel::{AspirationConfig, ErParallelConfig};
+use search_serial::alphabeta;
+
+use crate::json::impl_to_json;
+
+/// Concurrent-session slots of the load-generator scheduler.
+pub const MAX_ACTIVE: usize = 8;
+/// Admission-queue slots; offered load beyond `MAX_ACTIVE + MAX_QUEUED`
+/// is shed.
+pub const MAX_QUEUED: usize = 40;
+/// The budget given to every ordinary session. Far above the worst-case
+/// drain time of a full queue, so ordinary sessions complete their full
+/// depth; the latency assert uses the much tighter observed values.
+pub const SESSION_BUDGET: Duration = Duration::from_secs(30);
+
+/// One served session, flattened for JSON.
+pub struct ServeRow {
+    /// Session id (wave 1) or retried id (wave 2).
+    pub id: u32,
+    /// 1 for the initial wave, 2 for the retry-after-shed wave.
+    pub wave: u8,
+    /// Game family of the root position.
+    pub family: String,
+    /// Priority class label.
+    pub priority: String,
+    /// Root value served.
+    pub value: i32,
+    /// Depth the session completed.
+    pub depth_completed: u32,
+    /// Depth the session asked for.
+    pub max_depth: u32,
+    /// Nodes across completed depths.
+    pub nodes: u64,
+    /// Depth slices received.
+    pub slices: u32,
+    /// Why it stopped early, if it did.
+    pub stopped: Option<String>,
+    /// Submission → completion, milliseconds.
+    pub latency_ms: f64,
+    /// Submission → first slice, milliseconds.
+    pub queue_wait_ms: f64,
+    /// In-slice service time, milliseconds.
+    pub service_ms: f64,
+    /// Wall-clock budget, milliseconds (`None` = unbudgeted probe).
+    pub budget_ms: Option<f64>,
+    /// Whether the value matched the solo fixed-depth search.
+    pub solo_match: bool,
+}
+
+impl_to_json!(ServeRow {
+    id,
+    wave,
+    family,
+    priority,
+    value,
+    depth_completed,
+    max_depth,
+    nodes,
+    slices,
+    stopped,
+    latency_ms,
+    queue_wait_ms,
+    service_ms,
+    budget_ms,
+    solo_match,
+});
+
+/// Service accounting for one priority class.
+pub struct ClassSplit {
+    /// Class label.
+    pub class: String,
+    /// Stride weight of the class.
+    pub weight: u32,
+    /// Sessions of this class that ran.
+    pub sessions: u64,
+    /// Mean in-slice service per session, milliseconds.
+    pub mean_service_ms: f64,
+    /// Mean completion latency, milliseconds.
+    pub mean_latency_ms: f64,
+    /// Share of total service time received by the class.
+    pub service_share: f64,
+}
+
+impl_to_json!(ClassSplit {
+    class,
+    weight,
+    sessions,
+    mean_service_ms,
+    mean_latency_ms,
+    service_share,
+});
+
+/// The full load-generator report.
+pub struct ServeBench {
+    /// Offered sessions (first wave).
+    pub sessions: usize,
+    /// Worker threads per slice.
+    pub threads: usize,
+    /// log2 shared-table entries.
+    pub tt_bits: u32,
+    /// Active-slot cap.
+    pub max_active: usize,
+    /// Queue cap.
+    pub max_queued: usize,
+    /// First-wave admissions.
+    pub admitted: u64,
+    /// First-wave sheds (== retry-wave size).
+    pub shed: u64,
+    /// Sessions that produced results across both waves.
+    pub completed: u64,
+    /// Sessions that produced no result (asserted zero).
+    pub errored: u64,
+    /// Values diverging from solo search (asserted zero).
+    pub solo_mismatches: u64,
+    /// Deadline-degraded sessions (expected from the zero-budget probes).
+    pub degraded: u64,
+    /// Median completion latency, milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile completion latency, milliseconds.
+    pub p99_latency_ms: f64,
+    /// 99th-percentile latency/budget ratio over budgeted sessions
+    /// (asserted ≤ 2).
+    pub p99_budget_ratio: f64,
+    /// Completed sessions per wall-clock second, both waves.
+    pub throughput_per_s: f64,
+    /// Total wall clock of both waves, milliseconds.
+    pub wall_ms: f64,
+    /// Max/min ratio of weight-normalized mean service across classes
+    /// (1.0 = perfectly weighted-fair; reported, not asserted — a drained
+    /// queue need not be saturated).
+    pub fairness_spread: f64,
+    /// Per-class accounting.
+    pub classes: Vec<ClassSplit>,
+    /// Every served session.
+    pub rows: Vec<ServeRow>,
+}
+
+impl_to_json!(ServeBench {
+    sessions,
+    threads,
+    tt_bits,
+    max_active,
+    max_queued,
+    admitted,
+    shed,
+    completed,
+    errored,
+    solo_mismatches,
+    degraded,
+    p50_latency_ms,
+    p99_latency_ms,
+    p99_budget_ratio,
+    throughput_per_s,
+    wall_ms,
+    fairness_spread,
+    classes,
+    rows,
+});
+
+/// The deterministic request mix, derived from the session index: mostly
+/// random trees with Othello and checkers blended in, all three priority
+/// classes, aspiration on for half, and one in eight a zero-budget
+/// degradation probe.
+fn request_for(i: usize) -> SessionRequest<AnyPos> {
+    let (pos, depth, cfg) = if i % 4 == 3 {
+        (AnyPos::othello_startpos(), 4, ErParallelConfig::othello())
+    } else if i % 8 == 5 {
+        (AnyPos::checkers_startpos(), 3, ErParallelConfig::othello())
+    } else {
+        let seed = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (
+            AnyPos::random_root(seed, 4, 6),
+            5,
+            ErParallelConfig::random_tree(2),
+        )
+    };
+    let mut req = SessionRequest::new(pos, depth, cfg)
+        .with_priority(Priority::ALL[i % 3])
+        .with_budget(if i % 8 == 7 {
+            Duration::ZERO
+        } else {
+            SESSION_BUDGET
+        });
+    if i.is_multiple_of(2) {
+        req = req.with_asp(AspirationConfig::narrow(8));
+    }
+    req
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// `p` in `0..=100`, nearest-rank percentile of an unsorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+fn flatten(r: &SessionResult, wave: u8, req: &SessionRequest<AnyPos>) -> ServeRow {
+    let solo = alphabeta(&req.pos, r.depth_completed, req.pos.order_policy());
+    ServeRow {
+        id: r.id.0,
+        wave,
+        family: req.pos.family().to_string(),
+        priority: r.priority.label().to_string(),
+        value: r.value.get(),
+        depth_completed: r.depth_completed,
+        max_depth: r.max_depth,
+        nodes: r.nodes,
+        slices: r.slices,
+        stopped: r.stopped.map(|s| s.label().to_string()),
+        latency_ms: ms(r.latency),
+        queue_wait_ms: ms(r.queue_wait),
+        service_ms: ms(r.service),
+        budget_ms: req.budget.map(ms),
+        solo_match: r.value == solo.value,
+    }
+}
+
+/// Runs the load generator and distils the report. Panics when any of
+/// the three asserted acceptance properties fails — a panic here is a
+/// scheduler bug, not a workload problem.
+pub fn serve_bench(sessions: usize, threads: usize, tt_bits: u32) -> ServeBench {
+    let cfg = SchedulerConfig {
+        threads,
+        tt_bits,
+        max_active: MAX_ACTIVE,
+        max_queued: MAX_QUEUED,
+        ..SchedulerConfig::default()
+    };
+    let reqs: Vec<SessionRequest<AnyPos>> = (0..sessions).map(request_for).collect();
+    let mut sched: SessionScheduler<AnyPos> = SessionScheduler::new(cfg);
+
+    let t0 = Instant::now();
+    let wave1 = serve_batch_on(&mut sched, reqs.clone());
+    // Retry whatever admission shed: the first wave has drained, so the
+    // retry always fits (64 − 48 = 16 ≤ capacity) and every offered
+    // request ends up transparency-checked.
+    let retry: Vec<usize> = (0..sessions).filter(|&i| wave1[i].is_shed()).collect();
+    let wave2 = serve_batch_on(&mut sched, retry.iter().map(|&i| reqs[i].clone()).collect());
+    let wall = t0.elapsed();
+
+    let mut rows: Vec<ServeRow> = Vec::with_capacity(sessions);
+    for (i, resp) in wave1.iter().enumerate() {
+        if let Response::Done(r) = resp {
+            rows.push(flatten(r, 1, &reqs[i]));
+        } // sheds retried below
+    }
+    for (k, resp) in wave2.iter().enumerate() {
+        if let Response::Done(r) = resp {
+            rows.push(flatten(r, 2, &reqs[retry[k]]));
+        } // the retry wave fits by construction; a shed here is an error
+    }
+
+    let shed = wave1.iter().filter(|r| r.is_shed()).count() as u64;
+    // Every offered request must produce a row across the two waves; the
+    // gap covers both retry-wave sheds and admitted-but-resultless bugs.
+    let errored = sessions as u64 - rows.len() as u64;
+    let solo_mismatches = rows.iter().filter(|r| !r.solo_match).count() as u64;
+    let degraded = rows.iter().filter(|r| r.stopped.is_some()).count() as u64;
+
+    let mut latencies: Vec<f64> = rows.iter().map(|r| r.latency_ms).collect();
+    latencies.sort_by(f64::total_cmp);
+    let mut ratios: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.budget_ms.is_some_and(|b| b > 0.0))
+        .map(|r| r.latency_ms / r.budget_ms.unwrap())
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+
+    let classes: Vec<ClassSplit> = {
+        let total_service: f64 = rows.iter().map(|r| r.service_ms).sum();
+        Priority::ALL
+            .iter()
+            .map(|&p| {
+                let of_class: Vec<&ServeRow> =
+                    rows.iter().filter(|r| r.priority == p.label()).collect();
+                let n = of_class.len().max(1) as f64;
+                let service: f64 = of_class.iter().map(|r| r.service_ms).sum();
+                ClassSplit {
+                    class: p.label().to_string(),
+                    weight: p.weight(),
+                    sessions: of_class.len() as u64,
+                    mean_service_ms: service / n,
+                    mean_latency_ms: of_class.iter().map(|r| r.latency_ms).sum::<f64>() / n,
+                    service_share: if total_service > 0.0 {
+                        service / total_service
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
+    };
+    let norm: Vec<f64> = classes
+        .iter()
+        .filter(|c| c.sessions > 0 && c.mean_service_ms > 0.0)
+        .map(|c| c.mean_service_ms / f64::from(c.weight))
+        .collect();
+    let fairness_spread = match (
+        norm.iter().cloned().reduce(f64::max),
+        norm.iter().cloned().reduce(f64::min),
+    ) {
+        (Some(max), Some(min)) if min > 0.0 => max / min,
+        _ => 1.0,
+    };
+
+    let bench = ServeBench {
+        sessions,
+        threads,
+        tt_bits,
+        max_active: MAX_ACTIVE,
+        max_queued: MAX_QUEUED,
+        admitted: sessions as u64 - shed,
+        shed,
+        completed: rows.len() as u64,
+        errored,
+        solo_mismatches,
+        degraded,
+        p50_latency_ms: percentile(&latencies, 50.0),
+        p99_latency_ms: percentile(&latencies, 99.0),
+        p99_budget_ratio: percentile(&ratios, 99.0),
+        throughput_per_s: rows.len() as f64 / wall.as_secs_f64().max(1e-9),
+        wall_ms: ms(wall),
+        fairness_spread,
+        classes,
+        rows,
+    };
+
+    // The acceptance criteria, asserted on every run.
+    assert_eq!(
+        bench.errored, 0,
+        "every admitted session must produce a result"
+    );
+    assert_eq!(
+        bench.solo_mismatches, 0,
+        "served values must be bit-identical to solo searches"
+    );
+    assert!(
+        bench.p99_budget_ratio <= 2.0,
+        "p99 completion latency must stay within 2x the session budget \
+         (got ratio {})",
+        bench.p99_budget_ratio
+    );
+    if sessions > MAX_ACTIVE + MAX_QUEUED {
+        assert!(
+            bench.shed > 0,
+            "offered load beyond capacity must shed, not queue unboundedly"
+        );
+    }
+    bench
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_passes_every_acceptance_assert() {
+        // Below capacity: nothing shed, all transparent, nothing errored.
+        let b = serve_bench(12, 1, 12);
+        assert_eq!(b.shed, 0);
+        assert_eq!(b.completed, 12);
+        assert!(b.degraded >= 1, "the zero-budget probe must degrade");
+        assert!(b.p50_latency_ms <= b.p99_latency_ms);
+        crate::json::to_pretty(&b);
+    }
+
+    #[test]
+    fn overload_sheds_and_retries_to_full_coverage() {
+        // 52 > 48: the tail sheds, the retry wave completes everything.
+        let b = serve_bench(52, 2, 12);
+        assert!(b.shed > 0, "overload must shed");
+        assert_eq!(b.completed, 52, "retry wave must cover the shed tail");
+        let report = crate::json::to_pretty(&b);
+        trace::lint::check(&report).expect("serve report must be valid JSON");
+    }
+}

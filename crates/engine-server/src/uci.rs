@@ -1,0 +1,396 @@
+//! A UCI-style line protocol over any `BufRead`/`Write` pair.
+//!
+//! The grammar is a small, game-agnostic subset of the chess UCI protocol
+//! (DESIGN.md §13 gives the full grammar):
+//!
+//! ```text
+//! uci                         -> id ... / uciok
+//! isready                     -> readyok
+//! ucinewgame                  (fresh table, position reset)
+//! position startpos [moves m1 m2 ...]
+//! position random <seed> <degree> <height> [moves ...]
+//! position checkers [moves ...]
+//! go [movetime <ms>] [depth <d>] [infinite]
+//!                             -> info depth ... / bestmove ...
+//! stop                        (finish the running search now)
+//! quit                        (exit the loop)
+//! ```
+//!
+//! `go` launches an anytime deepening search on a scoped worker thread
+//! while the loop keeps reading, so `stop` works mid-search exactly as
+//! the sticky [`SearchControl`] token promises: the token cancels, the
+//! current depth unwinds, and `bestmove` reports the deepest *completed*
+//! depth — the same graceful degradation the session scheduler gives
+//! over-deadline sessions. Commands that need the engine idle
+//! (`position`, `go`, `ucinewgame`) simply wait for the running search to
+//! finish; `stop`, `isready`, and `quit` act immediately.
+//!
+//! At end of input an unbounded search is cancelled (nobody is left to
+//! ever send `stop`), but a `movetime` or `depth` search runs to its own
+//! bound — so `echo "go movetime 20" | repro uci` really searches for
+//! 20 ms.
+//!
+//! Successive `go` commands share one transposition table (replaced by
+//! `ucinewgame`), so analysing a line of play reuses prior work; the root
+//! best-move *hint* stored by the deepest completed depth is what
+//! `bestmove` reports.
+
+use std::io::{BufRead, Write};
+use std::sync::{Arc, Mutex};
+use std::thread::ScopedJoinHandle;
+use std::time::Duration;
+
+use er_parallel::{AspirationConfig, IdStepper, SearchControl, ThreadsConfig};
+use gametree::GamePosition;
+use search_serial::alphabeta;
+use tt::{TranspositionTable, TtAccess};
+
+use crate::game::AnyPos;
+use crate::scheduler::slice_search;
+
+/// Knobs of the protocol loop.
+#[derive(Clone, Copy, Debug)]
+pub struct UciConfig {
+    /// Worker threads per search.
+    pub threads: usize,
+    /// log2 size of the persistent table.
+    pub tt_bits: u32,
+    /// Depth cap when `go` names none (`movetime`-only and `infinite`
+    /// searches still need the deepening loop to end somewhere).
+    pub default_depth: u32,
+    /// Aspiration policy across depths.
+    pub asp: AspirationConfig,
+}
+
+impl Default for UciConfig {
+    /// Two threads, a 2^16-entry table, depth cap 16, aspiration off.
+    fn default() -> UciConfig {
+        UciConfig {
+            threads: 2,
+            tt_bits: 16,
+            default_depth: 16,
+            asp: AspirationConfig::OFF,
+        }
+    }
+}
+
+/// One `go` command's parse.
+struct GoSpec {
+    movetime: Option<Duration>,
+    depth: Option<u32>,
+}
+
+/// The in-flight search, when one is running.
+struct Running<'scope> {
+    handle: ScopedJoinHandle<'scope, std::io::Result<()>>,
+    ctl: Arc<SearchControl>,
+    /// Whether the search bounds itself (a `movetime` or a `depth`); an
+    /// unbounded `go` only ever ends by `stop`, so end-of-input cancels it.
+    bounded: bool,
+}
+
+/// Runs the protocol loop until `quit` or end of input. Every reply is a
+/// single line; errors are reported as `info string error: ...` lines
+/// (the loop never aborts on a malformed command).
+pub fn run<R: BufRead, W: Write + Send>(input: R, out: W, cfg: UciConfig) -> std::io::Result<()> {
+    let out = Mutex::new(out);
+    let mut table = Arc::new(TranspositionTable::with_bits(cfg.tt_bits));
+    let mut pos = AnyPos::othello_startpos();
+    let say = |line: &str| -> std::io::Result<()> {
+        let mut o = out.lock().unwrap();
+        writeln!(o, "{line}")?;
+        o.flush()
+    };
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut running: Option<Running<'_>> = None;
+        for line in input.lines() {
+            let line = line?;
+            let mut words = line.split_whitespace();
+            match words.next() {
+                None => {}
+                Some("uci") => {
+                    say("id name er-search")?;
+                    say("id author er-reproduction")?;
+                    say("uciok")?;
+                }
+                Some("isready") => say("readyok")?,
+                Some("ucinewgame") => {
+                    finish(&mut running, false)?;
+                    table = Arc::new(TranspositionTable::with_bits(cfg.tt_bits));
+                    pos = AnyPos::othello_startpos();
+                }
+                Some("position") => {
+                    finish(&mut running, false)?;
+                    match parse_position(&mut words) {
+                        Ok(p) => pos = p,
+                        Err(e) => say(&format!("info string error: {e}"))?,
+                    }
+                }
+                Some("go") => {
+                    finish(&mut running, false)?;
+                    let spec = parse_go(&mut words);
+                    let bounded = spec.movetime.is_some() || spec.depth.is_some();
+                    let ctl = Arc::new(match spec.movetime {
+                        Some(t) => SearchControl::with_budget(t),
+                        None => SearchControl::unlimited(),
+                    });
+                    let (ctl2, table2, out2) = (Arc::clone(&ctl), Arc::clone(&table), &out);
+                    let handle =
+                        scope.spawn(move || search(&pos, &spec, &table2, cfg, &ctl2, out2));
+                    running = Some(Running {
+                        handle,
+                        ctl,
+                        bounded,
+                    });
+                }
+                Some("stop") => {
+                    // Cancel and wait for `bestmove`; a stray stop with no
+                    // search running is a harmless no-op, as in UCI.
+                    finish(&mut running, true)?;
+                }
+                Some("quit") => break,
+                Some(other) => say(&format!("info string error: unknown command '{other}'"))?,
+            }
+        }
+        // End of input: nobody can ever send `stop`, so cancel a search
+        // with no bound of its own; a `movetime` or `depth` search runs
+        // to its bound and still reports `bestmove` into the output.
+        if let Some(r) = &running {
+            if !r.bounded {
+                r.ctl.cancel();
+            }
+        }
+        finish(&mut running, false)
+    })
+}
+
+/// Joins the in-flight search, if any. With `cancel`, trips its token
+/// first so the join is prompt.
+fn finish(running: &mut Option<Running<'_>>, cancel: bool) -> std::io::Result<()> {
+    if let Some(r) = running.take() {
+        if cancel {
+            r.ctl.cancel();
+        }
+        r.handle.join().expect("search thread panicked")?;
+    }
+    Ok(())
+}
+
+/// Parses everything after `position`.
+fn parse_position<'a, I: Iterator<Item = &'a str>>(words: &mut I) -> Result<AnyPos, String> {
+    let mut pos = match words.next() {
+        Some("startpos") | Some("othello") => AnyPos::othello_startpos(),
+        Some("checkers") => AnyPos::checkers_startpos(),
+        Some("random") => {
+            let mut num = |what: &str| -> Result<u64, String> {
+                words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| format!("random position needs a numeric {what}"))
+            };
+            let (seed, degree, height) = (num("seed")?, num("degree")?, num("height")?);
+            AnyPos::random_root(seed, degree as u32, height as u32)
+        }
+        other => return Err(format!("unknown position kind {other:?}")),
+    };
+    match words.next() {
+        None => Ok(pos),
+        Some("moves") => {
+            for tok in words {
+                let mv = pos
+                    .parse_move(tok)
+                    .ok_or_else(|| format!("illegal move '{tok}'"))?;
+                pos = pos.play(&mv);
+            }
+            Ok(pos)
+        }
+        Some(other) => Err(format!("expected 'moves', got '{other}'")),
+    }
+}
+
+/// Parses everything after `go`. Unknown tokens are skipped, as UCI
+/// engines conventionally do.
+fn parse_go<'a, I: Iterator<Item = &'a str>>(words: &mut I) -> GoSpec {
+    let mut spec = GoSpec {
+        movetime: None,
+        depth: None,
+    };
+    while let Some(w) = words.next() {
+        match w {
+            "movetime" => {
+                spec.movetime = words
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(Duration::from_millis);
+            }
+            "depth" => spec.depth = words.next().and_then(|v| v.parse().ok()),
+            _ => {}
+        }
+    }
+    spec
+}
+
+/// The search-thread body: anytime deepening with a per-depth `info`
+/// line, ending in `bestmove` no matter how deepening stopped.
+fn search<W: Write + Send>(
+    pos: &AnyPos,
+    spec: &GoSpec,
+    table: &TranspositionTable,
+    cfg: UciConfig,
+    ctl: &SearchControl,
+    out: &Mutex<W>,
+) -> std::io::Result<()> {
+    let max_depth = spec.depth.unwrap_or(cfg.default_depth);
+    let mut stepper = IdStepper::new(pos.evaluate(), cfg.asp);
+    while stepper.depth_completed() < max_depth {
+        let depth = stepper.next_depth();
+        table.new_generation();
+        let step = stepper.step_with(depth, ctl, None, |d, w, c| {
+            slice_search(
+                pos,
+                d,
+                w,
+                cfg.threads,
+                &er_cfg(pos),
+                ThreadsConfig::default(),
+                table,
+                c,
+                (),
+                None,
+            )
+        });
+        match step {
+            Ok(s) => {
+                let mut o = out.lock().unwrap();
+                writeln!(
+                    o,
+                    "info depth {} score cp {} nodes {} time {}",
+                    s.depth,
+                    s.value.get(),
+                    s.nodes,
+                    s.elapsed.as_millis()
+                )?;
+                o.flush()?;
+            }
+            Err(_) => break,
+        }
+    }
+    let best = best_move_label(pos, table, &stepper);
+    let mut o = out.lock().unwrap();
+    writeln!(o, "bestmove {best}")?;
+    o.flush()
+}
+
+/// The per-family search configuration the loop runs with.
+fn er_cfg(pos: &AnyPos) -> er_parallel::ErParallelConfig {
+    match pos {
+        AnyPos::Random(_) => er_parallel::ErParallelConfig::random_tree(2),
+        _ => er_parallel::ErParallelConfig::othello(),
+    }
+}
+
+/// The move to report: the shared table's root hint from the deepest
+/// completed depth when present (the stored refutation move), else the
+/// first legal move, else `none` (game over at the root).
+fn best_move_label(pos: &AnyPos, table: &TranspositionTable, stepper: &IdStepper) -> String {
+    if pos.degree() == 0 {
+        return "none".to_string();
+    }
+    let hint = if stepper.depth_completed() > 0 {
+        TtAccess::<AnyPos>::probe(table, pos).and_then(|p| p.hint)
+    } else {
+        None
+    };
+    let idx = usize::from(hint.unwrap_or(0)).min(pos.degree() - 1);
+    pos.move_label(idx).unwrap_or_else(|| "none".to_string())
+}
+
+/// The solo fixed-depth oracle the protocol tests compare `info` lines
+/// against: transparency says the served value must equal this exactly.
+pub fn solo_value(pos: &AnyPos, depth: u32) -> gametree::Value {
+    alphabeta(pos, depth, pos.order_policy()).value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn run_session(script: &str) -> String {
+        let mut out = Vec::new();
+        let cfg = UciConfig {
+            threads: 1,
+            ..UciConfig::default()
+        };
+        run(Cursor::new(script.to_string()), &mut out, cfg).expect("io");
+        String::from_utf8(out).expect("utf8")
+    }
+
+    #[test]
+    fn handshake_and_readiness() {
+        let out = run_session("uci\nisready\nquit\n");
+        assert!(out.contains("id name er-search"));
+        assert!(out.contains("uciok"));
+        assert!(out.contains("readyok"));
+    }
+
+    #[test]
+    fn go_depth_reports_the_solo_value() {
+        let out = run_session("position startpos\ngo depth 3\nquit\n");
+        let expect = solo_value(&AnyPos::othello_startpos(), 3);
+        let line = out
+            .lines()
+            .rfind(|l| l.starts_with("info depth 3 "))
+            .expect("depth-3 info line");
+        assert!(
+            line.contains(&format!("score cp {}", expect.get())),
+            "{line} should carry value {expect:?}"
+        );
+        assert!(out.lines().any(|l| l.starts_with("bestmove ")));
+    }
+
+    #[test]
+    fn position_moves_and_random_trees_parse() {
+        // Play the first legal move by its square label, then search.
+        let p = AnyPos::othello_startpos();
+        let label = p.move_label(0).unwrap();
+        let out = run_session(&format!(
+            "position startpos moves {label}\ngo depth 2\nposition random 5 4 6\ngo depth 3\nquit\n"
+        ));
+        let after = p.play(&p.moves()[0]);
+        let v1 = solo_value(&after, 2);
+        let v2 = solo_value(&AnyPos::random_root(5, 4, 6), 3);
+        assert!(out.contains(&format!("info depth 2 score cp {}", v1.get())));
+        assert!(out.contains(&format!("info depth 3 score cp {}", v2.get())));
+        assert_eq!(out.matches("bestmove").count(), 2);
+    }
+
+    #[test]
+    fn stop_interrupts_an_infinite_search() {
+        // `go` with no limits on a deep tree would deepen to the cap;
+        // `stop` must cut it short and still produce a bestmove. The
+        // token is sticky, so this passes whether the cancel lands before
+        // the first slice or in the middle of one.
+        let out = run_session("position random 1 4 12\ngo\nstop\nquit\n");
+        assert_eq!(out.matches("bestmove").count(), 1);
+    }
+
+    #[test]
+    fn malformed_commands_answer_with_error_lines() {
+        let out = run_session("position nowhere\nwat\nposition startpos moves zz9\nquit\n");
+        assert_eq!(out.matches("info string error:").count(), 3);
+    }
+
+    #[test]
+    fn movetime_zero_still_reports_a_bestmove() {
+        // Degradation at the protocol level: no depth completes, the
+        // fallback move is still a legal one.
+        let out = run_session("position startpos\ngo movetime 0\nquit\n");
+        let best = out
+            .lines()
+            .find_map(|l| l.strip_prefix("bestmove "))
+            .expect("bestmove line");
+        let p = AnyPos::othello_startpos();
+        assert!(p.parse_move(best).is_some(), "'{best}' must be legal");
+    }
+}

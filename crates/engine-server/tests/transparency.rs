@@ -1,0 +1,137 @@
+//! Scheduling transparency (the crate's load-bearing property): a value
+//! served through the multi-session scheduler — interleaved with other
+//! sessions, sharing one transposition table and one ordering table,
+//! sliced at arbitrary depth boundaries — is **bit-identical** to a solo
+//! fixed-depth alpha-beta search of the same position.
+//!
+//! Why this must hold: the shared table's cutoffs are equal-depth-only
+//! and XOR-validated (so cross-session entries are either exact
+//! equal-depth answers or mere ordering hints), and ordering/aspiration
+//! only permute visit order under fail-hard clamping. Nothing the
+//! scheduler shares across sessions can change a root value — only how
+//! fast it is found.
+
+use engine_server::{serve_batch, AnyPos, Priority, SchedulerConfig, SessionRequest};
+use er_parallel::{AspirationConfig, ErParallelConfig};
+use proptest::prelude::*;
+use search_serial::alphabeta;
+
+/// A batch of K random-tree sessions at one (threads, max_active) point:
+/// every response's value must equal the solo search at the depth the
+/// session actually completed.
+fn check_batch(seeds: &[u64], threads: usize, max_active: usize, asp: AspirationConfig) {
+    let depth = 4;
+    let cfg = SchedulerConfig {
+        threads,
+        max_active,
+        max_queued: seeds.len(),
+        tt_bits: 12,
+        ..SchedulerConfig::default()
+    };
+    let reqs: Vec<SessionRequest<AnyPos>> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            let pri = Priority::ALL[i % 3];
+            SessionRequest::new(
+                AnyPos::random_root(seed, 4, 6),
+                depth,
+                ErParallelConfig::random_tree(2),
+            )
+            .with_priority(pri)
+            .with_asp(asp)
+        })
+        .collect();
+    let out = serve_batch(reqs, cfg);
+    assert_eq!(out.len(), seeds.len());
+    for (i, (resp, &seed)) in out.iter().zip(seeds).enumerate() {
+        let r = resp
+            .result()
+            .unwrap_or_else(|| panic!("unbudgeted session {i} must run, not shed"));
+        assert!(r.completed(), "unbudgeted session {i} must reach depth");
+        let pos = AnyPos::random_root(seed, 4, 6);
+        let solo = alphabeta(&pos, r.depth_completed, pos.order_policy());
+        assert_eq!(
+            r.value, solo.value,
+            "session {i} (seed {seed}) diverged from its solo search"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The ISSUE's acceptance grid: K random positions served at
+    /// {1, 2, 4} threads x {1, 4, 16} concurrent sessions, plain windows.
+    #[test]
+    fn served_values_match_solo_search_across_the_grid(
+        seed in any::<u64>(),
+        threads_idx in 0usize..3,
+        active_idx in 0usize..3,
+    ) {
+        let threads = [1usize, 2, 4][threads_idx];
+        let max_active = [1usize, 4, 16][active_idx];
+        let seeds: Vec<u64> =
+            (0..16u64).map(|i| seed.wrapping_add(i.wrapping_mul(0x9e37_79b9))).collect();
+        check_batch(&seeds, threads, max_active, AspirationConfig::OFF);
+    }
+
+    /// Same grid with aspiration windows and shared dynamic ordering on:
+    /// narrowing, re-searches, and cross-session killer/history traffic
+    /// must all stay value-neutral.
+    #[test]
+    fn aspiration_and_shared_ordering_stay_transparent(
+        seed in any::<u64>(),
+        threads_idx in 0usize..3,
+        active_idx in 0usize..3,
+    ) {
+        let threads = [1usize, 2, 4][threads_idx];
+        let max_active = [1usize, 4, 16][active_idx];
+        let seeds: Vec<u64> =
+            (0..8u64).map(|i| seed.wrapping_add(i.wrapping_mul(0xc2b2_ae3d))).collect();
+        check_batch(&seeds, threads, max_active, AspirationConfig::narrow(6));
+    }
+
+    /// Mixed game families in one batch, one shared table: the per-family
+    /// hash salts must keep Othello, checkers, and random-tree entries
+    /// from contaminating each other's values.
+    #[test]
+    fn mixed_families_share_one_table_without_contamination(
+        seed in any::<u64>(),
+        threads_idx in 0usize..2,
+    ) {
+        let threads = [1usize, 2][threads_idx];
+        let cfg = SchedulerConfig {
+            threads,
+            max_active: 6,
+            max_queued: 6,
+            tt_bits: 10, // small on purpose: force replacement pressure
+            ..SchedulerConfig::default()
+        };
+        let mk = |pos: AnyPos, depth: u32| {
+            let family_cfg = match &pos {
+                AnyPos::Random(_) => ErParallelConfig::random_tree(2),
+                _ => ErParallelConfig::othello(),
+            };
+            SessionRequest::new(pos, depth, family_cfg)
+        };
+        let reqs = vec![
+            mk(AnyPos::othello_startpos(), 4),
+            mk(AnyPos::random_root(seed, 4, 6), 4),
+            mk(AnyPos::checkers_startpos(), 3),
+            mk(AnyPos::othello_startpos(), 3),
+            mk(AnyPos::random_root(seed ^ 1, 3, 7), 5),
+            mk(AnyPos::checkers_startpos(), 2),
+        ];
+        let expect: Vec<_> = reqs
+            .iter()
+            .map(|r| alphabeta(&r.pos, r.max_depth, r.pos.order_policy()).value)
+            .collect();
+        let out = serve_batch(reqs, cfg);
+        for (i, (resp, want)) in out.iter().zip(&expect).enumerate() {
+            let r = resp.result().expect("nothing shed at this load");
+            prop_assert!(r.completed());
+            prop_assert_eq!(r.value, *want, "request {} diverged", i);
+        }
+    }
+}

@@ -198,46 +198,199 @@ fn run_id_gen<P: GamePosition>(
     ctl: &SearchControl,
     mut search: impl FnMut(u32, &SearchControl) -> Result<(Value, SearchStats), AbortReason>,
 ) -> ErIdResult {
-    let start = Instant::now();
-    // Depth-0 fallback: the anytime contract promises *some* value even if
-    // the budget is too small for a single depth-1 search.
-    let mut result = ErIdResult {
-        value: pos.evaluate(),
-        depth_completed: 0,
-        per_depth: Vec::new(),
-        stopped: None,
-        elapsed: Duration::ZERO,
-        window_hits: 0,
-        re_searches: 0,
-    };
-    for depth in 1..=max_depth {
-        // Don't launch a thread pool for an iteration that is already
-        // doomed; this also makes `stopped` exact when the deadline lands
-        // between iterations.
-        if let Some(reason) = ctl.poll() {
-            result.stopped = Some(reason);
+    let mut stepper = IdStepper::new(pos.evaluate(), AspirationConfig::OFF);
+    while stepper.depth_completed() < max_depth {
+        let depth = stepper.next_depth();
+        if stepper
+            .step_with(depth, ctl, None, |d, _w, c| search(d, c))
+            .is_err()
+        {
             break;
         }
-        let iter_start = Instant::now();
-        match search(depth, ctl) {
-            Ok((value, stats)) => {
-                result.value = value;
-                result.depth_completed = depth;
-                result.per_depth.push(DepthResult {
-                    depth,
-                    value,
-                    nodes: stats.nodes(),
-                    elapsed: iter_start.elapsed(),
-                });
-            }
-            Err(reason) => {
-                result.stopped = Some(reason);
-                break;
-            }
+    }
+    stepper.into_result()
+}
+
+/// The re-entrant core of the anytime deepening drivers: one call runs
+/// exactly **one depth step** (an aspiration probe plus at most one
+/// widened re-search) and folds it into the accumulated anytime state.
+///
+/// The in-process drivers ([`run_er_threads_id`] and friends) loop over
+/// [`step_with`](Self::step_with) until `max_depth` or an abort; the
+/// engine server's session scheduler instead interleaves steppers of many
+/// sessions — each session keeps its `IdStepper` across slices, so
+/// preemption at a depth boundary loses no work and the next slice resumes
+/// exactly where deepening left off (same previous-value window, same
+/// accumulated telemetry). That hand-off is what makes the driver
+/// *re-entrant*: all per-session deepening state lives here, none of it in
+/// the loop that happens to be driving it.
+#[derive(Debug)]
+pub struct IdStepper {
+    asp: AspirationConfig,
+    result: ErIdResult,
+    prev: Option<Value>,
+}
+
+impl IdStepper {
+    /// A stepper whose depth-0 fallback value is `fallback` (callers pass
+    /// the root's static evaluation — the anytime contract promises *some*
+    /// value even if not a single depth-1 step ever completes).
+    pub fn new(fallback: Value, asp: AspirationConfig) -> IdStepper {
+        IdStepper {
+            asp,
+            result: ErIdResult {
+                value: fallback,
+                depth_completed: 0,
+                per_depth: Vec::new(),
+                stopped: None,
+                elapsed: Duration::ZERO,
+                window_hits: 0,
+                re_searches: 0,
+            },
+            prev: None,
         }
     }
-    result.elapsed = start.elapsed();
-    result
+
+    /// The deepest completed depth so far (`0` before any step).
+    pub fn depth_completed(&self) -> u32 {
+        self.result.depth_completed
+    }
+
+    /// The next depth a step should search.
+    pub fn next_depth(&self) -> u32 {
+        self.result.depth_completed + 1
+    }
+
+    /// The current anytime value: the deepest completed depth's exact root
+    /// value, or the fallback before any step completed.
+    pub fn value(&self) -> Value {
+        self.result.value
+    }
+
+    /// Read access to the accumulated anytime result.
+    pub fn result(&self) -> &ErIdResult {
+        &self.result
+    }
+
+    /// Runs one depth step: an aspiration probe of `depth` (full-window
+    /// when `asp.delta == 0` or no previous value exists) plus at most one
+    /// widened re-search, all under `ctl`. `search` runs one fixed-depth
+    /// windowed search and reports its exact root value and stats, or the
+    /// abort reason.
+    ///
+    /// On success the step's [`DepthResult`] is returned *and* folded into
+    /// the accumulated state. On abort the partial work is discarded — the
+    /// accumulated value still reports the last *completed* depth — and
+    /// the abort reason is recorded as [`ErIdResult::stopped`] (a later
+    /// step under a fresh control token clears it; session slices retry).
+    pub fn step_with(
+        &mut self,
+        depth: u32,
+        ctl: &SearchControl,
+        tracer: Option<&Tracer>,
+        mut search: impl FnMut(u32, Window, &SearchControl) -> Result<(Value, SearchStats), AbortReason>,
+    ) -> Result<DepthResult, AbortReason> {
+        // Don't launch a thread pool for a step that is already doomed;
+        // this also makes `stopped` exact when the deadline lands between
+        // steps.
+        if let Some(reason) = ctl.poll() {
+            self.result.stopped = Some(reason);
+            return Err(reason);
+        }
+        self.result.stopped = None;
+        if let Some(t) = tracer {
+            t.driver_instant(EventKind::IdDepthStart, depth);
+        }
+        let iter_start = Instant::now();
+        let window = match self.prev {
+            Some(v) if self.asp.delta > 0 => Window::new(
+                Value::new(v.get() - self.asp.delta),
+                Value::new(v.get() + self.asp.delta),
+            ),
+            _ => Window::FULL,
+        };
+        let out = self.step_searches(depth, window, ctl, tracer, &mut search);
+        let (value, nodes) = match out {
+            Ok(v) => v,
+            Err(reason) => {
+                self.result.stopped = Some(reason);
+                self.result.elapsed += iter_start.elapsed();
+                return Err(reason);
+            }
+        };
+        if let Some(t) = tracer {
+            t.driver_instant(EventKind::IdDepthFinish, depth);
+        }
+        self.prev = Some(value);
+        self.result.value = value;
+        self.result.depth_completed = depth;
+        let step = DepthResult {
+            depth,
+            value,
+            nodes,
+            elapsed: iter_start.elapsed(),
+        };
+        self.result.per_depth.push(step);
+        self.result.elapsed += step.elapsed;
+        Ok(step)
+    }
+
+    /// The probe and (when it fails outside its window) the single widened
+    /// re-search; returns the exact value and the nodes both passes spent.
+    fn step_searches(
+        &mut self,
+        depth: u32,
+        window: Window,
+        ctl: &SearchControl,
+        tracer: Option<&Tracer>,
+        search: &mut impl FnMut(
+            u32,
+            Window,
+            &SearchControl,
+        ) -> Result<(Value, SearchStats), AbortReason>,
+    ) -> Result<(Value, u64), AbortReason> {
+        let (probe_value, probe_stats) = search(depth, window, ctl)?;
+        let mut nodes = probe_stats.nodes();
+        let mut q_ext = probe_stats.q_extensions;
+        let failed =
+            window != Window::FULL && (probe_value >= window.beta || probe_value <= window.alpha);
+        let value = if failed {
+            // Fail-out: open the failed side and keep the sound bound from
+            // the probe on the other. The true value lies strictly inside
+            // the widened window, so one re-search is exact.
+            self.result.re_searches += 1;
+            if let Some(t) = tracer {
+                t.driver_instant(EventKind::AspirationResearch, depth);
+            }
+            let re = if probe_value >= window.beta {
+                Window::new(Value::new(window.beta.get() - 1), Value::INF)
+            } else {
+                Window::new(Value::NEG_INF, Value::new(window.alpha.get() + 1))
+            };
+            let (v, s) = search(depth, re, ctl)?;
+            nodes += s.nodes();
+            q_ext += s.q_extensions;
+            v
+        } else {
+            if window != Window::FULL {
+                self.result.window_hits += 1;
+            }
+            probe_value
+        };
+        if let Some(t) = tracer {
+            if q_ext > 0 {
+                t.driver_instant(EventKind::QExtension, q_ext.min(u64::from(u32::MAX)) as u32);
+            }
+        }
+        Ok((value, nodes))
+    }
+
+    /// Consumes the stepper, yielding the accumulated anytime result.
+    /// `elapsed` is the sum of stepped wall-clock time (for a time-sliced
+    /// session that is *service* time, excluding waits between slices).
+    pub fn into_result(self) -> ErIdResult {
+        self.result
+    }
 }
 
 /// Configuration of the aspiration-windowed deepening driver.
@@ -477,9 +630,10 @@ pub fn run_er_threads_id_asp_trace_tt<P: GamePosition + Zobrist>(
 }
 
 /// The aspiration deepening loop shared by the table-free and table-backed
-/// drivers. `pre_depth` runs once per depth *before* the probe (table
-/// generation bump, history aging) — never again for the re-search, so a
-/// fail-out re-searches against the same table state its probe saw.
+/// drivers: an [`IdStepper`] driven to `max_depth` in one sitting.
+/// `pre_depth` runs once per depth *before* the probe (table generation
+/// bump, history aging) — never again for the re-search, so a fail-out
+/// re-searches against the same table state its probe saw.
 #[allow(clippy::too_many_arguments)]
 fn run_id_asp_gen<P: GamePosition>(
     pos: &P,
@@ -490,91 +644,19 @@ fn run_id_asp_gen<P: GamePosition>(
     mut pre_depth: impl FnMut(u32),
     mut search: impl FnMut(u32, Window, &SearchControl) -> Result<(Value, SearchStats), AbortReason>,
 ) -> ErIdResult {
-    let start = Instant::now();
-    let mut result = ErIdResult {
-        value: pos.evaluate(),
-        depth_completed: 0,
-        per_depth: Vec::new(),
-        stopped: None,
-        elapsed: Duration::ZERO,
-        window_hits: 0,
-        re_searches: 0,
-    };
-    let mut prev: Option<Value> = None;
-    for depth in 1..=max_depth {
+    let mut stepper = IdStepper::new(pos.evaluate(), asp);
+    while stepper.depth_completed() < max_depth {
+        let depth = stepper.next_depth();
+        // Skip the per-depth hooks for a step that is already doomed, so a
+        // deadline landing between steps bumps no generation.
         if let Some(reason) = ctl.poll() {
-            result.stopped = Some(reason);
+            stepper.result.stopped = Some(reason);
             break;
         }
         pre_depth(depth);
-        if let Some(t) = tracer {
-            t.driver_instant(EventKind::IdDepthStart, depth);
+        if stepper.step_with(depth, ctl, tracer, &mut search).is_err() {
+            break;
         }
-        let iter_start = Instant::now();
-        let window = match prev {
-            Some(v) if asp.delta > 0 => Window::new(
-                Value::new(v.get() - asp.delta),
-                Value::new(v.get() + asp.delta),
-            ),
-            _ => Window::FULL,
-        };
-        let (probe_value, probe_stats) = match search(depth, window, ctl) {
-            Ok(r) => r,
-            Err(reason) => {
-                result.stopped = Some(reason);
-                break;
-            }
-        };
-        let mut nodes = probe_stats.nodes();
-        let mut q_ext = probe_stats.q_extensions;
-        let failed =
-            window != Window::FULL && (probe_value >= window.beta || probe_value <= window.alpha);
-        let value = if failed {
-            // Fail-out: open the failed side and keep the sound bound from
-            // the probe on the other. The true value lies strictly inside
-            // the widened window, so one re-search is exact.
-            result.re_searches += 1;
-            if let Some(t) = tracer {
-                t.driver_instant(EventKind::AspirationResearch, depth);
-            }
-            let re = if probe_value >= window.beta {
-                Window::new(Value::new(window.beta.get() - 1), Value::INF)
-            } else {
-                Window::new(Value::NEG_INF, Value::new(window.alpha.get() + 1))
-            };
-            match search(depth, re, ctl) {
-                Ok((v, s)) => {
-                    nodes += s.nodes();
-                    q_ext += s.q_extensions;
-                    v
-                }
-                Err(reason) => {
-                    result.stopped = Some(reason);
-                    break;
-                }
-            }
-        } else {
-            if window != Window::FULL {
-                result.window_hits += 1;
-            }
-            probe_value
-        };
-        if let Some(t) = tracer {
-            if q_ext > 0 {
-                t.driver_instant(EventKind::QExtension, q_ext.min(u64::from(u32::MAX)) as u32);
-            }
-            t.driver_instant(EventKind::IdDepthFinish, depth);
-        }
-        prev = Some(value);
-        result.value = value;
-        result.depth_completed = depth;
-        result.per_depth.push(DepthResult {
-            depth,
-            value,
-            nodes,
-            elapsed: iter_start.elapsed(),
-        });
     }
-    result.elapsed = start.elapsed();
-    result
+    stepper.into_result()
 }

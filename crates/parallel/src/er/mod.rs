@@ -108,7 +108,7 @@ pub use engine::{run_er_sim, run_er_sim_ord, run_er_sim_tt, run_er_sim_window_or
 pub use id::{
     run_er_threads_id, run_er_threads_id_asp, run_er_threads_id_asp_trace_tt,
     run_er_threads_id_asp_tt, run_er_threads_id_trace, run_er_threads_id_trace_tt,
-    run_er_threads_id_tt, AspirationConfig, DepthResult, ErIdResult,
+    run_er_threads_id_tt, AspirationConfig, DepthResult, ErIdResult, IdStepper,
 };
 pub use threads::{
     run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt, run_er_threads_exec,

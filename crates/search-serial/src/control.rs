@@ -126,8 +126,46 @@ impl SearchControl {
     }
 
     /// Whether the token has tripped.
+    ///
+    /// A trip is *sticky*: there is no way to re-arm a tripped token. A
+    /// driver that runs many bounded slices (the engine server's
+    /// session scheduler, for instance) therefore creates a **fresh token
+    /// per slice** rather than reusing one per session:
+    ///
+    /// ```
+    /// use search_serial::control::SearchControl;
+    ///
+    /// let slice1 = SearchControl::unlimited();
+    /// slice1.cancel();
+    /// assert!(slice1.is_tripped());
+    ///
+    /// // The next slice of the same session starts clean because it gets
+    /// // its own token; the old one stays tripped forever.
+    /// let slice2 = SearchControl::unlimited();
+    /// assert!(!slice2.is_tripped());
+    /// assert!(slice1.is_tripped());
+    /// ```
     pub fn is_tripped(&self) -> bool {
         self.reason().is_some()
+    }
+
+    /// The reason the token tripped, or `None` while it is still armed —
+    /// the same answer as [`reason`](Self::reason), under the name the
+    /// session layer uses when classifying a finished slice:
+    ///
+    /// ```
+    /// use search_serial::control::{AbortReason, SearchControl};
+    ///
+    /// let ctl = SearchControl::unlimited();
+    /// assert_eq!(ctl.trip_reason(), None);
+    /// ctl.cancel();
+    /// assert_eq!(ctl.trip_reason(), Some(AbortReason::Cancelled));
+    /// // First trip wins; later trips do not overwrite the reason.
+    /// ctl.trip(AbortReason::WorkerPanicked);
+    /// assert_eq!(ctl.trip_reason(), Some(AbortReason::Cancelled));
+    /// ```
+    pub fn trip_reason(&self) -> Option<AbortReason> {
+        self.reason()
     }
 
     /// Checks the state *and* the deadline (reading the clock), tripping
@@ -300,6 +338,33 @@ mod tests {
         for _ in 0..10 * CHECK_PERIOD {
             assert_eq!(probe.check(), None);
         }
+    }
+
+    #[test]
+    fn rearming_across_slices_means_a_fresh_token_per_slice() {
+        // Session-slice regression: a session's deadline trips the token
+        // for slice N; slice N+1 must run under a *new* token (tokens are
+        // sticky by design — per slice, not per session). The old token
+        // keeps reporting the original reason so late observers of slice
+        // N still classify it correctly.
+        let session_deadline = Instant::now() + Duration::from_secs(3600);
+        let slice1 = SearchControl::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(slice1.poll(), Some(AbortReason::DeadlineHit));
+        assert!(slice1.is_tripped());
+        assert_eq!(slice1.trip_reason(), Some(AbortReason::DeadlineHit));
+
+        // The scheduler arms the next slice with a fresh token capped by
+        // the same session deadline; it starts untripped even though the
+        // previous slice's token is spent.
+        let slice2 = SearchControl::with_deadline(session_deadline);
+        assert!(!slice2.is_tripped());
+        assert_eq!(slice2.poll(), None);
+        let probe = CtlProbe::new(&slice2);
+        for _ in 0..2 * CHECK_PERIOD {
+            assert_eq!(probe.check(), None);
+        }
+        // And the spent token never un-trips.
+        assert_eq!(slice1.trip_reason(), Some(AbortReason::DeadlineHit));
     }
 
     #[test]

@@ -106,6 +106,51 @@ pub fn chrome_json(data: &TraceData) -> String {
     out
 }
 
+/// Serializes many sessions' snapshots into **one** Trace Event Format
+/// document with session-tagged rows: session `s`'s workers land on rows
+/// named `s<id>/worker <k>` and its driver on `s<id>/driver`, each session
+/// occupying a contiguous `tid` band so Perfetto groups its rows together.
+///
+/// This is the multi-session twin of [`chrome_json`]: the engine server
+/// gives every session its own bounded tracer ring, and this export merges
+/// the per-session rings onto one shared timeline (all tracers must be
+/// created from the same epoch burst for timestamps to be comparable — the
+/// server creates them together at scheduler start).
+pub fn chrome_json_sessions(sessions: &[(u32, &TraceData)]) -> String {
+    let total: u64 = sessions.iter().map(|(_, d)| d.total_events()).sum();
+    let mut out = String::with_capacity(128 * (total as usize + 8));
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut base_tid = 0u64;
+    for (sid, data) in sessions {
+        let driver_tid = base_tid
+            + data
+                .workers
+                .iter()
+                .map(|(i, _)| *i as u64 + 1)
+                .max()
+                .unwrap_or(0);
+        for (index, _) in &data.workers {
+            push_meta_row(
+                &mut out,
+                base_tid + *index as u64,
+                &format!("s{sid}/worker {index}"),
+                &mut first,
+            );
+        }
+        if !data.driver.events.is_empty() {
+            push_meta_row(&mut out, driver_tid, &format!("s{sid}/driver"), &mut first);
+        }
+        for (index, row) in &data.workers {
+            push_event_row(&mut out, base_tid + *index as u64, row, &mut first);
+        }
+        push_event_row(&mut out, driver_tid, &data.driver, &mut first);
+        base_tid = driver_tid + 1;
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +227,29 @@ mod tests {
         assert!(json.contains("\"name\":\"driver\""));
         // The driver row's tid must not collide with a worker's.
         assert!(json.contains("\"tid\":2,\"args\":{\"name\":\"driver\"}"));
+    }
+
+    #[test]
+    fn session_export_tags_rows_and_separates_tid_bands() {
+        let a = full_coverage_data();
+        let b = full_coverage_data();
+        let json = chrome_json_sessions(&[(0, &a), (7, &b)]);
+        lint::check(&json).expect("session export must be valid JSON");
+        // Rows are session-tagged…
+        assert!(json.contains("\"name\":\"s0/worker 0\""));
+        assert!(json.contains("\"name\":\"s0/driver\""));
+        assert!(json.contains("\"name\":\"s7/worker 1\""));
+        assert!(json.contains("\"name\":\"s7/driver\""));
+        // …and the second session's band starts after the first's driver
+        // row (2 workers + driver = tids 0..=2, so s7 starts at tid 3).
+        assert!(json.contains("\"tid\":3,\"args\":{\"name\":\"s7/worker 0\"}"));
+        assert!(json.contains("\"tid\":5,\"args\":{\"name\":\"s7/driver\"}"));
+        // Both sessions' events all landed.
+        assert_eq!(
+            json.matches("\"thread_name\"").count(),
+            6,
+            "2 sessions x (2 workers + driver)"
+        );
     }
 
     #[test]

@@ -243,12 +243,28 @@ impl TranspositionTable {
         self.shards.len() * (self.bucket_mask as usize + 1) * WAYS
     }
 
-    /// Starts a new search: bumps the generation so existing entries age.
-    /// Aged entries remain probe-able (iterative deepening reuses them) but
-    /// lose replacement priority, freeing the table for the new search.
-    pub fn new_search(&self) {
+    /// Advances the table to a new generation so existing entries age.
+    /// Aged entries remain probe-able (iterative deepening and later
+    /// sessions reuse them) but lose replacement priority, freeing the
+    /// table for fresh work.
+    ///
+    /// This is the *aging policy hook*: callers decide what one generation
+    /// means. The iterative-deepening drivers bump once per depth
+    /// iteration; the multi-session engine server bumps once per
+    /// *session-slice*, so entries written by M interleaved sessions age
+    /// coherently on one shared clock instead of one session's depth loop
+    /// racing everyone else's. Aging never invalidates an entry — XOR
+    /// validation is independent of generation — it only reorders eviction
+    /// priority (`depth − 8·age`).
+    pub fn new_generation(&self) {
         let g = self.generation.load(Relaxed);
         self.generation.store((g + 1) & 63, Relaxed);
+    }
+
+    /// Starts a new search: an alias of [`Self::new_generation`] kept for
+    /// the per-depth drivers, whose "searches" are depth iterations.
+    pub fn new_search(&self) {
+        self.new_generation();
     }
 
     /// The current generation (mod 64) — lets drivers such as iterative
@@ -533,6 +549,56 @@ mod tests {
         t.store(5, 1, Value::ZERO, Bound::Exact, None);
         assert!(t.probe(1).is_none(), "shallow aged entry evicted first");
         assert_eq!(t.stats().collisions, 0, "victim was a past generation");
+    }
+
+    #[test]
+    fn cross_session_hits_still_xor_validate() {
+        // Two interleaved "sessions" share one table under the engine
+        // server's per-slice aging policy: every slice bumps the
+        // generation via `new_generation()`. Entries written by either
+        // session in any earlier slice must keep XOR-validating — a hit
+        // must always decode the payload stored for exactly that key —
+        // and aging must never fabricate a hit for a key never stored.
+        let t = TranspositionTable::with_bits(10);
+        let hash_a = |i: u64| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let hash_b = |i: u64| i.wrapping_mul(0xc2b2_ae3d_27d4_eb4f) | 2;
+        for slice in 0..12u64 {
+            t.new_generation(); // one bump per session-slice
+            if slice % 2 == 0 {
+                t.store(
+                    hash_a(slice),
+                    3,
+                    Value::new(slice as i32),
+                    Bound::Exact,
+                    Some(1),
+                );
+            } else {
+                t.store(
+                    hash_b(slice),
+                    4,
+                    Value::new(-(slice as i32)),
+                    Bound::Lower,
+                    None,
+                );
+            }
+        }
+        // Session A probing entries B wrote (and vice versa): every hit
+        // carries the payload stored under that exact hash.
+        for slice in 0..12u64 {
+            let (hash, want, depth) = if slice % 2 == 0 {
+                (hash_a(slice), Value::new(slice as i32), 3)
+            } else {
+                (hash_b(slice), Value::new(-(slice as i32)), 4)
+            };
+            if let Some(p) = t.probe(hash) {
+                assert_eq!(p.value, want, "slice {slice}: wrong payload for key");
+                assert_eq!(p.depth, depth, "slice {slice}: wrong depth for key");
+            }
+        }
+        // Keys never stored must not validate, whatever the generation.
+        for slice in 0..12u64 {
+            assert!(t.probe(hash_a(slice) ^ hash_b(slice)).is_none());
+        }
     }
 
     #[test]

@@ -27,7 +27,12 @@
 //! * [`trace`] — per-worker search telemetry: bounded lock-free event
 //!   rings behind zero-cost `*_trace` entry points, post-run utilization
 //!   and speculation reports, and Chrome-trace timeline export
-//!   (DESIGN.md §11).
+//!   (DESIGN.md §11);
+//! * [`engine_server`] — multi-session engine server: a weighted-fair
+//!   session scheduler slicing many concurrent searches onto one worker
+//!   pool at iterative-deepening depth boundaries, admission control
+//!   with typed shedding, graceful deadline degradation, and a UCI-style
+//!   protocol front-end (DESIGN.md §13).
 //!
 //! ## Quickstart
 //!
@@ -104,11 +109,24 @@
 //! let report = SearchReport::from_data(&data);
 //! assert!(report.count_of(EventKind::JobExecute) > 0);
 //! trace::lint::check(&chrome_json(&data)).expect("well-formed Chrome trace");
+//!
+//! // Multi-session serving (DESIGN.md §13): several positions — even
+//! // from different games — time-sliced fairly onto one pool and one
+//! // shared table, every served value bit-identical to a solo search.
+//! let reqs = vec![
+//!     SessionRequest::new(AnyPos::random_root(7, 4, 6), 5, ErParallelConfig::random_tree(2)),
+//!     SessionRequest::new(AnyPos::othello_startpos(), 3, ErParallelConfig::othello()),
+//! ];
+//! for resp in serve_batch::<AnyPos>(reqs, SchedulerConfig::default()) {
+//!     let r = resp.result().expect("under capacity, nothing sheds");
+//!     assert!(r.completed());
+//! }
 //! ```
 
 #![warn(missing_docs)]
 
 pub use checkers;
+pub use engine_server;
 pub use er_parallel;
 pub use gametree;
 pub use othello;
@@ -120,6 +138,10 @@ pub use tt;
 /// The most common imports in one place.
 pub mod prelude {
     pub use checkers::CheckersPos;
+    pub use engine_server::{
+        serve_batch, serve_batch_on, AnyMove, AnyPos, Busy, Priority, Response, SchedulerConfig,
+        SessionRequest, SessionResult, SessionScheduler,
+    };
     pub use er_parallel::{
         run_er_sim, run_er_sim_ord, run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt,
         run_er_threads_exec, run_er_threads_exec_tt, run_er_threads_id, run_er_threads_id_asp,
