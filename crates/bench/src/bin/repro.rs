@@ -42,6 +42,14 @@
 //! repro uci         interactive UCI-style protocol loop over
 //!                   stdin/stdout (try `echo "go movetime 20" |
 //!                   repro uci`)
+//! repro mech        mechanical-sympathy audit: branchless bitboard
+//!                   kernels vs the retained loop-based reference
+//!                   (median-of-samples microbench, >=1.5x speedup
+//!                   asserted), perft equivalence under both kernel
+//!                   sets, root-value equality across every search
+//!                   back-end, and a linted traced run (accepts
+//!                   --threads 1,2,4; writes BENCH_mech.json at the
+//!                   repo root)
 //! repro all         everything above (except the interactive `uci`)
 //! ```
 //!
@@ -473,7 +481,11 @@ fn ordering() {
         sel: SelectivityConfig::OFF,
     };
     let table = tt::TranspositionTable::with_bits(16);
-    let tracer = trace::Tracer::new();
+    // Bounded rings like the `trace` experiment's Chrome export: the
+    // overwrite-oldest policy caps results/ordering_chrome.json at a few
+    // megabytes however deep the aspiration driver re-searches.
+    const EXPORT_RING_CAPACITY: usize = 2048;
+    let tracer = trace::Tracer::with_capacity(EXPORT_RING_CAPACITY);
     let traced = er_parallel::run_er_threads_id_asp_trace_tt(
         &o1.root,
         o1.depth,
@@ -1124,6 +1136,139 @@ fn uci() {
     engine_server::uci::run(stdin.lock(), std::io::stdout(), cfg).expect("protocol loop I/O");
 }
 
+fn mech() {
+    use er_bench::mech::{self, MECH_CORPUS_BOARDS, MECH_MIN_SPEEDUP};
+
+    let mut cli = er_bench::cli::Cli::from_env("mech");
+    let workers = cli.threads_list(&[1, 2, 4]);
+    cli.finish();
+
+    println!("\n=== Mechanical sympathy: branchless kernels vs loop reference ===");
+    let corpus = mech::board_corpus(MECH_CORPUS_BOARDS);
+    let pairs = mech::check_corpus_equivalence(&corpus);
+    println!(
+        "corpus: {} playout boards, {pairs} (board, move) pairs; \
+         legal_moves/flips/moves_and_flips all agree with the loop kernels",
+        corpus.len()
+    );
+
+    let (kernels, combined) = mech::kernel_bench(&corpus);
+    println!(
+        "\n{:<14} {:>12} {:>14} {:>9} {:>12}",
+        "kernel", "loop ns/brd", "branchless ns", "speedup", "Mboards/s"
+    );
+    for k in &kernels {
+        println!(
+            "{:<14} {:>12.1} {:>14.1} {:>8.2}x {:>12.1}",
+            k.kernel, k.reference_ns, k.branchless_ns, k.speedup, k.mboards_per_sec
+        );
+    }
+    println!("\ncombined legal_moves+flips speedup: {combined:.2}x (floor {MECH_MIN_SPEEDUP}x)");
+    assert!(
+        combined >= MECH_MIN_SPEEDUP,
+        "branchless kernels must be >= {MECH_MIN_SPEEDUP}x the loop reference \
+         on legal_moves+flips (measured {combined:.2}x)"
+    );
+
+    println!("\nperft (identical under both kernel sets):");
+    let perft = mech::perft_rows(7);
+    for (d, n) in &perft {
+        println!("  perft({d}) = {n}");
+    }
+
+    // Root-value equality across every search back-end on the O1 tree,
+    // with the threaded runs traced so the telemetry subsystem vouches
+    // that real work happened (and its export stays well-formed).
+    let o1 = othello_trees()[0];
+    let cfg = er_parallel::ErParallelConfig {
+        serial_depth: o1.serial_depth,
+        order: o1.order,
+        spec: er_parallel::Speculation::ALL,
+        cost: CostModel::default(),
+        sel: SelectivityConfig::OFF,
+    };
+    let scfg = search_serial::er::ErConfig {
+        order: o1.order,
+        sel: SelectivityConfig::OFF,
+    };
+    let mut backends = Vec::new();
+    let ab = search_serial::alphabeta(&o1.root, o1.depth, o1.order);
+    backends.push(("alphabeta".to_string(), 1usize, ab.value));
+    let er = search_serial::er_search(&o1.root, o1.depth, scfg);
+    backends.push(("er-serial".to_string(), 1, er.value));
+    let sim = er_parallel::run_er_sim(&o1.root, o1.depth, 4, &cfg);
+    backends.push(("er-sim".to_string(), 4, sim.value));
+    let tracer = trace::Tracer::new();
+    for &k in &workers {
+        let r = er_parallel::run_er_threads_trace(
+            &o1.root,
+            o1.depth,
+            k,
+            &cfg,
+            er_parallel::ThreadsConfig::default(),
+            &er_parallel::SearchControl::unlimited(),
+            &tracer,
+        )
+        .expect("unlimited-control run cannot abort");
+        backends.push(("er-threads".to_string(), k, r.value));
+        // The same run pinned: placement must never change the value.
+        let pinned = er_parallel::ThreadsConfig {
+            pin: Some(er_parallel::PinPolicy::Compact),
+            ..er_parallel::ThreadsConfig::default()
+        };
+        let rp = er_parallel::run_er_threads_ctl(
+            &o1.root,
+            o1.depth,
+            k,
+            &cfg,
+            pinned,
+            &er_parallel::SearchControl::unlimited(),
+        )
+        .expect("unlimited-control run cannot abort");
+        backends.push(("er-threads-pinned".to_string(), k, rp.value));
+    }
+    println!("\n{:<18} {:>7} {:>8}", "backend", "workers", "value");
+    for (name, k, v) in &backends {
+        println!("{name:<18} {k:>7} {v:>8}");
+        assert_eq!(
+            *v, ab.value,
+            "{name} at {k} workers must match the serial alpha-beta root value"
+        );
+    }
+    let data = tracer.snapshot();
+    let trace_events = data.total_events();
+    assert!(trace_events > 0, "traced runs must record events");
+    trace::lint::check(&trace::chrome_json(&data)).expect("mech Chrome trace must be valid JSON");
+    println!(
+        "\nall {} back-end rows agree on root value {}",
+        backends.len(),
+        ab.value
+    );
+
+    let report = mech::MechReport {
+        corpus_boards: corpus.len(),
+        kernels,
+        combined_speedup: combined,
+        perft,
+        backends: backends
+            .into_iter()
+            .map(|(backend, workers, value)| mech::MechBackendRow {
+                backend,
+                workers,
+                value: value.get(),
+            })
+            .collect(),
+        trace_events,
+    };
+    save_json("mech", &report);
+    let pretty = er_bench::json::to_pretty(&report);
+    trace::lint::check(&pretty).expect("results/mech.json must be valid JSON");
+    let mut f = fs::File::create("BENCH_mech.json").expect("create BENCH_mech.json");
+    f.write_all(pretty.as_bytes())
+        .expect("write BENCH_mech.json");
+    println!("  -> BENCH_mech.json");
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     match arg.as_str() {
@@ -1145,6 +1290,7 @@ fn main() {
         "trace" => trace(),
         "serve" => serve(),
         "uci" => uci(),
+        "mech" => mech(),
         "all" => {
             table3();
             fig(10);
@@ -1163,12 +1309,13 @@ fn main() {
             deadline();
             trace();
             serve();
+            mech();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; use \
                  table3|fig10|fig11|fig12|fig13|baselines|ablation|overhead|sweep|ordering|\
-                 gantt|threads|tt|scaling|deadline|trace|serve|uci|all"
+                 gantt|threads|tt|scaling|deadline|trace|serve|mech|uci|all"
             );
             std::process::exit(2);
         }

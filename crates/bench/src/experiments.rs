@@ -1040,6 +1040,7 @@ pub fn scaling_rows(thread_counts: &[usize]) -> Vec<ScalingRow> {
     let baseline = ThreadsConfig {
         batch: BatchPolicy::Fixed(DEFAULT_BATCH),
         steal: false,
+        pin: None,
     };
     let ws = ThreadsConfig::default();
     let r1 = &crate::trees::random_trees()[0];

@@ -215,6 +215,33 @@ mod tests {
     }
 
     #[test]
+    fn object_key_order_is_declared_order_and_byte_stable() {
+        // BENCH_*.json and results/*.json are diffed run-to-run; churn
+        // from reordered keys would read as result changes. Keys must
+        // come out in impl_to_json! declaration order, every time.
+        let d = Demo {
+            name: "stable".into(),
+            count: 1,
+            ratio: 0.25,
+            flags: vec![],
+        };
+        let first = to_pretty(&d);
+        for _ in 0..3 {
+            assert_eq!(to_pretty(&d), first, "serialization must be byte-stable");
+        }
+        let pos = |key: &str| {
+            first
+                .find(&format!("\"{key}\""))
+                .unwrap_or_else(|| panic!("key {key} missing"))
+        };
+        let order = [pos("name"), pos("count"), pos("ratio"), pos("flags")];
+        assert!(
+            order.windows(2).all(|w| w[0] < w[1]),
+            "keys must appear in declaration order, got offsets {order:?}"
+        );
+    }
+
+    #[test]
     fn scalars_and_tuples() {
         assert_eq!(to_pretty(&-3i32), "-3");
         assert_eq!(to_pretty("x"), "\"x\"");

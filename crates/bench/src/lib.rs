@@ -8,5 +8,6 @@
 pub mod cli;
 pub mod experiments;
 pub mod json;
+pub mod mech;
 pub mod serve;
 pub mod trees;

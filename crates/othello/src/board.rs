@@ -2,34 +2,49 @@
 //!
 //! The board is a pair of 64-bit masks, one per colour, indexed row-major
 //! with a1 = bit 0 and h8 = bit 63. Move generation and disc flipping use
-//! the standard shift-and-mask flood fill over the eight ray directions.
+//! branchless Kogge–Stone parallel-prefix flood fills over the eight ray
+//! directions: each direction is four shift/mask steps (one seed, one
+//! serial step, two doubling steps), enough to propagate through the
+//! longest possible chain of six opponent discs with no inner loop and no
+//! runtime-sign shifts. The pre-optimization loop-based kernels survive in
+//! [`reference`] as the equivalence oracle (proptested in this module) and
+//! as the "old" side of the `repro mech` before/after microbenchmarks.
 
 /// File-A mask (the leftmost column).
 const FILE_A: u64 = 0x0101_0101_0101_0101;
 /// File-H mask (the rightmost column).
 const FILE_H: u64 = 0x8080_8080_8080_8080;
 
-/// The eight ray directions as (shift, pre-shift mask) pairs. A positive
-/// shift is a left shift, negative is right.
-const DIRECTIONS: [(i8, u64); 8] = [
-    (1, !FILE_H),  // east
-    (-1, !FILE_A), // west
-    (8, !0),       // south (towards row 8)
-    (-8, !0),      // north
-    (9, !FILE_H),  // south-east
-    (7, !FILE_A),  // south-west
-    (-7, !FILE_H), // north-east
-    (-9, !FILE_A), // north-west
-];
+/// Kogge–Stone flood towards increasing square index (left shift by `S`):
+/// every `o` disc reachable from `gen` through consecutive `o` discs by
+/// repeated `+S` steps. `o` must already exclude the column a `<< S` shift
+/// would wrap into, which also keeps the doubled `<< 2S` steps wrap-free
+/// (a propagator pair straddling the seam would need a wrapped member).
+#[inline(always)]
+fn flood_l<const S: u32>(gen: u64, o: u64) -> u64 {
+    let mut t = o & (gen << S);
+    t |= o & (t << S);
+    let pro = o & (o << S);
+    t |= pro & (t << (2 * S));
+    t |= pro & (t << (2 * S));
+    t
+}
 
-#[inline]
-fn shift(b: u64, dir: i8, mask: u64) -> u64 {
-    let b = b & mask;
-    if dir >= 0 {
-        b << dir
-    } else {
-        b >> (-dir)
-    }
+/// Mirror of [`flood_l`] towards decreasing square index (right shift).
+#[inline(always)]
+fn flood_r<const S: u32>(gen: u64, o: u64) -> u64 {
+    let mut t = o & (gen >> S);
+    t |= o & (t >> S);
+    let pro = o & (o >> S);
+    t |= pro & (t >> (2 * S));
+    t |= pro & (t >> (2 * S));
+    t
+}
+
+/// All-ones when `anchor` is non-zero, all-zeros otherwise, with no branch.
+#[inline(always)]
+fn keep_if(anchor: u64) -> u64 {
+    0u64.wrapping_sub((anchor != 0) as u64)
 }
 
 /// An Othello board from the point of view of the player to move: `own`
@@ -85,18 +100,24 @@ impl Board {
     }
 
     /// Mask of squares where the player to move may legally place a disc.
+    ///
+    /// Eight unrolled Kogge–Stone floods, one per ray direction; the move
+    /// square is one further step past each flooded opponent chain.
     pub fn legal_moves(&self) -> u64 {
-        let empty = self.empty();
-        let mut moves = 0u64;
-        for &(dir, mask) in &DIRECTIONS {
-            // Flood own discs through opponent discs along the ray.
-            let mut t = shift(self.own, dir, mask) & self.opp;
-            for _ in 0..5 {
-                t |= shift(t, dir, mask) & self.opp;
-            }
-            moves |= shift(t, dir, mask) & empty;
-        }
-        moves
+        let own = self.own;
+        let oa = self.opp & !FILE_A; // propagator for rays that step east
+        let oh = self.opp & !FILE_H; // propagator for rays that step west
+        let ov = self.opp; // vertical rays cannot wrap
+
+        let mut moves = (flood_l::<1>(own, oa) & !FILE_H) << 1; // east
+        moves |= (flood_r::<1>(own, oh) & !FILE_A) >> 1; // west
+        moves |= flood_l::<8>(own, ov) << 8; // south
+        moves |= flood_r::<8>(own, ov) >> 8; // north
+        moves |= (flood_l::<9>(own, oa) & !FILE_H) << 9; // south-east
+        moves |= (flood_l::<7>(own, oh) & !FILE_A) << 7; // south-west
+        moves |= (flood_r::<7>(own, oa) & !FILE_H) >> 7; // north-east
+        moves |= (flood_r::<9>(own, oh) & !FILE_A) >> 9; // north-west
+        moves & self.empty()
     }
 
     /// True iff the player to move has at least one legal placement.
@@ -120,33 +141,104 @@ impl Board {
     }
 
     /// Mask of discs flipped by placing on `sq` (0–63). Zero iff the move
-    /// is illegal.
+    /// is illegal. (Emptiness of `sq` is not checked here; `legal_moves`
+    /// or `moves_and_flips` carry that part of legality.)
+    ///
+    /// Each direction floods the opponent chain adjacent to `sq`, then a
+    /// branchless anchor test keeps the chain only when the square one
+    /// step past its far end holds an own disc.
     pub fn flips(&self, sq: u8) -> u64 {
         debug_assert!(sq < 64);
         let placed = 1u64 << sq;
-        let mut all = 0u64;
-        for &(dir, mask) in &DIRECTIONS {
-            let mut ray = 0u64;
-            let mut t = shift(placed, dir, mask) & self.opp;
-            while t != 0 {
-                ray |= t;
-                let next = shift(t, dir, mask);
-                if next & self.own != 0 {
-                    all |= ray;
-                    break;
-                }
-                t = next & self.opp;
-            }
-        }
+        let own = self.own;
+        let oa = self.opp & !FILE_A;
+        let oh = self.opp & !FILE_H;
+        let ov = self.opp;
+
+        let t = flood_l::<1>(placed, oa); // east
+        let mut all = t & keep_if(((t & !FILE_H) << 1) & own);
+        let t = flood_r::<1>(placed, oh); // west
+        all |= t & keep_if(((t & !FILE_A) >> 1) & own);
+        let t = flood_l::<8>(placed, ov); // south
+        all |= t & keep_if((t << 8) & own);
+        let t = flood_r::<8>(placed, ov); // north
+        all |= t & keep_if((t >> 8) & own);
+        let t = flood_l::<9>(placed, oa); // south-east
+        all |= t & keep_if(((t & !FILE_H) << 9) & own);
+        let t = flood_l::<7>(placed, oh); // south-west
+        all |= t & keep_if(((t & !FILE_A) << 7) & own);
+        let t = flood_r::<7>(placed, oa); // north-east
+        all |= t & keep_if(((t & !FILE_H) >> 7) & own);
+        let t = flood_r::<9>(placed, oh); // north-west
+        all |= t & keep_if(((t & !FILE_A) >> 9) & own);
         all
     }
 
+    /// The legal-move mask and the flip set for `sq`, in one combined pass.
+    ///
+    /// This is the fast path for generate-then-play loops (perft, child
+    /// expansion, move validation): the eight own-disc floods answer the
+    /// move mask, and the same floods double as the flip propagators — a
+    /// single-bit flood from `sq` through the discs anchored in direction
+    /// `-d` *is* the flip chain in direction `+d`, no anchor test needed.
+    pub fn moves_and_flips(&self, sq: u8) -> (u64, u64) {
+        debug_assert!(sq < 64);
+        let own = self.own;
+        let oa = self.opp & !FILE_A;
+        let oh = self.opp & !FILE_H;
+        let ov = self.opp;
+
+        // Own-disc floods: `e` holds opponent discs anchored by an own
+        // disc to their west (reachable stepping east), and so on.
+        let e = flood_l::<1>(own, oa);
+        let w = flood_r::<1>(own, oh);
+        let s = flood_l::<8>(own, ov);
+        let n = flood_r::<8>(own, ov);
+        let se = flood_l::<9>(own, oa);
+        let sw = flood_l::<7>(own, oh);
+        let ne = flood_r::<7>(own, oa);
+        let nw = flood_r::<9>(own, oh);
+
+        let mut moves = (e & !FILE_H) << 1;
+        moves |= (w & !FILE_A) >> 1;
+        moves |= s << 8;
+        moves |= n >> 8;
+        moves |= (se & !FILE_H) << 9;
+        moves |= (sw & !FILE_A) << 7;
+        moves |= (ne & !FILE_H) >> 7;
+        moves |= (nw & !FILE_A) >> 9;
+        moves &= self.empty();
+
+        // A flip chain extending in direction +d from `sq` is exactly the
+        // run of discs anchored in direction -d, so flood through that.
+        let placed = 1u64 << sq;
+        let mut f = flood_l::<1>(placed, w & !FILE_A); // east flips
+        f |= flood_r::<1>(placed, e & !FILE_H); // west flips
+        f |= flood_l::<8>(placed, n); // south flips
+        f |= flood_r::<8>(placed, s); // north flips
+        f |= flood_l::<9>(placed, nw & !FILE_A); // south-east flips
+        f |= flood_l::<7>(placed, ne & !FILE_H); // south-west flips
+        f |= flood_r::<7>(placed, sw & !FILE_A); // north-east flips
+        f |= flood_r::<9>(placed, se & !FILE_H); // north-west flips
+
+        (moves, f)
+    }
+
     /// Plays a placement on `sq`, returning the position with the opponent
-    /// to move. Panics (in debug builds) on illegal moves.
+    /// to move. Panics (in debug builds) on illegal moves; debug builds
+    /// route through [`Board::moves_and_flips`] so the legality assert
+    /// exercises the combined kernel, release builds take the lean
+    /// [`Board::flips`] path. Both produce the identical flip set.
     pub fn play(&self, sq: u8) -> Board {
+        #[cfg(debug_assertions)]
+        let f = {
+            let (moves, f) = self.moves_and_flips(sq);
+            assert!(moves & (1u64 << sq) != 0, "illegal move {sq}");
+            assert!(self.empty() & (1 << sq) != 0, "square {sq} occupied");
+            f
+        };
+        #[cfg(not(debug_assertions))]
         let f = self.flips(sq);
-        debug_assert!(f != 0, "illegal move {sq}");
-        debug_assert!(self.empty() & (1 << sq) != 0, "square {sq} occupied");
         Board {
             own: self.opp & !f,
             opp: self.own | f | (1 << sq),
@@ -198,6 +290,74 @@ pub fn parse_square(s: &str) -> Option<u8> {
         Some(rank * 8 + file)
     } else {
         None
+    }
+}
+
+/// The pre-optimization loop-based kernels, kept verbatim as the
+/// equivalence oracle. Compiled for tests (the proptests below pin the
+/// branchless kernels against these on random boards) and under the
+/// `reference` feature, which `er-bench` enables so `repro mech` can
+/// benchmark old-vs-new on the same build.
+#[cfg(any(test, feature = "reference"))]
+pub mod reference {
+    use super::{Board, FILE_A, FILE_H};
+
+    /// The eight ray directions as (shift, pre-shift mask) pairs. A
+    /// positive shift is a left shift, negative is right.
+    const DIRECTIONS: [(i8, u64); 8] = [
+        (1, !FILE_H),  // east
+        (-1, !FILE_A), // west
+        (8, !0),       // south (towards row 8)
+        (-8, !0),      // north
+        (9, !FILE_H),  // south-east
+        (7, !FILE_A),  // south-west
+        (-7, !FILE_H), // north-east
+        (-9, !FILE_A), // north-west
+    ];
+
+    #[inline]
+    fn shift(b: u64, dir: i8, mask: u64) -> u64 {
+        let b = b & mask;
+        if dir >= 0 {
+            b << dir
+        } else {
+            b >> (-dir)
+        }
+    }
+
+    /// Loop-based `legal_moves`: flood own discs through opponent discs
+    /// five serial steps per direction.
+    pub fn legal_moves(b: &Board) -> u64 {
+        let empty = b.empty();
+        let mut moves = 0u64;
+        for &(dir, mask) in &DIRECTIONS {
+            let mut t = shift(b.own, dir, mask) & b.opp;
+            for _ in 0..5 {
+                t |= shift(t, dir, mask) & b.opp;
+            }
+            moves |= shift(t, dir, mask) & empty;
+        }
+        moves
+    }
+
+    /// Loop-based `flips`: walk each ray until an own disc anchors it.
+    pub fn flips(b: &Board, sq: u8) -> u64 {
+        let placed = 1u64 << sq;
+        let mut all = 0u64;
+        for &(dir, mask) in &DIRECTIONS {
+            let mut ray = 0u64;
+            let mut t = shift(placed, dir, mask) & b.opp;
+            while t != 0 {
+                ray |= t;
+                let next = shift(t, dir, mask);
+                if next & b.own != 0 {
+                    all |= ray;
+                    break;
+                }
+                t = next & b.opp;
+            }
+        }
+        all
     }
 }
 
@@ -265,37 +425,44 @@ mod tests {
         assert_eq!(moves & !0x7, 0, "only first-row squares may be legal");
     }
 
-    #[test]
-    fn perft_matches_known_values() {
-        // Othello perft counting *positions* at each depth, passes count as
-        // moves when a player is blocked, games that end are leaves.
-        fn perft(b: Board, depth: u32) -> u64 {
-            if depth == 0 {
+    /// Othello perft counting *positions* at each depth, passes count as
+    /// moves when a player is blocked, games that end are leaves. Driven
+    /// through `moves_and_flips` so the combined kernel carries the same
+    /// pinned counts as `legal_moves` + `play`.
+    fn perft(b: Board, depth: u32) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let moves = b.legal_moves();
+        if moves == 0 {
+            if b.game_over() {
                 return 1;
             }
-            let moves = b.legal_moves();
-            if moves == 0 {
-                if b.game_over() {
-                    return 1;
-                }
-                return perft(b.swapped(), depth - 1);
-            }
-            let mut n = 0;
-            let mut m = moves;
-            while m != 0 {
-                let sq = m.trailing_zeros() as u8;
-                m &= m - 1;
-                n += perft(b.play(sq), depth - 1);
-            }
-            n
+            return perft(b.swapped(), depth - 1);
         }
+        let mut n = 0;
+        let mut m = moves;
+        while m != 0 {
+            let sq = m.trailing_zeros() as u8;
+            m &= m - 1;
+            let (mf, f) = b.moves_and_flips(sq);
+            assert_eq!(mf, moves, "combined kernel must agree on the move mask");
+            assert_eq!(f, b.flips(sq), "combined kernel must agree on flips");
+            n += perft(b.play(sq), depth - 1);
+        }
+        n
+    }
+
+    /// Known perft counts from the initial position, index = depth - 1.
+    const PERFT_TABLE: [u64; 7] = [4, 12, 56, 244, 1396, 8200, 55092];
+
+    #[test]
+    fn perft_matches_known_values() {
         let b = Board::initial();
-        assert_eq!(perft(b, 1), 4);
-        assert_eq!(perft(b, 2), 12);
-        assert_eq!(perft(b, 3), 56);
-        assert_eq!(perft(b, 4), 244);
-        assert_eq!(perft(b, 5), 1396);
-        assert_eq!(perft(b, 6), 8200);
+        for (i, &want) in PERFT_TABLE.iter().enumerate() {
+            let depth = i as u32 + 1;
+            assert_eq!(perft(b, depth), want, "perft({depth})");
+        }
     }
 
     #[test]
@@ -364,5 +531,73 @@ mod tests {
         assert_eq!(s.matches('x').count(), 2);
         assert_eq!(s.matches('o').count(), 2);
         assert_eq!(s.lines().count(), 8);
+    }
+
+    mod kernel_equivalence {
+        //! The branchless kernels pinned bit-for-bit against the retained
+        //! loop-based [`reference`] implementation — on arbitrary disjoint
+        //! bitboards (stronger than reachability: the kernels must agree
+        //! everywhere) and on random playouts from the initial position.
+
+        use super::super::{reference, Board};
+        use proptest::prelude::*;
+
+        /// Any disjoint pair of disc sets, reachable or not.
+        fn arbitrary_board(a: u64, b: u64) -> Board {
+            Board {
+                own: a & !b,
+                opp: b & !a,
+            }
+        }
+
+        fn assert_kernels_match(board: &Board) {
+            let want_moves = reference::legal_moves(board);
+            assert_eq!(board.legal_moves(), want_moves, "{}", board.render());
+            let empty = board.empty();
+            for sq in 0..64u8 {
+                let want_flips = reference::flips(board, sq);
+                assert_eq!(
+                    board.flips(sq),
+                    want_flips,
+                    "flips({sq}) on\n{}",
+                    board.render()
+                );
+                if empty & (1 << sq) != 0 {
+                    let (moves, f) = board.moves_and_flips(sq);
+                    assert_eq!(moves, want_moves, "moves_and_flips({sq}).0");
+                    assert_eq!(f, want_flips, "moves_and_flips({sq}).1");
+                }
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn match_reference_on_arbitrary_boards(a in any::<u64>(), b in any::<u64>()) {
+                assert_kernels_match(&arbitrary_board(a, b));
+            }
+
+            #[test]
+            fn match_reference_along_random_playouts(steps in prop::collection::vec(any::<u8>(), 0..70)) {
+                let mut board = Board::initial();
+                assert_kernels_match(&board);
+                for &s in &steps {
+                    let moves = board.legal_moves();
+                    if moves == 0 {
+                        if board.game_over() {
+                            break;
+                        }
+                        board = board.swapped();
+                        continue;
+                    }
+                    let picks = moves.count_ones();
+                    let mut m = moves;
+                    for _ in 0..(s as u32 % picks) {
+                        m &= m - 1;
+                    }
+                    board = board.play(m.trailing_zeros() as u8);
+                    assert_kernels_match(&board);
+                }
+            }
+        }
     }
 }

@@ -31,13 +31,40 @@ const CORNERS: u64 = 0x8100_0000_0000_0081;
 /// terminal values far outside the heuristic range.
 const WIN_SCALE: i32 = 1_000;
 
+/// The distinct values appearing in [`WEIGHTS`], zero excluded (it
+/// contributes nothing to a sum).
+const DISTINCT_WEIGHTS: [i32; 7] = [100, -50, -20, 10, 5, -2, 1];
+
+/// Mask of the squares carrying weight `w`, derived from [`WEIGHTS`] at
+/// compile time so the two representations can never drift.
+const fn weight_mask(w: i32) -> u64 {
+    let mut m = 0u64;
+    let mut sq = 0;
+    while sq < 64 {
+        if WEIGHTS[sq] == w {
+            m |= 1 << sq;
+        }
+        sq += 1;
+    }
+    m
+}
+
+/// One `(weight, squares)` group per distinct weight: the positional sum
+/// becomes seven popcounts instead of a loop over up to 64 set bits.
+const WEIGHT_GROUPS: [(i32, u64); 7] = {
+    let mut groups = [(0i32, 0u64); 7];
+    let mut i = 0;
+    while i < 7 {
+        groups[i] = (DISTINCT_WEIGHTS[i], weight_mask(DISTINCT_WEIGHTS[i]));
+        i += 1;
+    }
+    groups
+};
+
 fn weighted(mask: u64) -> i32 {
-    let mut m = mask;
     let mut sum = 0;
-    while m != 0 {
-        let sq = m.trailing_zeros() as usize;
-        m &= m - 1;
-        sum += WEIGHTS[sq];
+    for &(w, squares) in &WEIGHT_GROUPS {
+        sum += w * (mask & squares).count_ones() as i32;
     }
     sum
 }
@@ -76,6 +103,49 @@ pub fn evaluate(board: &Board) -> Value {
 mod tests {
     use super::*;
     use crate::board::parse_square;
+
+    /// The pre-optimization per-square loop, kept as the oracle for the
+    /// popcount-batched [`weighted`].
+    fn weighted_per_square(mask: u64) -> i32 {
+        let mut m = mask;
+        let mut sum = 0;
+        while m != 0 {
+            let sq = m.trailing_zeros() as usize;
+            m &= m - 1;
+            sum += WEIGHTS[sq];
+        }
+        sum
+    }
+
+    #[test]
+    fn weight_groups_partition_the_nonzero_squares() {
+        let mut seen = 0u64;
+        for &(w, squares) in &WEIGHT_GROUPS {
+            assert_ne!(w, 0);
+            assert_eq!(seen & squares, 0, "groups must be disjoint");
+            seen |= squares;
+        }
+        assert_eq!(
+            seen,
+            !weight_mask(0),
+            "groups must cover every nonzero square"
+        );
+    }
+
+    #[test]
+    fn batched_weighting_matches_per_square_loop() {
+        // A deterministic stream of masks; equality is exact integer
+        // arithmetic, so agreement here is agreement everywhere.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            assert_eq!(weighted(x), weighted_per_square(x), "mask {x:#x}");
+        }
+        assert_eq!(weighted(0), 0);
+        assert_eq!(weighted(!0), weighted_per_square(!0));
+    }
 
     #[test]
     fn initial_position_is_symmetric() {

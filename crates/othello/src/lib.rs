@@ -18,4 +18,4 @@ pub mod zobrist;
 pub use board::Board;
 pub use eval::evaluate;
 pub use position::{Move, OthelloPos};
-pub use stability::{evaluate_with_stability, stable_discs};
+pub use stability::{evaluate_with_stability, stable_discs, stable_discs_both};

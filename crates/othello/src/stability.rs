@@ -25,65 +25,101 @@ const RANK_1: u64 = 0x0000_0000_0000_00FF;
 const RANK_8: u64 = 0xFF00_0000_0000_0000;
 const CORNERS: u64 = 0x8100_0000_0000_0081;
 
-/// Wrap-safe neighbour shift: bit `q` of the result is set iff `b` has the
-/// neighbour of `q` in the *negative* `dir` direction (i.e. the result
-/// marks squares whose `-dir` neighbour is in `b`).
-#[inline]
-fn nbr(b: u64, dir: i8) -> u64 {
-    match dir {
-        1 => (b & !FILE_H) << 1,
-        -1 => (b & !FILE_A) >> 1,
-        8 => b << 8,
-        -8 => b >> 8,
-        9 => (b & !FILE_H) << 9,
-        -9 => (b & !FILE_A) >> 9,
-        7 => (b & !FILE_A) << 7,
-        -7 => (b & !FILE_H) >> 7,
-        _ => unreachable!(),
-    }
+/// Wrap-safe neighbour shifts with constant shift amounts (no runtime
+/// direction dispatch): `from_west(b)` marks squares whose west neighbour
+/// is in `b`, and so on for the other seven compass directions.
+#[inline(always)]
+fn from_west(b: u64) -> u64 {
+    (b & !FILE_H) << 1
+}
+#[inline(always)]
+fn from_east(b: u64) -> u64 {
+    (b & !FILE_A) >> 1
+}
+#[inline(always)]
+fn from_north(b: u64) -> u64 {
+    b << 8
+}
+#[inline(always)]
+fn from_south(b: u64) -> u64 {
+    b >> 8
+}
+#[inline(always)]
+fn from_nw(b: u64) -> u64 {
+    (b & !FILE_H) << 9
+}
+#[inline(always)]
+fn from_se(b: u64) -> u64 {
+    (b & !FILE_A) >> 9
+}
+#[inline(always)]
+fn from_ne(b: u64) -> u64 {
+    (b & !FILE_A) << 7
+}
+#[inline(always)]
+fn from_sw(b: u64) -> u64 {
+    (b & !FILE_H) >> 7
 }
 
-/// The four line directions with the edge masks of their two ends:
-/// (dir, squares with no `-dir` neighbour, squares with no `+dir`
-/// neighbour).
-const LINES: [(i8, u64, u64); 4] = [
-    (1, FILE_A, FILE_H),                   // horizontal
-    (8, RANK_1, RANK_8),                   // vertical
-    (9, RANK_1 | FILE_A, RANK_8 | FILE_H), // a1–h8 diagonals
-    (7, RANK_1 | FILE_H, RANK_8 | FILE_A), // h1–a8 diagonals
+/// Edge masks of the two ends of each line family, in the fixed order
+/// horizontal, vertical, a1–h8 diagonal, h1–a8 diagonal.
+const LINE_EDGES: [(u64, u64); 4] = [
+    (FILE_A, FILE_H),
+    (RANK_1, RANK_8),
+    (RANK_1 | FILE_A, RANK_8 | FILE_H),
+    (RANK_1 | FILE_H, RANK_8 | FILE_A),
 ];
 
-/// Computes a sound under-approximation of the stable discs of `side`
-/// given the full occupancy mask.
-pub fn stable_discs(side: u64, occupied: u64) -> u64 {
-    // Squares whose whole line in each direction is occupied: erode from
-    // the property "occupied and both line neighbours (or edges) keep the
-    // property" — 8 iterations suffice on an 8x8 board.
-    let mut full_line = [0u64; 4];
-    for (i, &(dir, lo_edge, hi_edge)) in LINES.iter().enumerate() {
-        let mut full = occupied;
-        for _ in 0..8 {
-            let has_lo = nbr(full, dir) | lo_edge;
-            let has_hi = nbr(full, -dir) | hi_edge;
-            full &= has_lo & has_hi & occupied;
-        }
-        full_line[i] = full;
+/// Squares whose whole line in each of the four directions is occupied:
+/// erode from the property "occupied and both line neighbours (or edges)
+/// keep the property" — 8 iterations suffice on an 8x8 board. Computed
+/// once per position; both sides' stability shares it.
+fn full_lines(occupied: u64) -> [u64; 4] {
+    let mut h = occupied;
+    let mut v = occupied;
+    let mut d9 = occupied;
+    let mut d7 = occupied;
+    for _ in 0..8 {
+        h &= (from_west(h) | FILE_A) & (from_east(h) | FILE_H) & occupied;
+        v &= (from_north(v) | RANK_1) & (from_south(v) | RANK_8) & occupied;
+        d9 &= (from_nw(d9) | LINE_EDGES[2].0) & (from_se(d9) | LINE_EDGES[2].1) & occupied;
+        d7 &= (from_ne(d7) | LINE_EDGES[3].0) & (from_sw(d7) | LINE_EDGES[3].1) & occupied;
     }
+    [h, v, d9, d7]
+}
 
+/// Grows `side & CORNERS` to the stability fixpoint given the shared
+/// full-line masks.
+fn stable_fixpoint(side: u64, full_line: &[u64; 4]) -> u64 {
     let mut stable = side & CORNERS;
     loop {
         let mut grown = side;
-        for (i, &(dir, lo_edge, hi_edge)) in LINES.iter().enumerate() {
-            let lo_safe = nbr(stable, dir) | lo_edge;
-            let hi_safe = nbr(stable, -dir) | hi_edge;
-            grown &= lo_safe | hi_safe | full_line[i];
-        }
+        grown &= from_west(stable) | FILE_A | from_east(stable) | FILE_H | full_line[0];
+        grown &= from_north(stable) | RANK_1 | from_south(stable) | RANK_8 | full_line[1];
+        grown &=
+            from_nw(stable) | LINE_EDGES[2].0 | from_se(stable) | LINE_EDGES[2].1 | full_line[2];
+        grown &=
+            from_ne(stable) | LINE_EDGES[3].0 | from_sw(stable) | LINE_EDGES[3].1 | full_line[3];
         grown |= side & CORNERS;
         if grown == stable {
             return stable;
         }
         stable = grown;
     }
+}
+
+/// Computes a sound under-approximation of the stable discs of `side`
+/// given the full occupancy mask.
+pub fn stable_discs(side: u64, occupied: u64) -> u64 {
+    stable_fixpoint(side, &full_lines(occupied))
+}
+
+/// Stability of both colours in one pass: the full-line erosion (the
+/// expensive half of the analysis) depends only on occupancy, so it is
+/// computed once and shared instead of once per side.
+pub fn stable_discs_both(own: u64, opp: u64) -> (u64, u64) {
+    let lines = full_lines(own | opp);
+    (stable_fixpoint(own, &lines), stable_fixpoint(opp, &lines))
 }
 
 /// Evaluator variant that adds a stability term to the standard one. Not
@@ -94,10 +130,9 @@ pub fn evaluate_with_stability(board: &Board) -> Value {
     if board.game_over() {
         return base;
     }
-    let occ = board.own | board.opp;
-    let own_stable = stable_discs(board.own, occ).count_ones() as i32;
-    let opp_stable = stable_discs(board.opp, occ).count_ones() as i32;
-    Value::new(base.get() + 12 * (own_stable - opp_stable))
+    let (own_stable, opp_stable) = stable_discs_both(board.own, board.opp);
+    let swing = own_stable.count_ones() as i32 - opp_stable.count_ones() as i32;
+    Value::new(base.get() + 12 * swing)
 }
 
 #[cfg(test)]
@@ -214,6 +249,27 @@ mod tests {
                     "seed {seed} step {step}: a stable disc was flipped"
                 );
                 assert_eq!(pos.board.own & opp_stable, opp_stable);
+            }
+        }
+    }
+
+    #[test]
+    fn both_sides_at_once_matches_per_side_calls() {
+        for seed in 0..4usize {
+            let mut pos = crate::OthelloPos::initial();
+            for step in 0..60 {
+                let moves = pos.moves();
+                if moves.is_empty() {
+                    break;
+                }
+                let b = pos.board;
+                let occ = b.own | b.opp;
+                assert_eq!(
+                    stable_discs_both(b.own, b.opp),
+                    (stable_discs(b.own, occ), stable_discs(b.opp, occ)),
+                    "seed {seed} step {step}"
+                );
+                pos = pos.play(&moves[(seed + step) % moves.len()]);
             }
         }
     }

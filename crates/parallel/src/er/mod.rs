@@ -111,7 +111,7 @@ pub use id::{
     run_er_threads_id_tt, AspirationConfig, DepthResult, ErIdResult, IdStepper,
 };
 pub use threads::{
-    run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt, run_er_threads_exec,
-    run_er_threads_exec_tt, run_er_threads_trace, run_er_threads_trace_tt, run_er_threads_tt,
-    run_er_threads_window_ord, BatchPolicy, ThreadsConfig,
+    pin_current_thread, run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt,
+    run_er_threads_exec, run_er_threads_exec_tt, run_er_threads_trace, run_er_threads_trace_tt,
+    run_er_threads_tt, run_er_threads_window_ord, BatchPolicy, PinPolicy, ThreadsConfig,
 };

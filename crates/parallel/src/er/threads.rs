@@ -101,6 +101,89 @@ pub enum BatchPolicy {
     Adaptive,
 }
 
+/// How workers map onto logical CPUs when pinning is requested.
+///
+/// Pinning stops the OS scheduler from migrating a worker mid-search:
+/// a migrated thread abandons its warm L1/L2 (its deque ring, its arena
+/// reads, its home TT shards — see
+/// [`TranspositionTable::home_shards`]) and refaults them on the new
+/// core. The mapping is a pure function of the worker index so runs are
+/// reproducible; it says nothing about the search schedule, and the root
+/// value is bit-identical with pinning on, off, or unsupported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinPolicy {
+    /// Worker `i` on logical CPU `i % cores` — neighbouring workers land
+    /// on neighbouring CPUs, which on common SMT-2 enumerations packs two
+    /// workers per physical core first (good when workers share a TT).
+    Compact,
+    /// Worker `i` on logical CPU `(i * stride) mod`-ish, covering every
+    /// CPU once before reusing one — `Scatter(2)` fills even CPUs before
+    /// odd ones, i.e. one worker per physical core first on SMT-2 hosts
+    /// (good for bandwidth-bound evaluation). A stride that does not
+    /// divide the CPU count cannot tile it and falls back to [`Compact`].
+    ///
+    /// [`Compact`]: PinPolicy::Compact
+    Scatter(usize),
+}
+
+impl PinPolicy {
+    /// The logical CPU worker `worker` should run on, for a host exposing
+    /// `cores` logical CPUs. Total: every worker gets a CPU (mod wrap),
+    /// and any `cores` consecutive workers cover `cores` distinct CPUs.
+    pub fn core_for(self, worker: usize, cores: usize) -> usize {
+        let cores = cores.max(1);
+        let i = worker % cores;
+        match self {
+            PinPolicy::Compact => i,
+            PinPolicy::Scatter(stride) => {
+                let s = stride.clamp(1, cores);
+                if !cores.is_multiple_of(s) {
+                    return i; // stride can't tile this host: compact
+                }
+                // Column-major walk of an s-column grid: bijective because
+                // (i mod cols, i / cols) decomposes i uniquely.
+                let cols = cores / s;
+                (i % cols) * s + i / cols
+            }
+        }
+    }
+}
+
+/// Pins the calling thread to logical CPU `core`. Returns whether the
+/// request took effect.
+///
+/// Linux-only: issues `sched_setaffinity(2)` through the raw syscall
+/// wrapper std already links (no new dependency). Everywhere else this is
+/// a documented no-op returning `false` — the search is correct unpinned,
+/// just more exposed to migration.
+#[cfg(target_os = "linux")]
+pub fn pin_current_thread(core: usize) -> bool {
+    // A fixed 1024-bit mask matches glibc's `cpu_set_t`; cores beyond
+    // that are silently left unpinned (no such host exists in this
+    // repo's test matrix).
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let mut mask = [0u64; 16];
+    let bit = core % (64 * mask.len());
+    mask[bit / 64] = 1u64 << (bit % 64);
+    // pid 0 = the calling thread.
+    unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+}
+
+/// Portable fallback: thread pinning is not plumbed on this OS.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_thread(_core: usize) -> bool {
+    false
+}
+
+/// Logical CPUs the pinning policies map onto.
+fn logical_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Execution-layer knobs of the threaded back-end, orthogonal to the
 /// algorithmic [`ErParallelConfig`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,15 +192,21 @@ pub struct ThreadsConfig {
     pub batch: BatchPolicy,
     /// Whether idle workers steal from sibling deques before parking.
     pub steal: bool,
+    /// Optional CPU-affinity policy for the worker threads. `None` (the
+    /// default) leaves placement to the OS scheduler; `Some` pins worker
+    /// `i` to [`PinPolicy::core_for`]`(i, cores)` where supported (Linux)
+    /// and silently runs unpinned elsewhere.
+    pub pin: Option<PinPolicy>,
 }
 
 impl Default for ThreadsConfig {
-    /// Adaptive batching with stealing on — the configuration the scaling
-    /// experiment ships.
+    /// Adaptive batching with stealing on and no pinning — the
+    /// configuration the scaling experiment ships.
     fn default() -> ThreadsConfig {
         ThreadsConfig {
             batch: BatchPolicy::Adaptive,
             steal: true,
+            pin: None,
         }
     }
 }
@@ -202,6 +291,7 @@ pub fn run_er_threads_with<P: GamePosition>(
     let exec = ThreadsConfig {
         batch: BatchPolicy::Fixed(batch),
         steal: true,
+        pin: None,
     };
     expect_complete(run_er_threads_exec(pos, depth, threads, cfg, exec))
 }
@@ -333,6 +423,7 @@ pub fn run_er_threads_tt<P: GamePosition + Zobrist>(
     let exec = ThreadsConfig {
         batch: BatchPolicy::Fixed(batch),
         steal: true,
+        pin: None,
     };
     expect_complete(run_er_threads_exec_tt(
         pos, depth, threads, cfg, exec, table,
@@ -512,6 +603,8 @@ where
         BatchPolicy::Adaptive => (DEFAULT_BATCH, true),
     };
     let steal_on = exec.steal && threads > 1;
+    // Resolved once so every worker maps against the same CPU count.
+    let pin_cores = exec.pin.map(|policy| (policy, logical_cpus()));
 
     let shared = Mutex::new(Shared {
         worker: ErWorker::new_windowed(pos.clone(), depth, window, *cfg),
@@ -550,6 +643,11 @@ where
             .enumerate()
             .map(|(me, mut own)| {
                 scope.spawn(move || {
+                    if let Some((policy, cores)) = pin_cores {
+                        // Best-effort: an unpinnable host (cgroup mask,
+                        // non-Linux OS) just runs scheduler-placed.
+                        pin_current_thread(policy.core_for(me, cores));
+                    }
                     let _sentinel = PanicSentinel {
                         ctl,
                         shared,
@@ -934,7 +1032,11 @@ mod tests {
         for batch in [BatchPolicy::Adaptive, BatchPolicy::Fixed(8)] {
             for steal in [false, true] {
                 for threads in [1usize, 4] {
-                    let exec = ThreadsConfig { batch, steal };
+                    let exec = ThreadsConfig {
+                        batch,
+                        steal,
+                        pin: None,
+                    };
                     let r = run_er_threads_exec(
                         &root,
                         7,
@@ -1039,6 +1141,7 @@ mod tests {
         let exec = ThreadsConfig {
             batch: BatchPolicy::Adaptive,
             steal: true,
+            pin: None,
         };
         let r = run_er_threads_exec(&root, 8, 4, &ErParallelConfig::random_tree(3), exec)
             .expect("unlimited-control run cannot abort");
@@ -1047,5 +1150,58 @@ mod tests {
         // The adaptive controller ran (its counters merged), whichever
         // direction this host's timings pushed it.
         assert_eq!(c.jobs_executed, c.outcomes_applied);
+    }
+
+    #[test]
+    fn pin_policies_cover_every_cpu_before_reuse() {
+        for cores in [1usize, 2, 3, 4, 6, 8, 12, 16, 64] {
+            for policy in [
+                PinPolicy::Compact,
+                PinPolicy::Scatter(1),
+                PinPolicy::Scatter(2),
+                PinPolicy::Scatter(4),
+            ] {
+                let lap: std::collections::HashSet<usize> =
+                    (0..cores).map(|w| policy.core_for(w, cores)).collect();
+                assert_eq!(
+                    lap.len(),
+                    cores,
+                    "{policy:?} on {cores} CPUs must be a permutation"
+                );
+                for w in 0..cores {
+                    assert_eq!(
+                        policy.core_for(w + cores, cores),
+                        policy.core_for(w, cores),
+                        "{policy:?} must wrap with period {cores}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_fills_even_cpus_first_on_smt2_enumeration() {
+        let p = PinPolicy::Scatter(2);
+        let first_lap: Vec<usize> = (0..8).map(|w| p.core_for(w, 8)).collect();
+        assert_eq!(first_lap, [0, 2, 4, 6, 1, 3, 5, 7]);
+        assert_eq!(PinPolicy::Compact.core_for(5, 8), 5);
+        // Degenerate hosts never panic or index out of range.
+        assert_eq!(PinPolicy::Scatter(7).core_for(3, 1), 0);
+        assert_eq!(PinPolicy::Compact.core_for(9, 0), 0);
+    }
+
+    #[test]
+    fn pinned_run_matches_negmax() {
+        let root = RandomTreeSpec::new(21, 4, 7).root();
+        let exact = negmax(&root, 7).value;
+        for pin in [None, Some(PinPolicy::Compact), Some(PinPolicy::Scatter(2))] {
+            let exec = ThreadsConfig {
+                pin,
+                ..ThreadsConfig::default()
+            };
+            let r = run_er_threads_exec(&root, 7, 4, &ErParallelConfig::random_tree(3), exec)
+                .expect("unlimited-control run cannot abort");
+            assert_eq!(r.value, exact, "pin {pin:?}");
+        }
     }
 }

@@ -78,6 +78,7 @@ proptest! {
                 BatchPolicy::Fixed(DEFAULT_BATCH)
             },
             steal: exec_idx & 2 != 0,
+            pin: None,
         };
         let root = RandomTreeSpec::new(seed, 3, 5).root();
         let r = run_er_threads_exec(
@@ -270,7 +271,11 @@ fn exec_matrix() -> Vec<ThreadsConfig> {
     let mut m = Vec::new();
     for batch in [BatchPolicy::Adaptive, BatchPolicy::Fixed(DEFAULT_BATCH)] {
         for steal in [false, true] {
-            m.push(ThreadsConfig { batch, steal });
+            m.push(ThreadsConfig {
+                batch,
+                steal,
+                pin: None,
+            });
         }
     }
     m

@@ -57,6 +57,7 @@ fn single_thread_fixed_batch_stats_are_bit_identical() {
     let exec = ThreadsConfig {
         batch: BatchPolicy::Fixed(8),
         steal: false,
+        pin: None,
     };
     for seed in [0u64, 7, 23] {
         let root = RandomTreeSpec::new(seed, 4, 7).root();

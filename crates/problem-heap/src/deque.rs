@@ -41,12 +41,20 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 
+use crate::pad::CachePadded;
+
 /// Shared state of one deque.
+///
+/// `bottom` is written on every owner push/pop, `top` on every steal; with
+/// both on one cache line each steal's CAS would invalidate the owner's
+/// line (and vice versa) even when the two ends are operating on different
+/// slots. [`CachePadded`] gives each counter its own line so the only
+/// coherence traffic left is the protocol's real communication.
 struct Inner<T> {
     /// Next slot the owner will push into (monotonic).
-    bottom: AtomicUsize,
+    bottom: CachePadded<AtomicUsize>,
     /// Next slot a stealer will take from (monotonic).
-    top: AtomicUsize,
+    top: CachePadded<AtomicUsize>,
     /// Ring buffer; slot for index `i` is `slots[i & mask]`.
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
     mask: usize,
@@ -91,8 +99,8 @@ pub fn ws_deque<T: Copy>(capacity: usize) -> (WsOwner<T>, WsStealer<T>) {
         .collect::<Vec<_>>()
         .into_boxed_slice();
     let inner = Arc::new(Inner {
-        bottom: AtomicUsize::new(0),
-        top: AtomicUsize::new(0),
+        bottom: CachePadded::new(AtomicUsize::new(0)),
+        top: CachePadded::new(AtomicUsize::new(0)),
         slots,
         mask: cap - 1,
     });
@@ -292,6 +300,19 @@ mod tests {
         seen.sort_unstable();
         let expect: Vec<u64> = (0..next).collect();
         assert_eq!(seen, expect, "single-threaded interleaving loses nothing");
+    }
+
+    #[test]
+    fn owner_and_stealer_counters_live_on_distinct_lines() {
+        let (o, _s) = ws_deque::<u8>(4);
+        let bottom = &*o.inner.bottom as *const _ as usize;
+        let top = &*o.inner.top as *const _ as usize;
+        assert_eq!(bottom % 64, 0, "bottom must be line-aligned");
+        assert_eq!(top % 64, 0, "top must be line-aligned");
+        assert!(
+            bottom / 64 != top / 64,
+            "bottom and top must not share a line"
+        );
     }
 
     #[test]

@@ -21,12 +21,14 @@
 
 pub mod deque;
 pub mod metrics;
+pub mod pad;
 pub mod queue;
 pub mod sim;
 pub mod slab;
 
 pub use deque::{ws_deque, WsOwner, WsStealer};
 pub use metrics::{CostModel, SimReport, ThreadCounters};
+pub use pad::CachePadded;
 pub use queue::StableQueue;
 pub use sim::{simulate, HeapWorker, TakenWork};
 pub use slab::PublishSlab;

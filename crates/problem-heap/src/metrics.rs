@@ -156,17 +156,30 @@ impl ThreadCounters {
             self.lock_wait_nanos as f64 / self.lock_acquisitions as f64
         }
     }
+
+    /// Mean nanoseconds the mutex was *held* per acquisition — the service
+    /// time that, multiplied by the acquisition rate, bounds scalability
+    /// in the paper's §3.1 interference model.
+    pub fn mean_lock_hold_nanos(&self) -> f64 {
+        if self.lock_acquisitions == 0 {
+            0.0
+        } else {
+            self.lock_hold_nanos as f64 / self.lock_acquisitions as f64
+        }
+    }
 }
 
 impl std::fmt::Display for ThreadCounters {
     /// One-line contention summary used by the bench output, e.g.
     /// `acq/job 0.14 | steal 23/410 (5.6%) | park 7/wake 5 | aborted 0 |
-    /// wait 312ns/acq | batch +3/-1 | re-search 2 | ord k4/h9 | qext 0`.
+    /// wait 312ns/acq | hold 187ns/acq | batch +3/-1 | re-search 2 |
+    /// ord k4/h9 | qext 0`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
             "acq/job {:.3} | steal {}/{} ({:.1}%) | park {}/wake {} | aborted {} | \
-             wait {:.0}ns/acq | batch +{}/-{} | re-search {} | ord k{}/h{} | qext {}",
+             wait {:.0}ns/acq | hold {:.0}ns/acq | batch +{}/-{} | re-search {} | \
+             ord k{}/h{} | qext {}",
             self.acquisitions_per_job(),
             self.steal_hits,
             self.steal_attempts,
@@ -175,6 +188,7 @@ impl std::fmt::Display for ThreadCounters {
             self.wakeups,
             self.jobs_aborted,
             self.mean_lock_wait_nanos(),
+            self.mean_lock_hold_nanos(),
             self.batch_grows,
             self.batch_shrinks,
             self.re_searches,
@@ -349,10 +363,12 @@ mod tests {
         assert!((a.acquisitions_per_job() - 15.0 / 50.0).abs() < 1e-12);
         assert!((a.steal_hit_rate() - 0.3).abs() < 1e-12);
         assert!((a.mean_lock_wait_nanos() - 100.0).abs() < 1e-12);
+        assert!((a.mean_lock_hold_nanos() - 2300.0 / 15.0).abs() < 1e-12);
         assert_eq!(ThreadCounters::default().jobs_per_acquisition(), 0.0);
         assert_eq!(ThreadCounters::default().acquisitions_per_job(), 0.0);
         assert_eq!(ThreadCounters::default().steal_hit_rate(), 0.0);
         assert_eq!(ThreadCounters::default().mean_lock_wait_nanos(), 0.0);
+        assert_eq!(ThreadCounters::default().mean_lock_hold_nanos(), 0.0);
     }
 
     #[test]
@@ -363,6 +379,7 @@ mod tests {
             steal_attempts: 8,
             steal_hits: 2,
             lock_wait_nanos: 1000,
+            lock_hold_nanos: 2500,
             batch_grows: 1,
             batch_shrinks: 2,
             idle_parks: 7,
@@ -376,7 +393,8 @@ mod tests {
         assert!(s.contains("steal 2/8 (25.0%)"), "got: {s}");
         assert!(s.contains("park 7/wake 5"), "got: {s}");
         assert!(s.contains("aborted 3"), "got: {s}");
-        assert!(s.contains("100ns/acq"), "got: {s}");
+        assert!(s.contains("wait 100ns/acq"), "got: {s}");
+        assert!(s.contains("hold 250ns/acq"), "got: {s}");
         assert!(s.contains("batch +1/-2"), "got: {s}");
         assert!(s.contains("re-search 0"), "got: {s}");
         assert!(s.contains("ord k0/h0"), "got: {s}");
@@ -393,6 +411,7 @@ mod tests {
             steal_attempts: 8,
             steal_hits: 2,
             lock_wait_nanos: 1000,
+            lock_hold_nanos: 1500,
             batch_grows: 1,
             batch_shrinks: 2,
             idle_parks: 7,
@@ -407,12 +426,14 @@ mod tests {
         assert_eq!(
             format!("{c}"),
             "acq/job 0.250 | steal 2/8 (25.0%) | park 7/wake 5 | aborted 3 | \
-             wait 100ns/acq | batch +1/-2 | re-search 4 | ord k6/h2 | qext 1"
+             wait 100ns/acq | hold 150ns/acq | batch +1/-2 | re-search 4 | \
+             ord k6/h2 | qext 1"
         );
         assert_eq!(
             format!("{}", ThreadCounters::default()),
             "acq/job 0.000 | steal 0/0 (0.0%) | park 0/wake 0 | aborted 0 | \
-             wait 0ns/acq | batch +0/-0 | re-search 0 | ord k0/h0 | qext 0"
+             wait 0ns/acq | hold 0ns/acq | batch +0/-0 | re-search 0 | \
+             ord k0/h0 | qext 0"
         );
     }
 

@@ -181,3 +181,19 @@ mod tests {
         assert_eq!(job_label(99), "job");
     }
 }
+
+#[cfg(test)]
+mod sizes {
+    //! Layout assert, run by CI's `cargo test sizes` step: events fill the
+    //! per-worker rings at search rates, so a field addition that grows
+    //! the record past 24 bytes (2⅔ events per cache line) must be a
+    //! deliberate decision, not an accident.
+
+    use super::*;
+
+    #[test]
+    fn trace_event_is_24_bytes() {
+        assert_eq!(std::mem::size_of::<TraceEvent>(), 24);
+        assert_eq!(std::mem::size_of::<EventKind>(), 1);
+    }
+}

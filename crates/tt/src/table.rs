@@ -4,6 +4,7 @@
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering::Relaxed};
 
 use gametree::{Value, Window};
+use problem_heap::CachePadded;
 
 /// Result classification of a stored search (the usual alpha-beta bound
 /// semantics): the searched value was exact, a lower bound (the search
@@ -116,11 +117,29 @@ struct Slot {
 
 const WAYS: usize = 4;
 
-/// A 4-way set-associative bucket (one cache line of slots per probe).
+/// A 4-way set-associative bucket: exactly one 64-byte cache line, and
+/// `#[repr(align(64))]` so the allocator can never straddle a bucket
+/// across two lines — one probe touches one line, period.
 #[derive(Default)]
+#[repr(align(64))]
 struct Bucket {
     slots: [Slot; WAYS],
 }
+
+// The layout contract the probe path is built on, enforced at compile
+// time: a slot is two packed words, a bucket is one full aligned line.
+const _: () = {
+    use std::mem::{align_of, size_of};
+    assert!(size_of::<Slot>() == 16);
+    assert!(size_of::<Bucket>() == 64);
+    assert!(align_of::<Bucket>() == 64);
+};
+
+/// Number of counter stripes; a power of two so stripe selection is a
+/// mask. Eight padded stripes spread unrelated workers' relaxed
+/// `fetch_add` traffic across eight cache lines instead of piling every
+/// increment onto one shared line.
+const COUNTER_STRIPES: usize = 8;
 
 /// Monotonic per-table event counters, updated with relaxed atomics — they
 /// instrument, never synchronize.
@@ -204,7 +223,10 @@ pub struct TranspositionTable {
     bucket_mask: u64,
     /// Current search generation (mod 64); see [`Self::new_search`].
     generation: AtomicU8,
-    counters: TtCounters,
+    /// Hash-striped counter blocks, each padded to its own cache line so
+    /// concurrent workers' bookkeeping doesn't false-share; see
+    /// [`Self::counters`].
+    counters: [CachePadded<TtCounters>; COUNTER_STRIPES],
 }
 
 impl TranspositionTable {
@@ -229,7 +251,7 @@ impl TranspositionTable {
             shard_bits: shard_count.trailing_zeros(),
             bucket_mask: buckets_per_shard as u64 - 1,
             generation: AtomicU8::new(0),
-            counters: TtCounters::default(),
+            counters: Default::default(),
         }
     }
 
@@ -241,6 +263,39 @@ impl TranspositionTable {
     /// Total entry capacity.
     pub fn capacity(&self) -> usize {
         self.shards.len() * (self.bucket_mask as usize + 1) * WAYS
+    }
+
+    /// Number of independent shard allocations backing the table.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `hash` maps to — the memory-placement side of the
+    /// topology story: on a NUMA machine, first-touching a shard from the
+    /// worker whose home range contains it keeps that allocation local.
+    #[inline]
+    pub fn shard_of(&self, hash: u64) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (hash >> (64 - self.shard_bits)) as usize
+        }
+    }
+
+    /// The contiguous range of shards "home" to `worker` of `workers` —
+    /// an affinity *hint* for pinned workers (pair with
+    /// `er_parallel::PinPolicy`): probing outside the range stays correct,
+    /// it just crosses nodes. Workers split the shards as evenly as
+    /// possible, earlier workers taking the remainder.
+    pub fn home_shards(&self, worker: usize, workers: usize) -> std::ops::Range<usize> {
+        let workers = workers.max(1);
+        let worker = worker.min(workers - 1);
+        let n = self.shards.len();
+        let base = n / workers;
+        let extra = n % workers;
+        let start = worker * base + worker.min(extra);
+        let len = base + usize::from(worker < extra);
+        start..(start + len).min(n)
     }
 
     /// Advances the table to a new generation so existing entries age.
@@ -273,6 +328,15 @@ impl TranspositionTable {
         self.generation.load(Relaxed)
     }
 
+    /// The counter stripe `hash` bills to. Any well-mixed bits work; the
+    /// point is only that concurrent workers (whose hashes are unrelated)
+    /// usually land on different cache lines. Hashless bookkeeping
+    /// ([`Self::note_hint_used`]) bills stripe 0.
+    #[inline]
+    fn counters(&self, hash: u64) -> &TtCounters {
+        &self.counters[(hash as usize) & (COUNTER_STRIPES - 1)]
+    }
+
     fn bucket(&self, hash: u64) -> &Bucket {
         // High bits pick the shard, low bits the bucket within it, so the
         // two indices never alias even for tiny tables.
@@ -287,7 +351,8 @@ impl TranspositionTable {
     /// Looks up `hash`, returning the decoded entry if any slot of its
     /// bucket validates.
     pub fn probe(&self, hash: u64) -> Option<Probe> {
-        self.counters.probes.fetch_add(1, Relaxed);
+        let counters = self.counters(hash);
+        counters.probes.fetch_add(1, Relaxed);
         for slot in &self.bucket(hash).slots {
             let key = slot.key.load(Relaxed);
             let data = slot.data.load(Relaxed);
@@ -297,9 +362,9 @@ impl TranspositionTable {
             let Some(bound) = unpack_bound(data) else {
                 continue; // empty slot (only reachable when hash == 0)
             };
-            self.counters.hits.fetch_add(1, Relaxed);
+            counters.hits.fetch_add(1, Relaxed);
             if bound == Bound::Exact {
-                self.counters.exact_hits.fetch_add(1, Relaxed);
+                counters.exact_hits.fetch_add(1, Relaxed);
             }
             return Some(Probe {
                 value: unpack_value(data),
@@ -320,7 +385,8 @@ impl TranspositionTable {
     /// — old generations go first, then shallow entries, so deep
     /// current-search results survive bucket pressure longest.
     pub fn store(&self, hash: u64, depth: u32, value: Value, bound: Bound, hint: Option<u16>) {
-        self.counters.stores.fetch_add(1, Relaxed);
+        let counters = self.counters(hash);
+        counters.stores.fetch_add(1, Relaxed);
         let generation = self.generation.load(Relaxed);
         let bucket = self.bucket(hash);
         let mut victim = 0usize;
@@ -360,9 +426,9 @@ impl TranspositionTable {
             }
         }
         if victim_live {
-            self.counters.replacements.fetch_add(1, Relaxed);
+            counters.replacements.fetch_add(1, Relaxed);
             if victim_current_gen {
-                self.counters.collisions.fetch_add(1, Relaxed);
+                counters.collisions.fetch_add(1, Relaxed);
             }
         }
         let slot = &bucket.slots[victim];
@@ -375,21 +441,23 @@ impl TranspositionTable {
     /// [`crate::TtAccess`] when a stored best move is spliced to the front
     /// of a child list).
     pub fn note_hint_used(&self) {
-        self.counters.hint_hits.fetch_add(1, Relaxed);
+        self.counters[0].hint_hits.fetch_add(1, Relaxed);
     }
 
     /// A consistent-enough snapshot of the counters (relaxed reads; exact
     /// once the search has quiesced).
     pub fn stats(&self) -> TtStats {
-        TtStats {
-            probes: self.counters.probes.load(Relaxed),
-            hits: self.counters.hits.load(Relaxed),
-            exact_hits: self.counters.exact_hits.load(Relaxed),
-            hint_hits: self.counters.hint_hits.load(Relaxed),
-            stores: self.counters.stores.load(Relaxed),
-            replacements: self.counters.replacements.load(Relaxed),
-            collisions: self.counters.collisions.load(Relaxed),
+        let mut t = TtStats::default();
+        for stripe in &self.counters {
+            t.probes += stripe.probes.load(Relaxed);
+            t.hits += stripe.hits.load(Relaxed);
+            t.exact_hits += stripe.exact_hits.load(Relaxed);
+            t.hint_hits += stripe.hint_hits.load(Relaxed);
+            t.stores += stripe.stores.load(Relaxed);
+            t.replacements += stripe.replacements.load(Relaxed);
+            t.collisions += stripe.collisions.load(Relaxed);
         }
+        t
     }
 }
 
@@ -635,6 +703,87 @@ mod tests {
             if let Some(p) = t.probe(hash) {
                 assert_eq!(p.value, Value::new(h as i32), "wrong payload for key");
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod sizes {
+    //! Layout asserts, mirrored at compile time above: CI runs
+    //! `cargo test sizes` so a field addition that bloats a hot struct
+    //! fails loudly, with this module naming the contract.
+
+    use super::*;
+    use std::mem::{align_of, size_of};
+
+    #[test]
+    fn slot_is_sixteen_bytes() {
+        assert_eq!(size_of::<Slot>(), 16);
+    }
+
+    #[test]
+    fn bucket_is_exactly_one_aligned_cache_line() {
+        assert_eq!(size_of::<Bucket>(), 64);
+        assert_eq!(align_of::<Bucket>(), 64);
+        // And the allocation respects it: every bucket of a live table
+        // starts on a line boundary.
+        let tt = TranspositionTable::with_bits(6);
+        for shard in &tt.shards {
+            for bucket in shard.iter() {
+                assert_eq!(bucket as *const Bucket as usize % 64, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_stripes_are_line_disjoint() {
+        let tt = TranspositionTable::with_bits(4);
+        assert_eq!(size_of::<CachePadded<TtCounters>>(), 64);
+        let lines: Vec<usize> = tt
+            .counters
+            .iter()
+            .map(|c| (&**c) as *const TtCounters as usize / 64)
+            .collect();
+        for (i, a) in lines.iter().enumerate() {
+            for b in &lines[i + 1..] {
+                assert_ne!(a, b, "two counter stripes share a cache line");
+            }
+        }
+    }
+
+    #[test]
+    fn striped_counters_still_sum_in_stats() {
+        let tt = TranspositionTable::with_bits(8);
+        // Hashes chosen to scatter across stripes (low bits differ).
+        for h in 0..64u64 {
+            let hash = h.wrapping_mul(0x9e37_79b9_7f4a_7c15) | h;
+            tt.store(hash, 3, Value::new(1), Bound::Exact, None);
+            assert!(tt.probe(hash).is_some());
+        }
+        let s = tt.stats();
+        assert_eq!(s.probes, 64);
+        assert_eq!(s.hits, 64);
+        assert_eq!(s.stores, 64);
+    }
+
+    #[test]
+    fn home_shards_partition_the_table() {
+        let tt = TranspositionTable::with_bits(12); // 64 shards
+        for workers in [1usize, 2, 3, 5, 8, 64, 100] {
+            let mut covered = 0usize;
+            let mut prev_end = 0usize;
+            for w in 0..workers {
+                let r = tt.home_shards(w, workers);
+                assert_eq!(r.start, prev_end, "ranges must tile in order");
+                prev_end = r.end;
+                covered += r.len();
+            }
+            assert_eq!(prev_end, tt.shard_count(), "workers {workers}");
+            assert_eq!(covered, tt.shard_count());
+        }
+        // Every shard a hash maps to falls inside exactly one home range.
+        for h in [0u64, 1, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert!(tt.shard_of(h) < tt.shard_count());
         }
     }
 }

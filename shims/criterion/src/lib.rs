@@ -3,59 +3,164 @@
 //! The build environment has no crates.io registry, so this crate vendors
 //! the subset of criterion's API the workspace benches use: `Criterion`,
 //! benchmark groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
-//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
 //!
-//! Measurement is intentionally simple: each benchmark body is warmed up
-//! once, then timed over enough iterations to fill a small measurement
-//! budget, and the mean ns/iter is printed. It produces comparable
-//! numbers run-to-run on an idle machine — adequate for catching
-//! regressions of the kind this repository asserts on — without
-//! criterion's statistical machinery.
+//! Measurement is intentionally simple but robust to scheduler noise:
+//! each benchmark body is warmed up once, then timed over
+//! [`SAMPLE_COUNT`] independent repetition samples (each running enough
+//! iterations to fill its slice of a small budget), and the **median**
+//! ns/iter across samples is reported — one preempted sample cannot drag
+//! the figure the way a mean would let it. With a
+//! [`Throughput`] attached the harness also prints the implied rate
+//! (elements or bytes per second). It produces comparable numbers
+//! run-to-run on an idle machine — adequate for catching regressions of
+//! the kind this repository asserts on — without criterion's statistical
+//! machinery. [`measure`] exposes the same timing loop programmatically
+//! for experiments that assert on speedups instead of printing.
 
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Per-iteration benchmark driver passed to benchmark closures.
-pub struct Bencher {
-    iters_hint: u64,
-    /// (iterations, elapsed) of the measured run.
-    result: Option<(u64, Duration)>,
-}
-
-impl Bencher {
-    /// Times `f`, storing the measurement for the harness to report.
-    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
-        // Warm-up (and a lower bound on work in case the budget is tiny).
-        black_box(f());
-        let start = Instant::now();
-        let mut iters = 0u64;
-        loop {
-            black_box(f());
-            iters += 1;
-            if iters >= self.iters_hint || start.elapsed() > MEASURE_BUDGET {
-                break;
-            }
-        }
-        self.result = Some((iters, start.elapsed()));
-    }
-}
+/// Independent repetition samples per benchmark; the reported figure is
+/// the median across them.
+pub const SAMPLE_COUNT: usize = 5;
 
 const MEASURE_BUDGET: Duration = Duration::from_millis(300);
 
-fn run_one(label: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+/// Units of work one benchmark iteration performs, for rate reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Per-iteration benchmark driver passed to benchmark closures.
+pub struct Bencher {
+    iters_hint: u64,
+    /// (iterations, elapsed) per repetition sample of the measured run.
+    samples: Vec<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f` over [`SAMPLE_COUNT`] repetition samples, storing the
+    /// measurements for the harness to aggregate.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up (and a lower bound on work in case the budget is tiny).
+        black_box(f());
+        let slice = MEASURE_BUDGET / SAMPLE_COUNT as u32;
+        for _ in 0..SAMPLE_COUNT {
+            let start = Instant::now();
+            let mut iters = 0u64;
+            loop {
+                black_box(f());
+                iters += 1;
+                if iters >= self.iters_hint || start.elapsed() > slice {
+                    break;
+                }
+            }
+            self.samples.push((iters, start.elapsed()));
+        }
+    }
+}
+
+/// Median ns/iter across repetition samples (mean of the middle two when
+/// the count is even). Samples that recorded zero iterations are
+/// discarded; returns `None` when nothing usable was measured.
+pub fn median_ns(samples: &[(u64, Duration)]) -> Option<f64> {
+    let mut per: Vec<f64> = samples
+        .iter()
+        .filter(|(iters, _)| *iters > 0)
+        .map(|(iters, total)| total.as_nanos() as f64 / *iters as f64)
+        .collect();
+    if per.is_empty() {
+        return None;
+    }
+    per.sort_by(f64::total_cmp);
+    let n = per.len();
+    Some(if n % 2 == 1 {
+        per[n / 2]
+    } else {
+        (per[n / 2 - 1] + per[n / 2]) / 2.0
+    })
+}
+
+/// One aggregated benchmark result.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Median nanoseconds per iteration across the repetition samples.
+    pub median_ns: f64,
+    /// Iterations executed across all samples.
+    pub total_iters: u64,
+    /// Repetition samples that produced a usable timing.
+    pub samples: usize,
+}
+
+impl Measurement {
+    /// Work units per second implied by the median, given what one
+    /// iteration processes.
+    pub fn rate_per_sec(&self, throughput: Throughput) -> f64 {
+        let units = match throughput {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        units as f64 * 1e9 / self.median_ns
+    }
+}
+
+/// Runs the same timing loop as `bench_function` and returns the
+/// aggregate instead of printing it — the hook experiments use to
+/// *assert* on relative kernel speed. `None` only when the body never
+/// completed an iteration.
+pub fn measure<R, F: FnMut() -> R>(sample_size: u64, f: F) -> Option<Measurement> {
+    let mut b = Bencher {
+        iters_hint: sample_size.max(1),
+        samples: Vec::new(),
+    };
+    b.iter(f);
+    let median = median_ns(&b.samples)?;
+    Some(Measurement {
+        median_ns: median,
+        total_iters: b.samples.iter().map(|(iters, _)| iters).sum(),
+        samples: b.samples.iter().filter(|(iters, _)| *iters > 0).count(),
+    })
+}
+
+fn run_one(
+    label: &str,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
     let mut b = Bencher {
         iters_hint: sample_size,
-        result: None,
+        samples: Vec::new(),
     };
     f(&mut b);
-    match b.result {
-        Some((iters, total)) if iters > 0 => {
-            let per = total.as_nanos() / iters as u128;
-            println!("{label:<48} {per:>12} ns/iter ({iters} iters)");
+    let Some(median) = median_ns(&b.samples) else {
+        println!("{label:<48} (no measurement)");
+        return;
+    };
+    let m = Measurement {
+        median_ns: median,
+        total_iters: b.samples.iter().map(|(iters, _)| iters).sum(),
+        samples: b.samples.len(),
+    };
+    let rate = match throughput {
+        Some(t @ Throughput::Elements(_)) => {
+            format!(" {:>10.2} Melem/s", m.rate_per_sec(t) / 1e6)
         }
-        _ => println!("{label:<48} (no measurement)"),
-    }
+        Some(t @ Throughput::Bytes(_)) => {
+            format!(" {:>10.2} MiB/s", m.rate_per_sec(t) / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{label:<48} {:>12.0} ns/iter (median of {}, {} iters){rate}",
+        m.median_ns, m.samples, m.total_iters
+    );
 }
 
 /// Identifies one benchmark within a group.
@@ -83,6 +188,7 @@ impl BenchmarkId {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: u64,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -93,9 +199,21 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares what one iteration of subsequent benchmarks processes;
+    /// their reports gain an elements- or bytes-per-second rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Benchmarks `f` under `id` within this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        run_one(&format!("{}/{id}", self.name), self.sample_size, &mut f);
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
         self
     }
 
@@ -109,6 +227,7 @@ impl BenchmarkGroup<'_> {
         run_one(
             &format!("{}/{}", self.name, id.label),
             self.sample_size,
+            self.throughput,
             &mut |b| f(b, input),
         );
         self
@@ -128,13 +247,14 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             sample_size: 10,
+            throughput: None,
             _criterion: self,
         }
     }
 
     /// Benchmarks a standalone function.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        run_one(id, 10, &mut f);
+        run_one(id, 10, None, &mut f);
         self
     }
 }
@@ -175,6 +295,7 @@ mod tests {
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("g");
         g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
         g.bench_function("one", |b| b.iter(|| black_box(0)));
         g.bench_with_input(BenchmarkId::new("two", 7), &7, |b, &x| {
             b.iter(|| black_box(x * 2))
@@ -183,5 +304,61 @@ mod tests {
             b.iter(|| black_box(x + 1))
         });
         g.finish();
+    }
+
+    #[test]
+    fn median_is_order_free_and_skips_empty_samples() {
+        let ms = Duration::from_millis(1);
+        // Odd count: 100, 200, 300 ns/iter -> 200, whatever the order.
+        let odd = [(10_000, ms * 3), (10_000, ms), (10_000, ms * 2)];
+        assert_eq!(median_ns(&odd), Some(200.0));
+        // Even count: mean of the middle two.
+        let even = [
+            (10_000, ms),
+            (10_000, ms * 2),
+            (10_000, ms * 3),
+            (10_000, ms * 40),
+        ];
+        assert_eq!(median_ns(&even), Some(250.0));
+        // Zero-iteration samples are discarded, not divided by.
+        let gappy = [(0, ms), (10_000, ms * 2), (0, ms * 9)];
+        assert_eq!(median_ns(&gappy), Some(200.0));
+        assert_eq!(median_ns(&[]), None);
+        assert_eq!(median_ns(&[(0, ms)]), None);
+    }
+
+    #[test]
+    fn median_resists_one_polluted_sample() {
+        // The mean of these is dragged 5x by the outlier; the median is
+        // exactly why the harness repeats the measurement.
+        let ms = Duration::from_millis(1);
+        let polluted = [
+            (10_000, ms),
+            (10_000, ms),
+            (10_000, ms * 100),
+            (10_000, ms),
+            (10_000, ms),
+        ];
+        assert_eq!(median_ns(&polluted), Some(100.0));
+    }
+
+    #[test]
+    fn measure_returns_the_aggregate() {
+        let m = measure(64, || black_box(7u64.wrapping_mul(13))).expect("measured");
+        assert!(m.median_ns > 0.0);
+        assert!(m.total_iters >= SAMPLE_COUNT as u64);
+        assert_eq!(m.samples, SAMPLE_COUNT);
+    }
+
+    #[test]
+    fn throughput_rate_is_units_over_median() {
+        let m = Measurement {
+            median_ns: 100.0,
+            total_iters: 1,
+            samples: 1,
+        };
+        // 50 elements every 100ns = 5e8 elements/sec.
+        assert_eq!(m.rate_per_sec(Throughput::Elements(50)), 5e8);
+        assert_eq!(m.rate_per_sec(Throughput::Bytes(100)), 1e9);
     }
 }

@@ -59,8 +59,9 @@
 //! assert_eq!(thr.counters().jobs_executed, thr.counters().outcomes_applied);
 //!
 //! // Execution-layer knobs (DESIGN.md §9): adaptive batching and
-//! // work stealing are the default; pin or disable them explicitly.
-//! let exec = ThreadsConfig { batch: BatchPolicy::Adaptive, steal: true };
+//! // work stealing are the default, CPU pinning is opt-in (DESIGN.md
+//! // §14 — `pin: Some(PinPolicy::Compact)` to stop worker migration).
+//! let exec = ThreadsConfig { batch: BatchPolicy::Adaptive, steal: true, pin: None };
 //! assert_eq!(exec, ThreadsConfig::default());
 //! let ws = run_er_threads_exec(&root, 8, 4, &ErParallelConfig::random_tree(4), exec)
 //!     .expect("no deadline, no panic: cannot abort");
@@ -148,8 +149,8 @@ pub mod prelude {
         run_er_threads_id_asp_tt, run_er_threads_id_trace, run_er_threads_id_trace_tt,
         run_er_threads_id_tt, run_er_threads_trace, run_er_threads_trace_tt, run_er_threads_tt,
         run_er_threads_window_ord, run_er_threads_with, AbortReason, AspirationConfig, BatchPolicy,
-        ErIdResult, ErParallelConfig, ErRunResult, ErThreadsResult, SearchAborted, SearchControl,
-        Speculation, ThreadsConfig, DEFAULT_BATCH, MAX_BATCH,
+        ErIdResult, ErParallelConfig, ErRunResult, ErThreadsResult, PinPolicy, SearchAborted,
+        SearchControl, Speculation, ThreadsConfig, DEFAULT_BATCH, MAX_BATCH,
     };
     pub use gametree::ordered::OrderedTreeSpec;
     pub use gametree::random::RandomTreeSpec;
