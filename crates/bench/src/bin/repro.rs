@@ -50,6 +50,15 @@
 //!                   back-end, and a linted traced run (accepts
 //!                   --threads 1,2,4; writes BENCH_mech.json at the
 //!                   repo root)
+//! repro match       repeated-game engine loop: full self-play games in
+//!                   both families (warm TT + ordering state across
+//!                   moves, per-move time management), ER-threads vs the
+//!                   fixed-depth and anytime-serial baselines on paired
+//!                   openings with color swap; gates on legality, zero
+//!                   forfeits, warm-TT hits, and ER points >= the
+//!                   fixed-depth baseline (accepts --games 8,
+//!                   --tc 1000+10, --threads N, --tt-bits N; writes
+//!                   BENCH_match.json at the repo root)
 //! repro all         everything above (except the interactive `uci`)
 //! ```
 //!
@@ -1269,6 +1278,267 @@ fn mech() {
     println!("  -> BENCH_mech.json");
 }
 
+/// One `repro match` pairing, flattened for the report: W/D/L plus the
+/// per-move telemetry the game loop recorded.
+struct MatchPairingRow {
+    family: String,
+    name_a: String,
+    name_b: String,
+    games: usize,
+    points_a: u32,
+    points_b: u32,
+    wins_a: u32,
+    draws_a: u32,
+    losses_a: u32,
+    illegal_moves: u32,
+    forfeits: u32,
+    total_moves: usize,
+    mean_depth_a: f64,
+    mean_depth_b: f64,
+    /// TT hit rate over the ER engine's post-opening moves (its warmth).
+    warm_hit_rate: f64,
+    moves: Vec<MatchMoveRow>,
+}
+
+/// One move's telemetry in `BENCH_match.json`.
+struct MatchMoveRow {
+    game: usize,
+    ply: u32,
+    engine: String,
+    mv: String,
+    depth: u32,
+    value: i32,
+    nodes: u64,
+    budget_ms: u64,
+    elapsed_ms: u64,
+    clock_after_ms: u64,
+    tt_probes: u64,
+    tt_hits: u64,
+}
+
+impl er_bench::json::ToJson for MatchPairingRow {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        er_bench::json::write_object(
+            out,
+            indent,
+            &[
+                ("family", &self.family),
+                ("name_a", &self.name_a),
+                ("name_b", &self.name_b),
+                ("games", &self.games),
+                ("points_a", &self.points_a),
+                ("points_b", &self.points_b),
+                ("wins_a", &self.wins_a),
+                ("draws_a", &self.draws_a),
+                ("losses_a", &self.losses_a),
+                ("illegal_moves", &self.illegal_moves),
+                ("forfeits", &self.forfeits),
+                ("total_moves", &self.total_moves),
+                ("mean_depth_a", &self.mean_depth_a),
+                ("mean_depth_b", &self.mean_depth_b),
+                ("warm_hit_rate", &self.warm_hit_rate),
+                ("moves", &self.moves),
+            ],
+        );
+    }
+}
+
+impl er_bench::json::ToJson for MatchMoveRow {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        er_bench::json::write_object(
+            out,
+            indent,
+            &[
+                ("game", &self.game),
+                ("ply", &self.ply),
+                ("engine", &self.engine),
+                ("mv", &self.mv),
+                ("depth", &self.depth),
+                ("value", &self.value),
+                ("nodes", &self.nodes),
+                ("budget_ms", &self.budget_ms),
+                ("elapsed_ms", &self.elapsed_ms),
+                ("clock_after_ms", &self.clock_after_ms),
+                ("tt_probes", &self.tt_probes),
+                ("tt_hits", &self.tt_hits),
+            ],
+        );
+    }
+}
+
+/// Flattens a finished match and enforces the game-loop contract: only
+/// legal moves, no clock forfeits, no ply-cap games, and nonzero TT hits
+/// on every post-opening move of the warm ER engine.
+fn match_pairing_row(r: &match_harness::MatchResult) -> MatchPairingRow {
+    use match_harness::TerminalKind;
+    let mut moves = Vec::new();
+    let mut illegal = 0u32;
+    let mut forfeits = 0u32;
+    let mut depth_sum = [0u64; 2];
+    let mut depth_n = [0u64; 2];
+    let mut warm = (0u64, 0u64); // (hits, probes) on ER post-opening moves
+    for (g, game) in r.games.iter().enumerate() {
+        illegal += game.illegal_moves;
+        if game.terminal == TerminalKind::Forfeit {
+            forfeits += 1;
+        }
+        assert_ne!(
+            game.terminal,
+            TerminalKind::Capped,
+            "{} game {g}: hit the safety ply cap — rules regression",
+            r.family.name()
+        );
+        for (i, m) in game.moves.iter().enumerate() {
+            // Game parity maps the mover back to an engine: even-indexed
+            // games have A moving first, odd-indexed have B.
+            let is_a = (g % 2 == 0) == (m.mover == 0);
+            let engine = if is_a { &r.name_a } else { &r.name_b };
+            let side = usize::from(!is_a);
+            depth_sum[side] += u64::from(m.depth);
+            depth_n[side] += 1;
+            if engine.starts_with("er") && i >= 2 {
+                assert!(
+                    m.tt_hits > 0,
+                    "{} game {g} move {i} ({engine}): zero TT hits on a \
+                     post-opening move — the table is not staying warm",
+                    r.family.name()
+                );
+                warm.0 += m.tt_hits;
+                warm.1 += m.tt_probes;
+            }
+            moves.push(MatchMoveRow {
+                game: g,
+                ply: m.ply,
+                engine: engine.clone(),
+                mv: m.label.clone(),
+                depth: m.depth,
+                value: m.value,
+                nodes: m.nodes,
+                budget_ms: m.budget_ms,
+                elapsed_ms: m.elapsed_ms,
+                clock_after_ms: m.clock_after_ms,
+                tt_probes: m.tt_probes,
+                tt_hits: m.tt_hits,
+            });
+        }
+    }
+    assert_eq!(illegal, 0, "{}: illegal moves played", r.family.name());
+    assert_eq!(forfeits, 0, "{}: clock forfeits", r.family.name());
+    let mean = |s: u64, n: u64| s as f64 / n.max(1) as f64;
+    MatchPairingRow {
+        family: r.family.name().to_string(),
+        name_a: r.name_a.clone(),
+        name_b: r.name_b.clone(),
+        games: r.games.len(),
+        points_a: r.points_a,
+        points_b: r.points_b,
+        wins_a: r.wdl_a.0,
+        draws_a: r.wdl_a.1,
+        losses_a: r.wdl_a.2,
+        illegal_moves: illegal,
+        forfeits,
+        total_moves: moves.len(),
+        mean_depth_a: mean(depth_sum[0], depth_n[0]),
+        mean_depth_b: mean(depth_sum[1], depth_n[1]),
+        warm_hit_rate: mean(warm.0, warm.1),
+        moves,
+    }
+}
+
+fn match_play() {
+    use match_harness::{run_match, EngineSpec, Family, MatchConfig};
+
+    let mut cli = er_bench::cli::Cli::from_env("match");
+    let games = cli.count("--games", 8, 2..=256) as usize;
+    let (base_ms, inc_ms) = cli.tc((1000, 10));
+    let threads = cli.count("--threads", 2, 1..=64) as usize;
+    let tt_bits = cli.tt_bits(16);
+    cli.finish();
+
+    let cfg = MatchConfig {
+        games,
+        tc: engine_server::TimeControl::from_millis(base_ms, inc_ms),
+        tt_bits,
+        ..MatchConfig::default()
+    };
+    println!(
+        "\n=== Self-play matches: {games} games/pairing at {base_ms}+{inc_ms}ms, \
+         er{threads} on 2^{tt_bits}-entry tables ==="
+    );
+
+    // Two odds regimes per family. Fixed-depth ignores the clock (its
+    // node count is position-determined — fixed-node odds); serial-id
+    // spends the same per-move allotment as ER (fixed-time odds).
+    let er = EngineSpec::ErThreads { threads };
+    let pairings = [
+        (er, EngineSpec::FixedDepth { depth: 2 }),
+        (er, EngineSpec::SerialId),
+    ];
+    let mut rows = Vec::new();
+    for family in [Family::Othello, Family::Checkers] {
+        for (a, b) in pairings {
+            let r = run_match(family, a, b, &cfg);
+            rows.push(match_pairing_row(&r));
+        }
+    }
+
+    println!(
+        "{:<9} {:<18} {:>6} {:>5} {:>5} {:>8} {:>6} {:>7} {:>7} {:>9}",
+        "family",
+        "pairing",
+        "games",
+        "ptsA",
+        "ptsB",
+        "W-D-L(A)",
+        "moves",
+        "depthA",
+        "depthB",
+        "warmhit"
+    );
+    for r in &rows {
+        println!(
+            "{:<9} {:<18} {:>6} {:>5} {:>5} {:>8} {:>6} {:>7.1} {:>7.1} {:>8.1}%",
+            r.family,
+            format!("{} v {}", r.name_a, r.name_b),
+            r.games,
+            r.points_a,
+            r.points_b,
+            format!("{}-{}-{}", r.wins_a, r.draws_a, r.losses_a),
+            r.total_moves,
+            r.mean_depth_a,
+            r.mean_depth_b,
+            100.0 * r.warm_hit_rate
+        );
+    }
+
+    // The strength-regression gate: at equal odds the warm threaded ER
+    // engine must not lose the match to the fixed-depth serial baseline.
+    for r in rows.iter().filter(|r| r.name_b.starts_with("fixed")) {
+        assert!(
+            r.points_a >= r.points_b,
+            "{}: {} scored {} points vs {}'s {} — warm ER fell below the \
+             fixed-depth baseline",
+            r.family,
+            r.name_a,
+            r.points_a,
+            r.name_b,
+            r.points_b
+        );
+        println!(
+            "{}: {} >= {} at equal odds ({} vs {} points) — strength gate holds",
+            r.family, r.name_a, r.name_b, r.points_a, r.points_b
+        );
+    }
+
+    save_json("match", &rows);
+    let pretty = er_bench::json::to_pretty(&rows);
+    trace::lint::check(&pretty).expect("results/match.json must be valid JSON");
+    let mut f = fs::File::create("BENCH_match.json").expect("create BENCH_match.json");
+    f.write_all(pretty.as_bytes())
+        .expect("write BENCH_match.json");
+    println!("  -> BENCH_match.json");
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     match arg.as_str() {
@@ -1291,6 +1561,7 @@ fn main() {
         "serve" => serve(),
         "uci" => uci(),
         "mech" => mech(),
+        "match" => match_play(),
         "all" => {
             table3();
             fig(10);
@@ -1310,12 +1581,13 @@ fn main() {
             trace();
             serve();
             mech();
+            match_play();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; use \
                  table3|fig10|fig11|fig12|fig13|baselines|ablation|overhead|sweep|ordering|\
-                 gantt|threads|tt|scaling|deadline|trace|serve|mech|uci|all"
+                 gantt|threads|tt|scaling|deadline|trace|serve|mech|match|uci|all"
             );
             std::process::exit(2);
         }

@@ -117,6 +117,34 @@ impl Cli {
         self.ok_or_die(r)
     }
 
+    /// `--tc` as a `base+increment` time control in milliseconds, like
+    /// `1000+10`. A bare `1000` means zero increment. Absent flag yields
+    /// `default` (also `(base_ms, inc_ms)`).
+    pub fn try_tc(&mut self, default: (u64, u64)) -> Result<(u64, u64), String> {
+        let example = format!("{}+{}", default.0, default.1);
+        match self.take_value("--tc", &example)? {
+            None => Ok(default),
+            Some(v) => {
+                let (base, inc) = match v.split_once('+') {
+                    Some((b, i)) => (b.trim().parse::<u64>().ok(), i.trim().parse::<u64>().ok()),
+                    None => (v.trim().parse::<u64>().ok(), Some(0)),
+                };
+                match (base, inc) {
+                    (Some(b), Some(i)) if (1..=3_600_000).contains(&b) && i <= 60_000 => Ok((b, i)),
+                    _ => Err(format!(
+                        "--tc needs base[+increment] milliseconds like {example}"
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Exiting wrapper over [`Self::try_tc`].
+    pub fn tc(&mut self, default: (u64, u64)) -> (u64, u64) {
+        let r = self.try_tc(default);
+        self.ok_or_die(r)
+    }
+
     /// Rejects any argument no accessor consumed.
     pub fn try_finish(self) -> Result<(), String> {
         match self.args.first() {
@@ -210,6 +238,25 @@ mod tests {
         assert_eq!(c.try_count("--sessions", 64, 1..=4096).unwrap(), 16);
         assert_eq!(c.try_tt_bits(18).unwrap(), 12);
         assert!(c.try_finish().is_ok());
+    }
+
+    #[test]
+    fn time_controls_parse_base_plus_increment() {
+        let mut c = cli(&["--tc", "300+10"]);
+        assert_eq!(c.try_tc((1000, 10)).unwrap(), (300, 10));
+        let mut c = cli(&["--tc", "500"]);
+        assert_eq!(
+            c.try_tc((1000, 10)).unwrap(),
+            (500, 0),
+            "bare base = no inc"
+        );
+        let mut c = cli(&[]);
+        assert_eq!(c.try_tc((1000, 10)).unwrap(), (1000, 10));
+        for bad in ["0+5", "x+5", "100+y", "+", "100+100000"] {
+            let mut c = cli(&["--tc", bad]);
+            let e = c.try_tc((1000, 10)).unwrap_err();
+            assert!(e.contains("base[+increment]"), "{bad}: {e}");
+        }
     }
 
     #[test]

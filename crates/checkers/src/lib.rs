@@ -12,4 +12,4 @@ pub mod position;
 pub mod zobrist;
 
 pub use board::{Board, Move};
-pub use position::{benchmark_position, c1, c2, c3, evaluate, CheckersPos};
+pub use position::{benchmark_position, c1, c2, c3, evaluate, CheckersPos, DRAW_PLIES};

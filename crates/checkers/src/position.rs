@@ -10,11 +10,23 @@ const KING: i32 = 150;
 /// Losing (no legal move) scores far outside the heuristic range.
 const LOSS: i32 = 100_000;
 
-/// A checkers position (board + implicit side to move).
+/// Quiet plies (no capture, no man move) after which the game is drawn —
+/// the 40-ply analogue of the over-the-board "40 moves without progress"
+/// rule. Men always advance, so any man move is progress; only kings can
+/// shuffle indefinitely, and this counter is what lets king-shuffle
+/// endgames legally *end* instead of cycling forever.
+pub const DRAW_PLIES: u8 = 40;
+
+/// A checkers position (board + implicit side to move + draw counter).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CheckersPos {
     /// The underlying bitboard (mover's perspective).
     pub board: Board,
+    /// Consecutive plies without a capture or a man move, saturating at
+    /// [`DRAW_PLIES`]. Part of the position identity (it changes both the
+    /// legal continuations and the value), so it participates in `Eq`,
+    /// `Hash`, and the Zobrist key.
+    pub quiet_plies: u8,
 }
 
 impl CheckersPos {
@@ -22,12 +34,37 @@ impl CheckersPos {
     pub fn initial() -> CheckersPos {
         CheckersPos {
             board: Board::initial(),
+            quiet_plies: 0,
         }
     }
 
-    /// Wraps an arbitrary board.
+    /// Wraps an arbitrary board with a fresh draw counter.
     pub fn new(board: Board) -> CheckersPos {
-        CheckersPos { board }
+        CheckersPos {
+            board,
+            quiet_plies: 0,
+        }
+    }
+
+    /// True once [`DRAW_PLIES`] quiet plies have accumulated: the game is
+    /// drawn, no further moves are legal.
+    pub fn is_draw(&self) -> bool {
+        self.quiet_plies >= DRAW_PLIES
+    }
+
+    /// True when no side can continue: drawn by the quiet-ply rule, or
+    /// the mover is blocked (which loses).
+    pub fn game_over(&self) -> bool {
+        self.is_draw() || self.board.legal_moves().is_empty()
+    }
+
+    /// The Zobrist key of the bare board, ignoring the draw counter —
+    /// repetition detection wants "same diagram, same side to move",
+    /// which repeats with *increasing* counters and therefore distinct
+    /// full [`tt::Zobrist`] keys.
+    pub fn board_key(&self) -> u64 {
+        use tt::Zobrist;
+        CheckersPos::new(self.board).zobrist()
     }
 }
 
@@ -67,16 +104,30 @@ impl GamePosition for CheckersPos {
     type Move = Move;
 
     fn moves(&self) -> Vec<Move> {
+        if self.is_draw() {
+            return Vec::new(); // drawn: terminal, like a double-pass
+        }
         self.board.legal_moves()
     }
 
     fn play(&self, mv: &Move) -> CheckersPos {
+        // A capture or a man move (men can only advance) is progress and
+        // resets the counter; a quiet king move accrues toward the draw.
+        let progress = mv.is_capture() || self.board.own_men & (1u32 << mv.from()) != 0;
         CheckersPos {
             board: self.board.play(mv),
+            quiet_plies: if progress {
+                0
+            } else {
+                (self.quiet_plies + 1).min(DRAW_PLIES)
+            },
         }
     }
 
     fn evaluate(&self) -> Value {
+        if self.is_draw() {
+            return Value::ZERO; // the draw rule fires before blocked-loss
+        }
         evaluate(&self.board)
     }
 }
@@ -222,21 +273,95 @@ mod tests {
 
     #[test]
     fn selfplay_terminates() {
+        // With the quiet-ply draw rule, first-move self-play terminates
+        // *legally*: either a side is blocked (loss) or 40 quiet plies
+        // accumulate (draw). The 10_000 cap is a safety net for the
+        // assertion message, not a rules substitute.
         let mut pos = CheckersPos::initial();
         let mut plies = 0;
-        loop {
-            let moves = pos.moves();
-            if moves.is_empty() {
-                break;
-            }
-            pos = pos.play(&moves[0]);
+        while !pos.moves().is_empty() {
+            pos = pos.play(&pos.moves()[0]);
             plies += 1;
-            // First-move self-play can in principle cycle (kings shuffling);
-            // cap the playout rather than implementing repetition rules.
-            if plies >= 300 {
-                break;
-            }
+            assert!(plies < 10_000, "self-play must terminate under the rules");
         }
         assert!(plies > 20, "a real game lasts a while");
+        assert!(
+            pos.is_draw() || pos.board.legal_moves().is_empty(),
+            "termination must come from the rules"
+        );
+        assert!(pos.game_over());
+    }
+
+    #[test]
+    fn quiet_counter_tracks_progress() {
+        // Two lone kings shuffling: every ply is quiet.
+        let kings = CheckersPos::new(Board {
+            own_men: 0,
+            own_kings: 1,
+            opp_men: 0,
+            opp_kings: 1 << 31,
+        });
+        let after = kings.play(&kings.moves()[0]);
+        assert_eq!(after.quiet_plies, 1, "king move is quiet");
+
+        // A man move resets (and the initial position only has man moves).
+        let start = CheckersPos {
+            quiet_plies: 17,
+            ..CheckersPos::initial()
+        };
+        let after = start.play(&start.moves()[0]);
+        assert_eq!(after.quiet_plies, 0, "man move is progress");
+
+        // A king capture also resets.
+        let capture = CheckersPos {
+            board: Board {
+                own_men: 0,
+                own_kings: 1 << 13,
+                opp_men: 1 << 17,
+                opp_kings: 0,
+            },
+            quiet_plies: 30,
+        };
+        let mv = capture
+            .moves()
+            .into_iter()
+            .find(|m| m.is_capture())
+            .expect("capture available");
+        assert_eq!(capture.play(&mv).quiet_plies, 0, "capture is progress");
+    }
+
+    #[test]
+    fn forty_quiet_plies_draw_the_game() {
+        let mut pos = CheckersPos::new(Board {
+            own_men: 0,
+            own_kings: 1,
+            opp_men: 0,
+            opp_kings: 1 << 31,
+        });
+        for ply in 0..u32::from(DRAW_PLIES) {
+            assert!(!pos.is_draw(), "not drawn at quiet ply {ply}");
+            assert!(!pos.moves().is_empty(), "play continues at quiet ply {ply}");
+            pos = pos.play(&pos.moves()[0]);
+        }
+        assert!(pos.is_draw());
+        assert!(pos.game_over());
+        assert!(pos.moves().is_empty(), "a drawn game has no legal moves");
+        assert_eq!(pos.evaluate(), Value::ZERO, "a draw scores zero");
+        // The counter saturates rather than wrapping back to live play.
+        assert_eq!(pos.quiet_plies, DRAW_PLIES);
+    }
+
+    #[test]
+    fn draw_counter_is_part_of_position_identity() {
+        use tt::Zobrist;
+        let a = CheckersPos::initial();
+        let b = CheckersPos {
+            quiet_plies: 5,
+            ..a
+        };
+        assert_ne!(a, b);
+        assert_ne!(a.zobrist(), b.zobrist(), "counter must split TT entries");
+        assert_eq!(a.board_key(), b.board_key(), "same diagram for repetition");
+        assert_eq!(a.zobrist(), a.board_key(), "zero counter folds nothing");
     }
 }

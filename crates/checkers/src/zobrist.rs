@@ -20,13 +20,25 @@ const KEYS: [[u64; 32]; 4] = [
     zobrist_keys::<32>(0x636b_5f6f_7070_6b04),
 ];
 
+/// One key per nonzero draw-counter state (`quiet_plies` in
+/// `1..=DRAW_PLIES`). The counter changes both the legal continuations
+/// and the terminal value, so two diagrams with different counters are
+/// different search problems and must not share TT entries. Index 0 is
+/// unused: a zero counter folds nothing, keeping every pre-draw-rule
+/// hash byte-identical.
+const QUIET_KEYS: [u64; 41] = zobrist_keys::<41>(0x636b_5f71_7569_6574);
+
 impl Zobrist for CheckersPos {
     fn zobrist(&self) -> u64 {
         let b = &self.board;
         let mut h = fold_bits(0, u64::from(b.own_men), &KEYS[0]);
         h = fold_bits(h, u64::from(b.own_kings), &KEYS[1]);
         h = fold_bits(h, u64::from(b.opp_men), &KEYS[2]);
-        fold_bits(h, u64::from(b.opp_kings), &KEYS[3])
+        h = fold_bits(h, u64::from(b.opp_kings), &KEYS[3]);
+        if self.quiet_plies != 0 {
+            h ^= QUIET_KEYS[usize::from(self.quiet_plies.min(crate::position::DRAW_PLIES))];
+        }
+        h
     }
 }
 

@@ -51,6 +51,7 @@
 mod game;
 mod scheduler;
 pub mod session;
+pub mod time;
 pub mod uci;
 
 pub use game::{AnyMove, AnyPos};
@@ -58,3 +59,4 @@ pub use scheduler::{serve_batch, serve_batch_on, SchedulerStats, SessionSchedule
 pub use session::{
     Busy, Priority, Response, SchedulerConfig, SessionId, SessionRequest, SessionResult,
 };
+pub use time::{estimate_moves_left, GameClock, TimeControl, TimeManager};

@@ -1,0 +1,228 @@
+//! Per-move time management for repeated-game play.
+//!
+//! A game is a sequence of searches paid for out of one **game clock**
+//! (base time plus a per-move increment, the familiar "1000+10" shape).
+//! The [`TimeManager`] converts clock state into a per-move budget for
+//! the anytime iterative-deepening driver:
+//!
+//! ```text
+//! budget = remaining / moves_left_estimate  +  3/4 · increment
+//! budget = min(budget, remaining / 2)          (the hard cap)
+//! ```
+//!
+//! The first term spreads the base time over the moves the game is
+//! expected to still last; the second spends most (not all) of each
+//! increment as it arrives, banking the rest against a long endgame. The
+//! `remaining / 2` cap is the safety rail: however wrong the
+//! moves-left estimate is, no single move can spend more than half the
+//! clock, so the budget sequence is geometrically decreasing in the worst
+//! case and the flag can only fall by *overshoot* (a search that ignores
+//! its deadline), never by allotment. The estimate itself is per-family
+//! ([`estimate_moves_left`]): Othello games end when the board fills, so
+//! empties bound the move count; checkers games are bounded by material
+//! and the 40-ply quiet rule.
+//!
+//! [`GameClock::consume`] settles a move after the fact with the time the
+//! search *actually* took — the anytime driver usually finishes a depth
+//! past its deadline, and honest accounting of that overshoot is what the
+//! match harness's "zero clock forfeits" assertion tests.
+
+use std::time::Duration;
+
+use crate::game::AnyPos;
+
+/// A base+increment time control, e.g. `1000+10` = 1 s base, 10 ms/move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeControl {
+    /// Starting bank.
+    pub base: Duration,
+    /// Added to the bank after every completed move.
+    pub increment: Duration,
+}
+
+impl TimeControl {
+    /// A control from milliseconds, the unit every CLI flag uses.
+    pub fn from_millis(base_ms: u64, inc_ms: u64) -> TimeControl {
+        TimeControl {
+            base: Duration::from_millis(base_ms),
+            increment: Duration::from_millis(inc_ms),
+        }
+    }
+}
+
+/// One player's clock over one game: a draining bank with per-move
+/// increments and a sticky forfeit flag.
+#[derive(Clone, Copy, Debug)]
+pub struct GameClock {
+    remaining: Duration,
+    increment: Duration,
+    forfeited: bool,
+}
+
+impl GameClock {
+    /// A fresh clock holding the full base time.
+    pub fn new(tc: TimeControl) -> GameClock {
+        GameClock {
+            remaining: tc.base,
+            increment: tc.increment,
+            forfeited: false,
+        }
+    }
+
+    /// Time left in the bank.
+    pub fn remaining(&self) -> Duration {
+        self.remaining
+    }
+
+    /// The per-move increment.
+    pub fn increment(&self) -> Duration {
+        self.increment
+    }
+
+    /// True once the bank ever hit zero mid-move; stays true.
+    pub fn forfeited(&self) -> bool {
+        self.forfeited
+    }
+
+    /// Settles one move that took `spent`: drains the bank, then (if the
+    /// flag did not fall) credits the increment. Returns `false` — and
+    /// latches [`Self::forfeited`] — when `spent` exhausted the bank.
+    pub fn consume(&mut self, spent: Duration) -> bool {
+        if spent >= self.remaining {
+            self.remaining = Duration::ZERO;
+            self.forfeited = true;
+            return false;
+        }
+        self.remaining = self.remaining - spent + self.increment;
+        true
+    }
+}
+
+/// The allotment policy (module docs give the formula).
+#[derive(Clone, Copy, Debug)]
+pub struct TimeManager {
+    /// Floor on the moves-left estimate: even a "nearly over" game keeps
+    /// budgeting as if this many moves remain, so late-game estimates
+    /// that undershoot cannot dump the whole bank on one move.
+    pub min_moves_left: u32,
+}
+
+impl Default for TimeManager {
+    fn default() -> TimeManager {
+        TimeManager { min_moves_left: 8 }
+    }
+}
+
+impl TimeManager {
+    /// The budget for the next move given the clock and a moves-left
+    /// estimate. Never more than half the bank; never zero unless the
+    /// bank itself is (sub-)millisecond empty.
+    pub fn allot(&self, clock: &GameClock, moves_left: u32) -> Duration {
+        let est = moves_left.max(self.min_moves_left).max(1);
+        let cap = clock.remaining() / 2;
+        let budget = clock.remaining() / est + clock.increment() * 3 / 4;
+        budget.clamp(Duration::from_millis(1).min(cap), cap)
+    }
+
+    /// [`Self::allot`] with the estimate taken from the position.
+    pub fn allot_for(&self, clock: &GameClock, pos: &AnyPos) -> Duration {
+        self.allot(clock, estimate_moves_left(pos))
+    }
+}
+
+/// How many more moves *this player* will likely make from `pos` —
+/// deliberately a little low (ending the division early leaves increment
+/// income unspent, ending it late starves the endgame, and low errs
+/// toward the safe side of the `remaining/2` cap).
+pub fn estimate_moves_left(pos: &AnyPos) -> u32 {
+    match pos {
+        // Each player fills at most half the empty squares.
+        AnyPos::Othello(p) => (64 - p.board.occupancy()).div_ceil(2),
+        // Material decay plus the 40-ply quiet rule bound the game; a
+        // men-heavy middlegame still has conversions to play through.
+        AnyPos::Checkers(p) => p.board.piece_count() + 10,
+        // Synthetic trees have no game phase; budget a fixed horizon.
+        AnyPos::Random(_) => 16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_drains_and_credits_increment() {
+        let mut c = GameClock::new(TimeControl::from_millis(1000, 10));
+        assert_eq!(c.remaining(), Duration::from_millis(1000));
+        assert!(c.consume(Duration::from_millis(100)));
+        assert_eq!(c.remaining(), Duration::from_millis(910));
+        assert!(!c.forfeited());
+    }
+
+    #[test]
+    fn exhausting_the_bank_forfeits_stickily() {
+        let mut c = GameClock::new(TimeControl::from_millis(50, 1000));
+        assert!(!c.consume(Duration::from_millis(50)), "spent == bank loses");
+        assert!(c.forfeited());
+        assert_eq!(c.remaining(), Duration::ZERO);
+        // The increment does not resurrect a fallen flag.
+        assert!(!c.consume(Duration::from_millis(1)));
+        assert!(c.forfeited());
+    }
+
+    #[test]
+    fn allotment_respects_the_half_bank_cap() {
+        let tm = TimeManager::default();
+        let c = GameClock::new(TimeControl::from_millis(1000, 0));
+        // An absurd "one move left" still caps at half the bank.
+        assert_eq!(tm.allot(&c, 1), Duration::from_millis(125)); // floor 8
+        let tm = TimeManager { min_moves_left: 1 };
+        assert_eq!(tm.allot(&c, 1), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn allotment_spreads_base_and_spends_most_of_the_increment() {
+        let tm = TimeManager { min_moves_left: 1 };
+        let c = GameClock::new(TimeControl::from_millis(3000, 100));
+        // 3000/30 + 75 = 175.
+        assert_eq!(tm.allot(&c, 30), Duration::from_millis(175));
+    }
+
+    #[test]
+    fn allotment_never_exceeds_half_even_near_flag_fall() {
+        let tm = TimeManager::default();
+        let mut c = GameClock::new(TimeControl::from_millis(4, 1000));
+        let b = tm.allot(&c, 1);
+        assert!(b <= c.remaining() / 2, "{b:?} over the cap");
+        assert!(b >= Duration::from_millis(1));
+        // Even with the bank nearly gone, the allotment cannot forfeit.
+        assert!(c.consume(b));
+    }
+
+    #[test]
+    fn budgets_decrease_geometrically_under_repeated_allot_consume() {
+        // The rail in action: allot, pretend the search used exactly the
+        // budget, repeat. With zero increment the bank halves at worst
+        // and never forfeits.
+        let tm = TimeManager { min_moves_left: 1 };
+        let mut c = GameClock::new(TimeControl::from_millis(1000, 0));
+        for _ in 0..200 {
+            let b = tm.allot(&c, 1);
+            if c.remaining() < Duration::from_micros(10) {
+                break; // sub-allotment crumbs; nothing left to schedule
+            }
+            assert!(c.consume(b), "allotted budgets must never forfeit");
+        }
+        assert!(!c.forfeited());
+    }
+
+    #[test]
+    fn moves_left_estimates_track_game_phase() {
+        let o = AnyPos::othello_startpos();
+        assert_eq!(estimate_moves_left(&o), 30, "60 empties, half ours");
+        let c = AnyPos::Checkers(checkers::CheckersPos::initial());
+        assert_eq!(estimate_moves_left(&c), 34, "24 pieces + margin");
+        let r = AnyPos::random_root(1, 3, 5);
+        assert_eq!(estimate_moves_left(&r), 16);
+    }
+}

@@ -11,6 +11,7 @@
 //! position random <seed> <degree> <height> [moves ...]
 //! position checkers [moves ...]
 //! go [movetime <ms>] [depth <d>] [infinite]
+//!    [wtime <ms>] [btime <ms>] [winc <ms>] [binc <ms>]
 //!                             -> info depth ... / bestmove ...
 //! stop                        (finish the running search now)
 //! quit                        (exit the loop)
@@ -31,9 +32,11 @@
 //! 20 ms.
 //!
 //! Successive `go` commands share one transposition table (replaced by
-//! `ucinewgame`), so analysing a line of play reuses prior work; the root
-//! best-move *hint* stored by the deepest completed depth is what
-//! `bestmove` reports.
+//! `ucinewgame`), so analysing a line of play reuses prior work.
+//! `bestmove` comes from an explicit root split: the parallel region
+//! stores no root table entry, so each depth searches every root child
+//! under the negamax window and the driver owns the best index itself
+//! (the deepest completed depth's choice is what gets reported).
 
 use std::io::{BufRead, Write};
 use std::sync::{Arc, Mutex};
@@ -41,9 +44,9 @@ use std::thread::ScopedJoinHandle;
 use std::time::Duration;
 
 use er_parallel::{AspirationConfig, IdStepper, SearchControl, ThreadsConfig};
-use gametree::GamePosition;
+use gametree::{GamePosition, SearchStats, Value};
 use search_serial::alphabeta;
-use tt::{TranspositionTable, TtAccess};
+use tt::TranspositionTable;
 
 use crate::game::AnyPos;
 use crate::scheduler::slice_search;
@@ -75,9 +78,41 @@ impl Default for UciConfig {
 }
 
 /// One `go` command's parse.
+#[derive(Default)]
 struct GoSpec {
     movetime: Option<Duration>,
     depth: Option<u32>,
+    /// Game-clock state, standard UCI spelling: remaining time and
+    /// per-move increment for the first mover ("white") and the second.
+    wtime: Option<Duration>,
+    btime: Option<Duration>,
+    winc: Option<Duration>,
+    binc: Option<Duration>,
+}
+
+impl GoSpec {
+    /// The move budget implied by the clock fields (when any are given):
+    /// the mover's side is the parity of `plies` played since the start
+    /// position, and the [`TimeManager`](crate::TimeManager) formula
+    /// turns that side's remaining/increment into a budget. `movetime`
+    /// always wins over the clock.
+    fn clock_budget(&self, pos: &AnyPos, plies: u32) -> Option<Duration> {
+        if self.movetime.is_some() {
+            return None;
+        }
+        let first_mover = plies.is_multiple_of(2);
+        let time = if first_mover {
+            self.wtime.or(self.btime)
+        } else {
+            self.btime.or(self.wtime)
+        }?;
+        let inc = if first_mover { self.winc } else { self.binc }.unwrap_or(Duration::ZERO);
+        let clock = crate::GameClock::new(crate::TimeControl {
+            base: time,
+            increment: inc,
+        });
+        Some(crate::TimeManager::default().allot_for(&clock, pos))
+    }
 }
 
 /// The in-flight search, when one is running.
@@ -96,6 +131,9 @@ pub fn run<R: BufRead, W: Write + Send>(input: R, out: W, cfg: UciConfig) -> std
     let out = Mutex::new(out);
     let mut table = Arc::new(TranspositionTable::with_bits(cfg.tt_bits));
     let mut pos = AnyPos::othello_startpos();
+    // Plies played from the start position — the side-to-move parity the
+    // clock fields of `go` are matched against.
+    let mut plies = 0u32;
     let say = |line: &str| -> std::io::Result<()> {
         let mut o = out.lock().unwrap();
         writeln!(o, "{line}")?;
@@ -118,19 +156,21 @@ pub fn run<R: BufRead, W: Write + Send>(input: R, out: W, cfg: UciConfig) -> std
                     finish(&mut running, false)?;
                     table = Arc::new(TranspositionTable::with_bits(cfg.tt_bits));
                     pos = AnyPos::othello_startpos();
+                    plies = 0;
                 }
                 Some("position") => {
                     finish(&mut running, false)?;
                     match parse_position(&mut words) {
-                        Ok(p) => pos = p,
+                        Ok((p, n)) => (pos, plies) = (p, n),
                         Err(e) => say(&format!("info string error: {e}"))?,
                     }
                 }
                 Some("go") => {
                     finish(&mut running, false)?;
                     let spec = parse_go(&mut words);
-                    let bounded = spec.movetime.is_some() || spec.depth.is_some();
-                    let ctl = Arc::new(match spec.movetime {
+                    let budget = spec.movetime.or_else(|| spec.clock_budget(&pos, plies));
+                    let bounded = budget.is_some() || spec.depth.is_some();
+                    let ctl = Arc::new(match budget {
                         Some(t) => SearchControl::with_budget(t),
                         None => SearchControl::unlimited(),
                     });
@@ -176,8 +216,10 @@ fn finish(running: &mut Option<Running<'_>>, cancel: bool) -> std::io::Result<()
     Ok(())
 }
 
-/// Parses everything after `position`.
-fn parse_position<'a, I: Iterator<Item = &'a str>>(words: &mut I) -> Result<AnyPos, String> {
+/// Parses everything after `position`, returning the position and the
+/// number of plies played from the start position (the clock-side parity).
+fn parse_position<'a, I: Iterator<Item = &'a str>>(words: &mut I) -> Result<(AnyPos, u32), String> {
+    let mut plies = 0u32;
     let mut pos = match words.next() {
         Some("startpos") | Some("othello") => AnyPos::othello_startpos(),
         Some("checkers") => AnyPos::checkers_startpos(),
@@ -194,15 +236,16 @@ fn parse_position<'a, I: Iterator<Item = &'a str>>(words: &mut I) -> Result<AnyP
         other => return Err(format!("unknown position kind {other:?}")),
     };
     match words.next() {
-        None => Ok(pos),
+        None => Ok((pos, plies)),
         Some("moves") => {
             for tok in words {
                 let mv = pos
                     .parse_move(tok)
                     .ok_or_else(|| format!("illegal move '{tok}'"))?;
                 pos = pos.play(&mv);
+                plies += 1;
             }
-            Ok(pos)
+            Ok((pos, plies))
         }
         Some(other) => Err(format!("expected 'moves', got '{other}'")),
     }
@@ -211,18 +254,20 @@ fn parse_position<'a, I: Iterator<Item = &'a str>>(words: &mut I) -> Result<AnyP
 /// Parses everything after `go`. Unknown tokens are skipped, as UCI
 /// engines conventionally do.
 fn parse_go<'a, I: Iterator<Item = &'a str>>(words: &mut I) -> GoSpec {
-    let mut spec = GoSpec {
-        movetime: None,
-        depth: None,
+    let mut spec = GoSpec::default();
+    let ms = |words: &mut I| {
+        words
+            .next()
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_millis)
     };
     while let Some(w) = words.next() {
         match w {
-            "movetime" => {
-                spec.movetime = words
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .map(Duration::from_millis);
-            }
+            "movetime" => spec.movetime = ms(words),
+            "wtime" => spec.wtime = ms(words),
+            "btime" => spec.btime = ms(words),
+            "winc" => spec.winc = ms(words),
+            "binc" => spec.binc = ms(words),
             "depth" => spec.depth = words.next().and_then(|v| v.parse().ok()),
             _ => {}
         }
@@ -241,26 +286,57 @@ fn search<W: Write + Send>(
     out: &Mutex<W>,
 ) -> std::io::Result<()> {
     let max_depth = spec.depth.unwrap_or(cfg.default_depth);
+    let kids = pos.children();
     let mut stepper = IdStepper::new(pos.evaluate(), cfg.asp);
-    while stepper.depth_completed() < max_depth {
+    let mut best_index: Option<usize> = None;
+    while !kids.is_empty() && stepper.depth_completed() < max_depth {
         let depth = stepper.next_depth();
         table.new_generation();
+        // The candidate only replaces `best_index` when the whole depth
+        // completes inside the window — a fail-low pass ranks no child
+        // above alpha, so its argmax would be noise.
+        let mut candidate = best_index.unwrap_or(0);
         let step = stepper.step_with(depth, ctl, None, |d, w, c| {
-            slice_search(
-                pos,
-                d,
-                w,
-                cfg.threads,
-                &er_cfg(pos),
-                ThreadsConfig::default(),
-                table,
-                c,
-                (),
-                None,
-            )
+            // Root split: the parallel region stores no root table entry,
+            // so the driver owns `bestmove` by searching each child under
+            // the negamax window, previous best first.
+            let mut stats = SearchStats::new();
+            let mut window = w;
+            let mut best: Option<(Value, usize)> = None;
+            let mut order: Vec<usize> = (0..kids.len()).collect();
+            if let Some(at) = order.iter().position(|&i| i == candidate) {
+                order[..=at].rotate_right(1);
+            }
+            for &i in &order {
+                let (v, s) = slice_search(
+                    &kids[i],
+                    d - 1,
+                    window.negate(),
+                    cfg.threads,
+                    &er_cfg(pos),
+                    ThreadsConfig::default(),
+                    table,
+                    c,
+                    (),
+                    None,
+                )?;
+                stats.merge(&s);
+                let v = -v;
+                if best.is_none_or(|(bv, _)| v > bv) {
+                    best = Some((v, i));
+                    window = window.raise_alpha(v);
+                    if window.is_empty() {
+                        break; // root beta cutoff: fail-hard high
+                    }
+                }
+            }
+            let (v, i) = best.expect("kids checked non-empty");
+            candidate = i;
+            Ok((v, stats))
         });
         match step {
             Ok(s) => {
+                best_index = Some(candidate);
                 let mut o = out.lock().unwrap();
                 writeln!(
                     o,
@@ -275,7 +351,7 @@ fn search<W: Write + Send>(
             Err(_) => break,
         }
     }
-    let best = best_move_label(pos, table, &stepper);
+    let best = best_move_label(pos, best_index);
     let mut o = out.lock().unwrap();
     writeln!(o, "bestmove {best}")?;
     o.flush()
@@ -289,19 +365,14 @@ fn er_cfg(pos: &AnyPos) -> er_parallel::ErParallelConfig {
     }
 }
 
-/// The move to report: the shared table's root hint from the deepest
-/// completed depth when present (the stored refutation move), else the
-/// first legal move, else `none` (game over at the root).
-fn best_move_label(pos: &AnyPos, table: &TranspositionTable, stepper: &IdStepper) -> String {
+/// The move to report: the root split's choice from the deepest completed
+/// depth when any depth completed, else the first legal move, else `none`
+/// (game over at the root).
+fn best_move_label(pos: &AnyPos, best_index: Option<usize>) -> String {
     if pos.degree() == 0 {
         return "none".to_string();
     }
-    let hint = if stepper.depth_completed() > 0 {
-        TtAccess::<AnyPos>::probe(table, pos).and_then(|p| p.hint)
-    } else {
-        None
-    };
-    let idx = usize::from(hint.unwrap_or(0)).min(pos.degree() - 1);
+    let idx = best_index.unwrap_or(0).min(pos.degree() - 1);
     pos.move_label(idx).unwrap_or_else(|| "none".to_string())
 }
 
@@ -379,6 +450,74 @@ mod tests {
     fn malformed_commands_answer_with_error_lines() {
         let out = run_session("position nowhere\nwat\nposition startpos moves zz9\nquit\n");
         assert_eq!(out.matches("info string error:").count(), 3);
+    }
+
+    #[test]
+    fn go_clock_fields_parse_and_pick_the_mover_side() {
+        let spec =
+            parse_go(&mut "wtime 1000 btime 3000 winc 10 binc 20 nonsense 7".split_whitespace());
+        assert_eq!(spec.wtime, Some(Duration::from_millis(1000)));
+        assert_eq!(spec.btime, Some(Duration::from_millis(3000)));
+        assert_eq!(spec.winc, Some(Duration::from_millis(10)));
+        assert_eq!(spec.binc, Some(Duration::from_millis(20)));
+        assert_eq!(spec.movetime, None);
+        let p = AnyPos::othello_startpos();
+        // Even plies: the first mover's clock (1000+10); odd: the other.
+        let w = spec.clock_budget(&p, 0).expect("clock budget");
+        let b = spec.clock_budget(&p, 1).expect("clock budget");
+        assert!(b > w, "the richer clock must get the bigger budget");
+        // Exact values via the exported formula.
+        let tm = crate::TimeManager::default();
+        let wc = crate::GameClock::new(crate::TimeControl::from_millis(1000, 10));
+        let bc = crate::GameClock::new(crate::TimeControl::from_millis(3000, 20));
+        assert_eq!(w, tm.allot_for(&wc, &p));
+        assert_eq!(b, tm.allot_for(&bc, &p));
+        // movetime overrides the clock entirely.
+        let spec = parse_go(&mut "movetime 5 wtime 9000".split_whitespace());
+        assert_eq!(spec.clock_budget(&p, 0), None);
+        assert_eq!(spec.movetime, Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn bestmove_is_the_search_choice_not_the_first_legal_move() {
+        // Regression: the threaded back-end never stores a root table
+        // entry, so a driver that probes the root hint silently reports
+        // the first legal move every time. The root split must name a
+        // move whose depth-4 reply value equals the depth-5 root value.
+        let p = AnyPos::random_root(9, 4, 8);
+        let kids = p.children();
+        let root = solo_value(&p, 5);
+        assert_ne!(
+            -solo_value(&kids[0], 4),
+            root,
+            "pick a seed where the first legal move is suboptimal"
+        );
+        let out = run_session("position random 9 4 8\ngo depth 5\nquit\n");
+        let best = out
+            .lines()
+            .find_map(|l| l.strip_prefix("bestmove "))
+            .expect("bestmove line");
+        let idx = (0..p.degree())
+            .position(|i| p.move_label(i).as_deref() == Some(best))
+            .expect("bestmove names a legal move");
+        assert_eq!(
+            -solo_value(&kids[idx], 4),
+            root,
+            "'{best}' must achieve the root value"
+        );
+    }
+
+    #[test]
+    fn go_with_clock_is_bounded_and_reports_a_bestmove() {
+        // No explicit stop: a clock-driven go must bound itself (end of
+        // input does not cancel it) and still answer with a legal move.
+        let out = run_session("position startpos\ngo wtime 40 btime 40 winc 2 binc 2\nquit\n");
+        let best = out
+            .lines()
+            .find_map(|l| l.strip_prefix("bestmove "))
+            .expect("bestmove line");
+        let p = AnyPos::othello_startpos();
+        assert!(p.parse_move(best).is_some(), "'{best}' must be legal");
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! The game loop: two [`Player`]s, one position, a full legal game.
+
+use std::collections::HashMap;
+
+use engine_server::AnyPos;
+use gametree::GamePosition;
+use tt::Zobrist;
+
+use crate::engine::Player;
+
+/// How a game ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TerminalKind {
+    /// The position itself has no legal moves: Othello double-pass, the
+    /// checkers quiet-ply draw, or a blocked (losing) player.
+    Natural,
+    /// The same diagram with the same side to move occurred three times.
+    Repetition,
+    /// The mover's clock emptied mid-move.
+    Forfeit,
+    /// The safety ply cap fired (should never happen under the rules;
+    /// kept so a rules regression shows up as `Capped`, not a hang).
+    Capped,
+}
+
+/// Result from the *first* player's perspective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GameOutcome {
+    /// The player who moved first won.
+    FirstWins,
+    /// The player who moved second won.
+    SecondWins,
+    /// Drawn.
+    Draw,
+}
+
+impl GameOutcome {
+    /// Match points for (first, second): win 2, draw 1, loss 0.
+    pub fn points(&self) -> (u32, u32) {
+        match self {
+            GameOutcome::FirstWins => (2, 0),
+            GameOutcome::SecondWins => (0, 2),
+            GameOutcome::Draw => (1, 1),
+        }
+    }
+}
+
+/// Telemetry for one played move.
+#[derive(Clone, Debug)]
+pub struct MoveRecord {
+    /// Ply number from the opening position (0 = first move played).
+    pub ply: u32,
+    /// 0 = the first player moved, 1 = the second.
+    pub mover: u8,
+    /// The move, in the family's label syntax (verified legal when made).
+    pub label: String,
+    /// Deepest completed search depth behind the choice.
+    pub depth: u32,
+    /// Root value claimed for the choice, mover's view (centi-units).
+    pub value: i32,
+    /// Nodes the decision examined.
+    pub nodes: u64,
+    /// Budget the time manager allotted (ms).
+    pub budget_ms: u64,
+    /// Time the decision actually took (ms).
+    pub elapsed_ms: u64,
+    /// Clock bank before the move (ms).
+    pub clock_before_ms: u64,
+    /// Clock bank after settling the move and crediting the increment (ms).
+    pub clock_after_ms: u64,
+    /// TT probes this decision issued.
+    pub tt_probes: u64,
+    /// TT hits among them — nonzero from move 2 on is the warmth signal.
+    pub tt_hits: u64,
+}
+
+/// One finished game.
+#[derive(Clone, Debug)]
+pub struct GameRecord {
+    /// Per-move telemetry, in play order.
+    pub moves: Vec<MoveRecord>,
+    /// Result, first player's perspective.
+    pub outcome: GameOutcome,
+    /// Why the game ended.
+    pub terminal: TerminalKind,
+    /// Moves the loop rejected as illegal (always 0; recorded so the
+    /// match gate asserts it instead of trusting the loop).
+    pub illegal_moves: u32,
+}
+
+/// Safety cap: no legal game in either family approaches this (Othello
+/// ≤ ~128 plies with passes; checkers is bounded by material + the
+/// 40-ply quiet rule + repetition).
+const MAX_PLIES: u32 = 2_000;
+
+/// Plays one full game from `opening`, `first` moving first. Both players
+/// keep their tables warm across the whole game; clocks are settled with
+/// measured wall time after every move.
+pub fn play_game(opening: &AnyPos, first: &mut Player, second: &mut Player) -> GameRecord {
+    let mut pos = *opening;
+    let mut moves = Vec::new();
+    let mut illegal = 0u32;
+    let mut reps: HashMap<u64, u32> = HashMap::new();
+    *reps.entry(repetition_key(&pos)).or_insert(0) += 1;
+    let mut ply = 0u32;
+    loop {
+        if pos.moves().is_empty() {
+            return GameRecord {
+                moves,
+                outcome: natural_outcome(&pos, ply),
+                terminal: TerminalKind::Natural,
+                illegal_moves: illegal,
+            };
+        }
+        if reps.get(&repetition_key(&pos)).copied().unwrap_or(0) >= 3 {
+            return GameRecord {
+                moves,
+                outcome: GameOutcome::Draw,
+                terminal: TerminalKind::Repetition,
+                illegal_moves: illegal,
+            };
+        }
+        if ply >= MAX_PLIES {
+            return GameRecord {
+                moves,
+                outcome: GameOutcome::Draw,
+                terminal: TerminalKind::Capped,
+                illegal_moves: illegal,
+            };
+        }
+        let mover_is_first = ply.is_multiple_of(2);
+        let mover = if mover_is_first {
+            &mut *first
+        } else {
+            &mut *second
+        };
+        let clock_before = mover.clock.remaining();
+        let choice = mover
+            .choose_move(&pos)
+            .expect("moves() checked non-empty above");
+        // Legality check by the loop, not the engine: the label must
+        // parse back into a legal move of this exact position.
+        let label = pos.move_label(choice.index).unwrap_or_default();
+        if pos.parse_move(&label).is_none() {
+            illegal += 1;
+            // An illegal choice loses on the spot (never happens; the
+            // gate asserts the counter stays zero).
+            return GameRecord {
+                moves,
+                outcome: loss_for(mover_is_first),
+                terminal: TerminalKind::Natural,
+                illegal_moves: illegal,
+            };
+        }
+        let on_time = mover.clock.consume(choice.elapsed);
+        moves.push(MoveRecord {
+            ply,
+            mover: u8::from(!mover_is_first),
+            label,
+            depth: choice.depth,
+            value: choice.value.get(),
+            nodes: choice.nodes,
+            budget_ms: choice.budget.as_millis() as u64,
+            elapsed_ms: choice.elapsed.as_millis() as u64,
+            clock_before_ms: clock_before.as_millis() as u64,
+            clock_after_ms: mover.clock.remaining().as_millis() as u64,
+            tt_probes: choice.tt.probes,
+            tt_hits: choice.tt.hits,
+        });
+        if !on_time {
+            return GameRecord {
+                moves,
+                outcome: loss_for(mover_is_first),
+                terminal: TerminalKind::Forfeit,
+                illegal_moves: illegal,
+            };
+        }
+        pos = pos.play(&pos.moves()[choice.index]);
+        *reps.entry(repetition_key(&pos)).or_insert(0) += 1;
+        ply += 1;
+    }
+}
+
+/// The loss outcome for the given mover.
+fn loss_for(mover_is_first: bool) -> GameOutcome {
+    if mover_is_first {
+        GameOutcome::SecondWins
+    } else {
+        GameOutcome::FirstWins
+    }
+}
+
+/// The repetition identity of a position: "same diagram, same side to
+/// move". For checkers that is the *board-only* key — the full Zobrist
+/// folds the quiet counter, which increases on every repeat, so repeats
+/// would never collide under it. Othello boards only fill up (no position
+/// can repeat) and random trees only descend, so the full key is fine.
+fn repetition_key(pos: &AnyPos) -> u64 {
+    match pos {
+        AnyPos::Checkers(p) => p.board_key(),
+        other => other.zobrist(),
+    }
+}
+
+/// Scores a no-legal-moves position: the checkers quiet-ply rule draws,
+/// a blocked checkers mover loses, an Othello double-pass counts discs,
+/// anything else falls back to the evaluator's sign (mover's view).
+fn natural_outcome(pos: &AnyPos, ply: u32) -> GameOutcome {
+    let mover_is_first = ply.is_multiple_of(2);
+    let mover_score = match pos {
+        AnyPos::Checkers(p) => {
+            if p.is_draw() {
+                0
+            } else {
+                -1 // blocked: the mover has lost
+            }
+        }
+        AnyPos::Othello(p) => {
+            let own = p.board.own.count_ones() as i32;
+            let opp = p.board.opp.count_ones() as i32;
+            (own - opp).signum()
+        }
+        AnyPos::Random(p) => p.evaluate().get().signum(),
+    };
+    match (mover_score, mover_is_first) {
+        (0, _) => GameOutcome::Draw,
+        (s, true) if s > 0 => GameOutcome::FirstWins,
+        (s, false) if s > 0 => GameOutcome::SecondWins,
+        (_, true) => GameOutcome::SecondWins,
+        (_, false) => GameOutcome::FirstWins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineSpec;
+    use engine_server::TimeControl;
+
+    #[test]
+    fn drawn_checkers_position_scores_draw_whoever_moves() {
+        let mut p = checkers::CheckersPos::initial();
+        p.quiet_plies = checkers::DRAW_PLIES;
+        let pos = AnyPos::Checkers(p);
+        assert_eq!(natural_outcome(&pos, 0), GameOutcome::Draw);
+        assert_eq!(natural_outcome(&pos, 1), GameOutcome::Draw);
+    }
+
+    #[test]
+    fn blocked_checkers_mover_loses() {
+        let pos = AnyPos::Checkers(checkers::CheckersPos::new(checkers::Board {
+            own_men: 0,
+            own_kings: 0,
+            opp_men: 1,
+            opp_kings: 0,
+        }));
+        assert_eq!(natural_outcome(&pos, 0), GameOutcome::SecondWins);
+        assert_eq!(natural_outcome(&pos, 3), GameOutcome::FirstWins);
+    }
+
+    #[test]
+    fn othello_double_pass_counts_discs() {
+        // Full board of the mover's discs minus one square: mover wins.
+        let won = AnyPos::Othello(othello::OthelloPos {
+            board: othello::Board {
+                own: !0u64 << 1,
+                opp: 1,
+            },
+        });
+        assert!(won.moves().is_empty(), "terminal by construction");
+        assert_eq!(natural_outcome(&won, 0), GameOutcome::FirstWins);
+        assert_eq!(natural_outcome(&won, 1), GameOutcome::SecondWins);
+    }
+
+    #[test]
+    fn repetition_key_ignores_the_checkers_quiet_counter() {
+        let a = checkers::CheckersPos::initial();
+        let b = checkers::CheckersPos {
+            quiet_plies: 7,
+            ..a
+        };
+        assert_eq!(
+            repetition_key(&AnyPos::Checkers(a)),
+            repetition_key(&AnyPos::Checkers(b))
+        );
+    }
+
+    #[test]
+    fn tiny_budget_game_still_finishes_legally() {
+        let tc = TimeControl::from_millis(20, 1);
+        let mut a = Player::new(EngineSpec::FixedDepth { depth: 1 }, tc, 8, 4);
+        let mut b = Player::new(EngineSpec::FixedDepth { depth: 1 }, tc, 8, 4);
+        let rec = play_game(&AnyPos::othello_startpos(), &mut a, &mut b);
+        assert_eq!(rec.illegal_moves, 0);
+        assert!(rec.moves.len() > 10, "a real game of moves was played");
+        assert_ne!(rec.terminal, TerminalKind::Capped);
+    }
+}

@@ -1,0 +1,36 @@
+//! Repeated-game layer over the ER search stack: full-game self-play with
+//! warm search state, per-move time management, and a match runner
+//! (DESIGN.md §15).
+//!
+//! Everything below this crate searches one position; real users play
+//! *games*. The pieces:
+//!
+//! * [`Player`] — one engine's state over one game: a persistent
+//!   [`TranspositionTable`](tt::TranspositionTable) and
+//!   [`OrderingTables`](search_serial::OrderingTables) reused move after
+//!   move (generation bump + `age_for_new_root` between roots, so the
+//!   previous search's work seeds the next one), a
+//!   [`GameClock`](engine_server::GameClock) drained by actual search
+//!   time, and an [`EngineSpec`] choosing the back-end: threaded ER
+//!   iterative deepening, serial alpha-beta iterative deepening, or a
+//!   fixed-depth serial baseline.
+//! * [`play_game`] — the game loop: drive the mover's engine, verify the
+//!   chosen move is legal, settle the clock, detect termination
+//!   (double-pass, the checkers 40-ply quiet rule, threefold repetition,
+//!   blocked-player loss, clock forfeit), and record per-move telemetry.
+//! * [`run_match`] — paired openings with color swap: each deterministic
+//!   opening is played twice with the engines' seats exchanged, so
+//!   first-mover advantage cancels out of the W/D/L totals. Doubles as
+//!   the end-to-end strength-regression gate (`repro match` asserts the
+//!   ER engine scores at least as many points as the fixed-depth
+//!   baseline at equal time odds).
+
+#![warn(missing_docs)]
+
+mod engine;
+mod game;
+mod runner;
+
+pub use engine::{EngineSpec, MoveChoice, Player};
+pub use game::{play_game, GameOutcome, GameRecord, MoveRecord, TerminalKind};
+pub use runner::{openings, run_match, Family, MatchConfig, MatchResult};

@@ -177,6 +177,24 @@ impl OrderingTables {
             h.store(v / 2, AtomicOrdering::Relaxed);
         }
     }
+
+    /// Ages the tables for a *new root position* — the per-move policy of
+    /// a game loop, deliberately harsher than the per-depth [`Self::age`]:
+    /// killer slots are cleared outright (a killer refutes a sibling of
+    /// the *old* root; at the new root every ply's position population is
+    /// different, so yesterday's killers are noise, not signal) and
+    /// history drops to an eighth (move-index statistics transfer across
+    /// adjacent roots, but weakly — keep a whisper, forget the shouting).
+    pub fn age_for_new_root(&self) {
+        for slots in &self.killers {
+            slots[0].store(0, AtomicOrdering::Relaxed);
+            slots[1].store(0, AtomicOrdering::Relaxed);
+        }
+        for h in &self.history {
+            let v = h.load(AtomicOrdering::Relaxed);
+            h.store(v / 8, AtomicOrdering::Relaxed);
+        }
+    }
 }
 
 /// Zero-cost handle to optional [`OrderingTables`], mirroring the TT and
@@ -562,6 +580,24 @@ mod tests {
         t.age();
         assert_eq!(t.history(5), 6);
         assert_eq!(t.killer_rank(0, 5), 0, "aging keeps killers");
+    }
+
+    #[test]
+    fn age_for_new_root_clears_killers_and_decays_history_hard() {
+        let t = OrderingTables::new();
+        t.record_cutoff(3, 4, 2);
+        t.record_cutoff(3, 7, 2);
+        t.record_cutoff(0, 5, 3); // history 10
+        t.record_cutoff(9, 5, 1); // history 12
+        t.age_for_new_root();
+        assert_eq!(t.killer_rank(3, 7), 2, "killers cleared for a new root");
+        assert_eq!(t.killer_rank(3, 4), 2);
+        assert_eq!(t.history(5), 12 / 8, "history decays by 8×");
+        // Idempotent on empty state.
+        let fresh = OrderingTables::new();
+        fresh.age_for_new_root();
+        assert_eq!(fresh.history(0), 0);
+        assert_eq!(fresh.killer_rank(0, 0), 2);
     }
 
     #[test]

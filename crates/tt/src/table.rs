@@ -223,6 +223,12 @@ pub struct TranspositionTable {
     bucket_mask: u64,
     /// Current search generation (mod 64); see [`Self::new_search`].
     generation: AtomicU8,
+    /// Total [`Self::new_generation`] calls since construction — the
+    /// *unwrapped* generation clock. The packed entries only carry the
+    /// 6-bit residue, so once this passes 63 each further bump must
+    /// demote entries stamped with the residue being re-entered (see
+    /// [`Self::new_generation`]); the epoch tells us when that starts.
+    epoch: AtomicU64,
     /// Hash-striped counter blocks, each padded to its own cache line so
     /// concurrent workers' bookkeeping doesn't false-share; see
     /// [`Self::counters`].
@@ -251,6 +257,7 @@ impl TranspositionTable {
             shard_bits: shard_count.trailing_zeros(),
             bucket_mask: buckets_per_shard as u64 - 1,
             generation: AtomicU8::new(0),
+            epoch: AtomicU64::new(0),
             counters: Default::default(),
         }
     }
@@ -308,12 +315,55 @@ impl TranspositionTable {
     /// iteration; the multi-session engine server bumps once per
     /// *session-slice*, so entries written by M interleaved sessions age
     /// coherently on one shared clock instead of one session's depth loop
-    /// racing everyone else's. Aging never invalidates an entry — XOR
-    /// validation is independent of generation — it only reorders eviction
-    /// priority (`depth − 8·age`).
+    /// racing everyone else's; the game loop bumps once per *move*.
+    /// Aging never invalidates an entry — XOR validation is independent
+    /// of generation — it only reorders eviction priority (`depth − 8·age`).
+    ///
+    /// Wraparound: entries store their generation mod 64, so once the
+    /// clock has lapped (65th bump onward) an entry written 64 bumps ago
+    /// would carry the *same* residue as the incoming generation and
+    /// alias as brand-new — exactly the entries that should be evicted
+    /// first would instead win every replacement race for the rest of the
+    /// game. To keep the residues honest, each bump past the first lap
+    /// demotes survivors stamped with the residue being re-entered to the
+    /// residue *one ahead* of it, i.e. age 63. The demoted stamp is
+    /// itself re-entered on the next bump, so a long-lived entry keeps
+    /// riding at maximum age instead of ever cycling back to "current".
+    /// The sweep is O(capacity) of relaxed loads once per bump — per
+    /// move/slice noise next to the millions of probes in between.
     pub fn new_generation(&self) {
-        let g = self.generation.load(Relaxed);
-        self.generation.store((g + 1) & 63, Relaxed);
+        let epoch = self.epoch.fetch_add(1, Relaxed) + 1;
+        let next = (epoch & 63) as u8;
+        if epoch > 63 {
+            self.demote_generation(next);
+        }
+        self.generation.store(next, Relaxed);
+    }
+
+    /// Re-stamps every live entry whose generation residue equals `next`
+    /// (about to be re-entered by the wrapping clock) to `next + 1` —
+    /// the oldest possible age under the incoming generation. Rewrites
+    /// preserve XOR validation (`new_key = old_key ^ old_data ^ new_data`
+    /// keeps `key ^ data` equal to the entry's hash); a concurrent store
+    /// racing a demotion at worst tears the pair, which the validation
+    /// already treats as a miss.
+    fn demote_generation(&self, next: u8) {
+        let demoted = u64::from((next + 1) & 63);
+        const GEN_MASK: u64 = 63 << 56;
+        for shard in &self.shards {
+            for bucket in shard.iter() {
+                for slot in &bucket.slots {
+                    let key = slot.key.load(Relaxed);
+                    let data = slot.data.load(Relaxed);
+                    if unpack_bound(data).is_none() || unpack_generation(data) != next {
+                        continue;
+                    }
+                    let new_data = (data & !GEN_MASK) | (demoted << 56);
+                    slot.data.store(new_data, Relaxed);
+                    slot.key.store(key ^ data ^ new_data, Relaxed);
+                }
+            }
+        }
     }
 
     /// Starts a new search: an alias of [`Self::new_generation`] kept for
@@ -326,6 +376,13 @@ impl TranspositionTable {
     /// deepening assert that each depth ran under its own generation.
     pub fn generation(&self) -> u8 {
         self.generation.load(Relaxed)
+    }
+
+    /// Total generation bumps since construction (the unwrapped clock
+    /// behind [`Self::generation`]) — lets a game loop assert one bump
+    /// per move across arbitrarily long games.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Relaxed)
     }
 
     /// The counter stripe `hash` bills to. Any well-mixed bits work; the
@@ -679,8 +736,69 @@ mod tests {
             t.new_search();
         }
         assert_eq!(t.generation(), 130 % 64);
+        assert_eq!(t.epoch(), 130);
         t.store(9, 1, Value::ZERO, Bound::Exact, None);
         assert!(t.probe(9).is_some());
+    }
+
+    #[test]
+    fn wrapped_generation_entry_loses_replacement_race() {
+        // The cross-move aging bug: a normal-length game bumps the
+        // generation once per move, and the 6-bit residue laps after 64
+        // moves. Pre-fix, an entry written on move 1 aliased as *current*
+        // from move 65 onward, so a deep stale entry (depth 200 here)
+        // outranked every genuinely fresh entry in replacement for the
+        // rest of the game. Post-fix the wrap demotion keeps it pinned at
+        // age 63, so it is the first to go.
+        let t = TranspositionTable::with_bits(2); // one 4-way bucket
+        t.store(1, 200, Value::ZERO, Bound::Exact, None); // deep, move 1
+        for _ in 0..70 {
+            t.new_generation();
+        }
+        // It aged, it did not vanish: still probeable after the lap.
+        assert!(t.probe(1).is_some(), "aging must never invalidate");
+        // Fill the rest of the bucket with fresh shallow entries, then
+        // force one eviction.
+        for h in 2..=4u64 {
+            t.store(h, 1, Value::ZERO, Bound::Exact, None);
+        }
+        t.store(5, 1, Value::ZERO, Bound::Exact, None);
+        assert!(
+            t.probe(1).is_none(),
+            "64-generation-old entry must lose the replacement race \
+             to current-generation entries after the clock wraps"
+        );
+        for h in 2..=5u64 {
+            assert!(t.probe(h).is_some(), "fresh entry {h} evicted instead");
+        }
+        assert_eq!(t.stats().collisions, 0, "victim was a past generation");
+    }
+
+    #[test]
+    fn demotion_preserves_xor_validation_and_payload() {
+        // Entries that survive many wrap demotions must still decode the
+        // exact payload stored for their key — the key fix-up
+        // `new_key = old_key ^ old_data ^ new_data` keeps `key ^ data`
+        // equal to the hash through every re-stamp.
+        let t = TranspositionTable::with_bits(8);
+        let hash = |i: u64| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        for i in 0..32u64 {
+            t.store(hash(i), 7, Value::new(i as i32 - 16), Bound::Lower, Some(2));
+        }
+        for _ in 0..200 {
+            t.new_generation(); // three full laps of demotion sweeps
+        }
+        for i in 0..32u64 {
+            let p = t.probe(hash(i)).expect("entry survives in a roomy table");
+            assert_eq!(p.value, Value::new(i as i32 - 16));
+            assert_eq!(p.depth, 7);
+            assert_eq!(p.bound, Bound::Lower);
+            assert_eq!(p.hint, Some(2));
+        }
+        // And unknown keys still never validate.
+        for i in 0..32u64 {
+            assert!(t.probe(hash(i) ^ 0xffff).is_none());
+        }
     }
 
     #[test]

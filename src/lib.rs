@@ -32,7 +32,11 @@
 //!   session scheduler slicing many concurrent searches onto one worker
 //!   pool at iterative-deepening depth boundaries, admission control
 //!   with typed shedding, graceful deadline degradation, and a UCI-style
-//!   protocol front-end (DESIGN.md §13).
+//!   protocol front-end (DESIGN.md §13);
+//! * [`match_harness`] — repeated-game layer: full Othello/checkers
+//!   self-play with warm cross-move transposition-table and ordering
+//!   state, per-move clock management, and a color-swapped
+//!   paired-opening match runner (DESIGN.md §15).
 //!
 //! ## Quickstart
 //!
@@ -130,6 +134,7 @@ pub use checkers;
 pub use engine_server;
 pub use er_parallel;
 pub use gametree;
+pub use match_harness;
 pub use othello;
 pub use problem_heap;
 pub use search_serial;
@@ -143,6 +148,7 @@ pub mod prelude {
         serve_batch, serve_batch_on, AnyMove, AnyPos, Busy, Priority, Response, SchedulerConfig,
         SessionRequest, SessionResult, SessionScheduler,
     };
+    pub use engine_server::{GameClock, TimeControl, TimeManager};
     pub use er_parallel::{
         run_er_sim, run_er_sim_ord, run_er_threads, run_er_threads_ctl, run_er_threads_ctl_tt,
         run_er_threads_exec, run_er_threads_exec_tt, run_er_threads_id, run_er_threads_id_asp,
@@ -155,6 +161,10 @@ pub mod prelude {
     pub use gametree::ordered::OrderedTreeSpec;
     pub use gametree::random::RandomTreeSpec;
     pub use gametree::{GamePosition, SearchStats, Value, Window};
+    pub use match_harness::{
+        openings, play_game, run_match, EngineSpec, Family, GameOutcome, GameRecord, MatchConfig,
+        MatchResult, Player,
+    };
     pub use othello::{Board, OthelloPos};
     pub use problem_heap::ThreadCounters;
     pub use problem_heap::{CostModel, SimReport};

@@ -98,6 +98,58 @@ proptest! {
     }
 
     #[test]
+    fn per_move_aging_is_value_neutral_across_a_game_walk(
+        seed in 0u64..1_000_000,
+        plies in 0u32..6,
+    ) {
+        // The game-loop policy: one shared table set reused move after
+        // move, `age_for_new_root()` between consecutive roots. Whatever
+        // stale-or-fresh mixture the tables hold, every search along the
+        // walk must still produce the ordering-off negamax value — the
+        // per-move decay is permutation-only, like every other ordering
+        // path. Exercised on both game families from one walk seed.
+        let tables = OrderingTables::new();
+        let cfg = ErParallelConfig::othello();
+        let mut pos = playout(&othello::configs::o1(), seed, plies);
+        for mv in 0..3u32 {
+            if mv > 0 {
+                tables.age_for_new_root();
+            }
+            let reference = negmax(&pos, 3).value;
+            for threads in [1usize, 4] {
+                let got = run_er_threads_window_ord(
+                    &pos, 3, Window::FULL, threads, &cfg,
+                    ThreadsConfig::default(), (),
+                    &SearchControl::unlimited(), (), &tables,
+                ).expect("unlimited control cannot trip").value;
+                prop_assert_eq!(got, reference,
+                    "othello move {} at {} threads", mv, threads);
+            }
+            let kids = pos.children();
+            if kids.is_empty() { break; }
+            pos = kids[0];
+        }
+        let cfg = ErParallelConfig { serial_depth: 3, ..ErParallelConfig::random_tree(3) };
+        let mut pos = playout(&CheckersPos::initial(), seed, plies);
+        for mv in 0..3u32 {
+            tables.age_for_new_root(); // tables still warm from Othello: cross-family dirt
+            let reference = negmax(&pos, 4).value;
+            for threads in [1usize, 4] {
+                let got = run_er_threads_window_ord(
+                    &pos, 4, Window::FULL, threads, &cfg,
+                    ThreadsConfig::default(), (),
+                    &SearchControl::unlimited(), (), &tables,
+                ).expect("unlimited control cannot trip").value;
+                prop_assert_eq!(got, reference,
+                    "checkers move {} at {} threads", mv, threads);
+            }
+            let kids = pos.children();
+            if kids.is_empty() { break; }
+            pos = kids[0];
+        }
+    }
+
+    #[test]
     fn aspiration_driver_matches_plain_deepening(
         seed in 0u64..1_000_000,
         degree in 2u32..5,
