@@ -50,6 +50,14 @@
 //!                   back-end, and a linted traced run (accepts
 //!                   --threads 1,2,4; writes BENCH_mech.json at the
 //!                   repo root)
+//! repro obs         observability gates: metrics-on vs metrics-off
+//!                   byte-identical root values and node counts, <=2%
+//!                   nodes/sec overhead (best-of-N interleaved trials),
+//!                   and a mixed serve+match workload whose periodic
+//!                   exposition snapshots all pass the format linter
+//!                   (accepts --trials 5, --sessions 16, --games 2,
+//!                   --threads 2; writes BENCH_obs.json at the repo
+//!                   root and results/obs_metrics.prom)
 //! repro match       repeated-game engine loop: full self-play games in
 //!                   both families (warm TT + ordering state across
 //!                   moves, per-move time management), ER-threads vs the
@@ -644,7 +652,7 @@ fn tt() {
     println!("\n=== Transposition table: R1/O1, table off vs on (2^{bits} entries) ===");
     let rows = tt_rows(bits);
     println!(
-        "{:<8} {:<5} {:>5} {:>7} {:>7} {:>9} {:>8} {:>9} {:>8} {:>9} {:>7} {:>8} {:>8}",
+        "{:<8} {:<5} {:>5} {:>7} {:>7} {:>9} {:>8} {:>9} {:>8} {:>9} {:>7} {:>8} {:>6} {:>8}",
         "backend",
         "tree",
         "depth",
@@ -657,11 +665,12 @@ fn tt() {
         "hitrate",
         "exact",
         "hints",
+        "fill",
         "ms"
     );
     for r in &rows {
         println!(
-            "{:<8} {:<5} {:>5} {:>7} {:>7} {:>9} {:>8} {:>9} {:>8} {:>8.1}% {:>7} {:>8} {:>8.1}",
+            "{:<8} {:<5} {:>5} {:>7} {:>7} {:>9} {:>8} {:>9} {:>8} {:>8.1}% {:>7} {:>8} {:>5.1}% {:>8.1}",
             r.backend,
             r.tree,
             r.depth,
@@ -678,6 +687,7 @@ fn tt() {
             100.0 * r.hit_rate,
             r.exact_hits,
             r.hint_hits,
+            100.0 * r.occupancy,
             r.elapsed_ms
         );
     }
@@ -736,6 +746,20 @@ fn tt() {
         o16.hits,
         o16.probes
     );
+    // The occupancy sampler (shared with the metrics gauge) must see a
+    // non-empty table wherever stores landed, and stay in [0, 1].
+    for r in &rows {
+        assert!((0.0..=1.0).contains(&r.occupancy), "fill is a ratio");
+        if r.tt_bits != 0 && r.stores > 0 {
+            assert!(
+                r.occupancy > 0.0,
+                "{} {}@{}: stores landed but the sampler saw an empty table",
+                r.backend,
+                r.tree,
+                r.threads
+            );
+        }
+    }
     save_json("tt", &rows);
     let mut f = fs::File::create("BENCH_tt.json").expect("create BENCH_tt.json");
     f.write_all(er_bench::json::to_pretty(&rows).as_bytes())
@@ -1085,7 +1109,31 @@ fn serve() {
         er_bench::serve::MAX_ACTIVE,
         er_bench::serve::MAX_QUEUED
     );
-    let bench = er_bench::serve::serve_bench(sessions, threads, tt_bits);
+    let m = std::sync::Arc::new(metrics::EngineMetrics::new(threads));
+    let (bench, snapshots) = er_bench::serve::serve_bench_observed(
+        sessions,
+        threads,
+        tt_bits,
+        Some(std::sync::Arc::clone(&m)),
+        er_bench::serve::SNAPSHOT_EVERY_SLICES,
+    );
+    // Every periodic exposition snapshot must pass the format linter
+    // before anything is written; the final page is saved for scraping.
+    for page in &snapshots {
+        metrics::lint::check(page).expect("periodic metrics snapshot must lint clean");
+    }
+    let final_page = m.expose();
+    metrics::lint::check(&final_page).expect("final metrics page must lint clean");
+    fs::create_dir_all("results").expect("create results/");
+    fs::write("results/serve_metrics.prom", &final_page).expect("write serve_metrics.prom");
+    println!(
+        "metrics: {} periodic snapshots lint-clean, {:.0} nodes/s over {} \
+         searches, tt occupancy {:.1}%  -> results/serve_metrics.prom",
+        snapshots.len(),
+        m.nodes_per_sec(),
+        m.search_runs_total.value(),
+        100.0 * m.tt_occupancy.ratio()
+    );
 
     println!(
         "admitted {} / shed {} / retried-to-completion {} (errored {}, \
@@ -1293,6 +1341,9 @@ struct MatchPairingRow {
     illegal_moves: u32,
     forfeits: u32,
     total_moves: usize,
+    /// Telemetry rows dropped by the [`MATCH_MOVE_ROW_CAP`] (aggregates
+    /// above still cover every move).
+    moves_dropped: usize,
     mean_depth_a: f64,
     mean_depth_b: f64,
     /// TT hit rate over the ER engine's post-opening moves (its warmth).
@@ -1334,6 +1385,7 @@ impl er_bench::json::ToJson for MatchPairingRow {
                 ("illegal_moves", &self.illegal_moves),
                 ("forfeits", &self.forfeits),
                 ("total_moves", &self.total_moves),
+                ("moves_dropped", &self.moves_dropped),
                 ("mean_depth_a", &self.mean_depth_a),
                 ("mean_depth_b", &self.mean_depth_b),
                 ("warm_hit_rate", &self.warm_hit_rate),
@@ -1365,6 +1417,13 @@ impl er_bench::json::ToJson for MatchMoveRow {
         );
     }
 }
+
+/// Cap on per-move telemetry rows kept per pairing in the JSON exports,
+/// mirroring the bounded Chrome-export ring (`trace`'s ring capacity):
+/// a long `--games` run must not grow `BENCH_match.json` without bound.
+/// The earliest rows in play order are kept; the aggregate fields
+/// (`total_moves`, means, the warm-hit gate) still cover every move.
+const MATCH_MOVE_ROW_CAP: usize = 2048;
 
 /// Flattens a finished match and enforces the game-loop contract: only
 /// legal moves, no clock forfeits, no ply-cap games, and nonzero TT hits
@@ -1425,6 +1484,13 @@ fn match_pairing_row(r: &match_harness::MatchResult) -> MatchPairingRow {
     assert_eq!(illegal, 0, "{}: illegal moves played", r.family.name());
     assert_eq!(forfeits, 0, "{}: clock forfeits", r.family.name());
     let mean = |s: u64, n: u64| s as f64 / n.max(1) as f64;
+    let total_moves = moves.len();
+    let moves_dropped = total_moves.saturating_sub(MATCH_MOVE_ROW_CAP);
+    moves.truncate(MATCH_MOVE_ROW_CAP);
+    assert!(
+        moves.len() <= MATCH_MOVE_ROW_CAP,
+        "per-move telemetry must stay within the export cap"
+    );
     MatchPairingRow {
         family: r.family.name().to_string(),
         name_a: r.name_a.clone(),
@@ -1437,12 +1503,79 @@ fn match_pairing_row(r: &match_harness::MatchResult) -> MatchPairingRow {
         losses_a: r.wdl_a.2,
         illegal_moves: illegal,
         forfeits,
-        total_moves: moves.len(),
+        total_moves,
+        moves_dropped,
         mean_depth_a: mean(depth_sum[0], depth_n[0]),
         mean_depth_b: mean(depth_sum[1], depth_n[1]),
         warm_hit_rate: mean(warm.0, warm.1),
         moves,
     }
+}
+
+fn obs() {
+    let mut cli = er_bench::cli::Cli::from_env("obs");
+    let trials = cli.count("--trials", 5, 1..=64) as usize;
+    let sessions = cli.count("--sessions", 16, 1..=4096) as usize;
+    let games = cli.count("--games", 2, 2..=64) as usize;
+    let threads = cli.count("--threads", 2, 1..=64) as usize;
+    cli.finish();
+
+    println!(
+        "\n=== Observability gates: {} probe trees x {trials} interleaved \
+         trials, then {sessions} sessions + {games} games observed ===",
+        er_bench::obs::PROBE_SEEDS
+    );
+    let (bench, page) =
+        er_bench::obs::obs_bench(trials, sessions, games, threads, er_bench::obs::PROBE_DEPTH);
+
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "seed", "value off", "value on", "nodes off", "nodes on"
+    );
+    for p in &bench.probes {
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10}",
+            p.seed, p.value_off, p.value_on, p.nodes_off, p.nodes_on
+        );
+    }
+    println!(
+        "identity gate: {} probes byte-identical off vs on",
+        bench.probes.len()
+    );
+    println!(
+        "overhead gate: off {:.0} nodes/s, on {:.0} nodes/s ({:+.2}% — \
+         ceiling {:.0}%)",
+        bench.off_nps,
+        bench.on_nps,
+        100.0 * bench.overhead_fraction,
+        100.0 * bench.max_overhead_fraction
+    );
+    println!(
+        "mixed workload: {}/{} sessions completed, {} lint-clean snapshots, \
+         {} match moves over {} games, {:.0} nodes/s recorded, tt fill \
+         {:.1}%",
+        bench.serve_completed,
+        bench.serve_sessions,
+        bench.serve_snapshots,
+        bench.match_moves,
+        bench.match_games,
+        bench.workload_nps,
+        100.0 * bench.tt_occupancy
+    );
+
+    fs::create_dir_all("results").expect("create results/");
+    fs::write("results/obs_metrics.prom", &page).expect("write obs_metrics.prom");
+    println!(
+        "  -> results/obs_metrics.prom ({} lines)",
+        bench.exposition_lines
+    );
+    let rendered = er_bench::json::to_pretty(&bench);
+    trace::lint::check(&rendered).expect("BENCH_obs.json must be well-formed JSON");
+    save_json("obs", &bench);
+    let mut f = fs::File::create("BENCH_obs.json").expect("create BENCH_obs.json");
+    f.write_all(rendered.as_bytes())
+        .expect("write BENCH_obs.json");
+    println!("  -> BENCH_obs.json");
 }
 
 fn match_play() {
@@ -1530,6 +1663,30 @@ fn match_play() {
         );
     }
 
+    // Export-size gate: per-move rows are capped like the Chrome-export
+    // ring; anything dropped is accounted, never silently truncated.
+    for r in &rows {
+        assert!(
+            r.moves.len() <= MATCH_MOVE_ROW_CAP,
+            "{} {} v {}: {} telemetry rows exceed the {MATCH_MOVE_ROW_CAP}-row export cap",
+            r.family,
+            r.name_a,
+            r.name_b,
+            r.moves.len()
+        );
+        assert_eq!(r.moves.len() + r.moves_dropped, r.total_moves);
+        if r.moves_dropped > 0 {
+            println!(
+                "{} {} v {}: kept {} of {} move rows (cap {MATCH_MOVE_ROW_CAP})",
+                r.family,
+                r.name_a,
+                r.name_b,
+                r.moves.len(),
+                r.total_moves
+            );
+        }
+    }
+
     save_json("match", &rows);
     let pretty = er_bench::json::to_pretty(&rows);
     trace::lint::check(&pretty).expect("results/match.json must be valid JSON");
@@ -1561,6 +1718,7 @@ fn main() {
         "serve" => serve(),
         "uci" => uci(),
         "mech" => mech(),
+        "obs" => obs(),
         "match" => match_play(),
         "all" => {
             table3();
@@ -1581,13 +1739,14 @@ fn main() {
             trace();
             serve();
             mech();
+            obs();
             match_play();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; use \
                  table3|fig10|fig11|fig12|fig13|baselines|ablation|overhead|sweep|ordering|\
-                 gantt|threads|tt|scaling|deadline|trace|serve|mech|match|uci|all"
+                 gantt|threads|tt|scaling|deadline|trace|serve|mech|obs|match|uci|all"
             );
             std::process::exit(2);
         }

@@ -1266,6 +1266,10 @@ pub struct TtRow {
     pub collisions: u64,
     /// `hits / probes` (0 when off).
     pub hit_rate: f64,
+    /// Sampled end-of-run fill rate in `[0, 1]`
+    /// ([`tt::TranspositionTable::occupancy_sample`] over 1024 buckets —
+    /// the same sampler the metrics gauge reads; 0 when off).
+    pub occupancy: f64,
     /// Wall-clock milliseconds.
     pub elapsed_ms: f64,
 }
@@ -1324,6 +1328,11 @@ fn tt_row<P: GamePosition + tt::Zobrist>(
         value, exact,
         "{name}: {backend} tt={bits} workers={threads} disagrees with alpha-beta"
     );
+    let occupancy = if bits == 0 {
+        0.0
+    } else {
+        table.occupancy_sample(1024)
+    };
     TtRow {
         backend: backend.to_string(),
         tree: name.to_string(),
@@ -1342,6 +1351,7 @@ fn tt_row<P: GamePosition + tt::Zobrist>(
         replacements: tt_stats.replacements,
         collisions: tt_stats.collisions,
         hit_rate: tt_stats.hit_rate(),
+        occupancy,
         elapsed_ms,
     }
 }
@@ -1817,6 +1827,7 @@ impl_to_json!(TtRow {
     replacements,
     collisions,
     hit_rate,
+    occupancy,
     elapsed_ms
 });
 impl_to_json!(ScalingRow {

@@ -9,5 +9,6 @@ pub mod cli;
 pub mod experiments;
 pub mod json;
 pub mod mech;
+pub mod obs;
 pub mod serve;
 pub mod trees;

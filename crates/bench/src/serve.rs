@@ -28,6 +28,7 @@
 //! default `--sessions 64` does and the CI smoke's `--sessions 16` does
 //! not.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use engine_server::{
@@ -35,6 +36,7 @@ use engine_server::{
     SessionScheduler,
 };
 use er_parallel::{AspirationConfig, ErParallelConfig};
+use metrics::EngineMetrics;
 use search_serial::alphabeta;
 
 use crate::json::impl_to_json;
@@ -261,6 +263,24 @@ fn flatten(r: &SessionResult, wave: u8, req: &SessionRequest<AnyPos>) -> ServeRo
 /// the three asserted acceptance properties fails — a panic here is a
 /// scheduler bug, not a workload problem.
 pub fn serve_bench(sessions: usize, threads: usize, tt_bits: u32) -> ServeBench {
+    serve_bench_observed(sessions, threads, tt_bits, None, 0).0
+}
+
+/// How often the observed load generator snapshots the exposition page:
+/// every this-many scheduler slices.
+pub const SNAPSHOT_EVERY_SLICES: u64 = 16;
+
+/// [`serve_bench`] with an optional live metric set attached to the
+/// scheduler. Returns the report plus every periodic exposition snapshot
+/// the run took (empty without metrics, or when `snapshot_every` is 0) —
+/// `repro serve`/`repro obs` lint each one before writing anything.
+pub fn serve_bench_observed(
+    sessions: usize,
+    threads: usize,
+    tt_bits: u32,
+    metrics: Option<Arc<EngineMetrics>>,
+    snapshot_every: u64,
+) -> (ServeBench, Vec<String>) {
     let cfg = SchedulerConfig {
         threads,
         tt_bits,
@@ -270,6 +290,10 @@ pub fn serve_bench(sessions: usize, threads: usize, tt_bits: u32) -> ServeBench 
     };
     let reqs: Vec<SessionRequest<AnyPos>> = (0..sessions).map(request_for).collect();
     let mut sched: SessionScheduler<AnyPos> = SessionScheduler::new(cfg);
+    if let Some(m) = &metrics {
+        sched.attach_metrics(Arc::clone(m));
+        sched.snapshot_metrics_every(snapshot_every);
+    }
 
     let t0 = Instant::now();
     let wave1 = serve_batch_on(&mut sched, reqs.clone());
@@ -388,7 +412,7 @@ pub fn serve_bench(sessions: usize, threads: usize, tt_bits: u32) -> ServeBench 
             "offered load beyond capacity must shed, not queue unboundedly"
         );
     }
-    bench
+    (bench, sched.take_metric_snapshots())
 }
 
 #[cfg(test)]
@@ -404,6 +428,21 @@ mod tests {
         assert!(b.degraded >= 1, "the zero-budget probe must degrade");
         assert!(b.p50_latency_ms <= b.p99_latency_ms);
         crate::json::to_pretty(&b);
+    }
+
+    #[test]
+    fn observed_run_snapshots_lint_clean_pages() {
+        let m = Arc::new(EngineMetrics::new(1));
+        let (b, snaps) = serve_bench_observed(12, 1, 12, Some(Arc::clone(&m)), 4);
+        assert_eq!(b.completed, 12);
+        assert!(!snaps.is_empty(), "12 sessions run well over 4 slices");
+        for page in &snaps {
+            metrics::lint::check(page).unwrap_or_else(|e| panic!("snapshot lint: {e}"));
+        }
+        // The scheduler's counters agree with the report's accounting.
+        assert_eq!(m.server_queue_wait_ns.snapshot().count, b.admitted);
+        assert!(m.search_runs_total.value() > 0);
+        assert_eq!(m.server_active_sessions.value(), 0, "drained to idle");
     }
 
     #[test]

@@ -56,16 +56,18 @@
 //! completed depth. `tests/transparency.rs` asserts exactly that.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 use er_parallel::{
-    run_er_threads_window_ord, AbortReason, ErParallelConfig, IdStepper, SearchControl,
+    run_er_threads_window_ord_metrics, AbortReason, ErParallelConfig, IdStepper, SearchControl,
     ThreadsConfig,
 };
 use gametree::{GamePosition, SearchStats, Value, Window};
+use metrics::{EngineMetrics, MetricsAccess};
 use search_serial::OrderingTables;
 use trace::{TraceAccess, TraceData, Tracer};
-use tt::{TranspositionTable, Zobrist};
+use tt::{TranspositionTable, TtStats, Zobrist};
 
 use crate::session::{
     Busy, Priority, Response, SchedulerConfig, SessionId, SessionRequest, SessionResult,
@@ -137,7 +139,23 @@ pub struct SessionScheduler<P: GamePosition + Zobrist> {
     slices_since_age: usize,
     next_id: u32,
     stats: SchedulerStats,
+    /// Live metric set, when attached ([`Self::attach_metrics`]); `None`
+    /// keeps every recording branch cold and the scheduler identical to
+    /// the unmetered build.
+    metrics: Option<Arc<EngineMetrics>>,
+    /// Shared-table counter readings already folded into the metric
+    /// counters, so successive syncs add only the delta.
+    tt_seen: TtStats,
+    /// Emit an exposition snapshot every this many slices (0 = never).
+    snapshot_every: u64,
+    /// Collected periodic exposition pages ([`Self::take_metric_snapshots`]).
+    snapshots: Vec<String>,
 }
+
+/// Buckets [`TranspositionTable::occupancy_sample`] walks per gauge
+/// update: a few microseconds of sampling per slice, far below slice
+/// cost, with sampling error a fill-rate gauge can absorb.
+const OCCUPANCY_SAMPLE_BUCKETS: usize = 1024;
 
 impl<P: GamePosition + Zobrist> SessionScheduler<P> {
     /// An empty scheduler with a freshly allocated shared table.
@@ -155,8 +173,63 @@ impl<P: GamePosition + Zobrist> SessionScheduler<P> {
             slices_since_age: 0,
             next_id: 0,
             stats: SchedulerStats::default(),
+            metrics: None,
+            tt_seen: TtStats::default(),
+            snapshot_every: 0,
+            snapshots: Vec::new(),
             cfg,
         }
+    }
+
+    /// Attaches a live metric set: admission, slicing and the slice
+    /// searches themselves record into it from here on. Detached (the
+    /// default), every instrumentation branch is cold and the schedule
+    /// is identical to the unmetered build.
+    pub fn attach_metrics(&mut self, m: Arc<EngineMetrics>) {
+        self.metrics = Some(m);
+        self.tt_seen = self.table.stats();
+    }
+
+    /// The attached metric set, if any.
+    pub fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// Emits a Prometheus exposition snapshot every `slices` slices
+    /// (0 disables). Snapshots accumulate until
+    /// [`Self::take_metric_snapshots`] drains them — the in-process
+    /// analogue of a scraper hitting the page on an interval.
+    pub fn snapshot_metrics_every(&mut self, slices: u64) {
+        self.snapshot_every = slices;
+    }
+
+    /// Drains the periodic exposition snapshots collected so far.
+    pub fn take_metric_snapshots(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.snapshots)
+    }
+
+    /// Publishes the point-in-time gauges (queue depths, active set,
+    /// sampled table occupancy) and folds the shared table's counter
+    /// deltas into the metric set. Cold path: runs at admission and
+    /// slice boundaries, never inside a search.
+    fn sync_metrics(&mut self) {
+        let Some(m) = &self.metrics else { return };
+        let mut depths = [0i64; 3];
+        for p in &self.queue {
+            depths[p.req.priority.index()] += 1;
+        }
+        for (g, d) in m.server_queue_depth.iter().zip(depths) {
+            g.set(d);
+        }
+        m.server_active_sessions.set(self.active.len() as i64);
+        let now = self.table.stats();
+        let delta = now.since(&self.tt_seen);
+        self.tt_seen = now;
+        m.tt_probes_total.add(0, delta.probes);
+        m.tt_hits_total.add(0, delta.hits);
+        m.tt_stores_total.add(0, delta.stores);
+        m.tt_occupancy
+            .set_ratio(self.table.occupancy_sample(OCCUPANCY_SAMPLE_BUCKETS));
     }
 
     /// Offers a request to admission control. `Ok` means the session will
@@ -169,11 +242,17 @@ impl<P: GamePosition + Zobrist> SessionScheduler<P> {
         self.stats.submitted += 1;
         if self.active.len() + self.queue.len() >= self.cfg.capacity() {
             self.stats.shed_queue_full += 1;
+            if let Some(m) = &self.metrics {
+                m.server_shed_queue_full_total.inc(0);
+            }
             return Err(Busy::QueueFull);
         }
         let class = req.priority.index();
         if self.class_admitted[class] >= self.cfg.per_class_max[class] {
             self.stats.shed_class_cap += 1;
+            if let Some(m) = &self.metrics {
+                m.server_shed_class_full_total.inc(0);
+            }
             return Err(Busy::ClassFull(req.priority));
         }
         self.class_admitted[class] += 1;
@@ -188,6 +267,9 @@ impl<P: GamePosition + Zobrist> SessionScheduler<P> {
             submitted,
             deadline,
         });
+        if self.metrics.is_some() {
+            self.sync_metrics();
+        }
         Ok(id)
     }
 
@@ -222,6 +304,12 @@ impl<P: GamePosition + Zobrist> SessionScheduler<P> {
             self.promote();
             let Some(idx) = self.pick() else { break };
             self.slice(idx);
+        }
+        if self.metrics.is_some() {
+            // Final sync so a scrape between batches reads the idle
+            // state (zero actives, drained queues) rather than the last
+            // mid-run gauge values.
+            self.sync_metrics();
         }
         std::mem::take(&mut self.finished)
     }
@@ -265,6 +353,14 @@ impl<P: GamePosition + Zobrist> SessionScheduler<P> {
     fn slice(&mut self, idx: usize) {
         let start = Instant::now();
         let sess = &mut self.active[idx];
+        if sess.first_slice.is_none() {
+            if let Some(m) = &self.metrics {
+                m.server_queue_wait_ns.record(
+                    0,
+                    start.saturating_duration_since(sess.submitted).as_nanos() as u64,
+                );
+            }
+        }
         sess.first_slice.get_or_insert(start);
 
         // Degenerate request: nothing to search, the fallback is the answer.
@@ -295,6 +391,7 @@ impl<P: GamePosition + Zobrist> SessionScheduler<P> {
         let sess = &mut self.active[idx];
         let depth = sess.stepper.next_depth();
         let ord = sess.ordering.then_some(&self.ord);
+        let mx = self.metrics.as_deref();
         let (pos, threads, cfg, exec, table) = (
             &sess.pos,
             self.cfg.threads,
@@ -304,17 +401,21 @@ impl<P: GamePosition + Zobrist> SessionScheduler<P> {
         );
         let step = match &sess.tracer {
             Some(t) => sess.stepper.step_with(depth, &ctl, Some(t), |d, w, c| {
-                slice_search(pos, d, w, threads, cfg, exec, table, c, t, ord)
+                slice_search(pos, d, w, threads, cfg, exec, table, c, t, ord, mx)
             }),
             None => sess.stepper.step_with(depth, &ctl, None, |d, w, c| {
-                slice_search(pos, d, w, threads, cfg, exec, table, c, (), ord)
+                slice_search(pos, d, w, threads, cfg, exec, table, c, (), ord, mx)
             }),
         };
         sess.slices += 1;
+        let slice_elapsed = start.elapsed();
         sess.vtime = sess.vtime.saturating_add(
-            (start.elapsed().as_nanos() / u128::from(sess.priority.weight()))
+            (slice_elapsed.as_nanos() / u128::from(sess.priority.weight()))
                 .min(u128::from(u64::MAX)) as u64,
         );
+        if let Some(m) = &self.metrics {
+            m.server_slice_ns.record(0, slice_elapsed.as_nanos() as u64);
+        }
 
         let done = match step {
             // Depth completed: the session finishes only once it has them
@@ -327,6 +428,14 @@ impl<P: GamePosition + Zobrist> SessionScheduler<P> {
         if done {
             self.finish(idx, start);
         }
+        if self.metrics.is_some() {
+            self.sync_metrics();
+            if self.snapshot_every > 0 && self.stats.slices.is_multiple_of(self.snapshot_every) {
+                if let Some(m) = &self.metrics {
+                    self.snapshots.push(m.expose());
+                }
+            }
+        }
     }
 
     /// Removes `active[idx]` and records its [`SessionResult`].
@@ -338,6 +447,11 @@ impl<P: GamePosition + Zobrist> SessionScheduler<P> {
             self.traces.push((sess.id.0, t.snapshot()));
         }
         let r = sess.stepper.into_result();
+        if let Some(m) = &self.metrics {
+            if r.stopped == Some(AbortReason::DeadlineHit) {
+                m.server_deadline_degraded_total.inc(0);
+            }
+        }
         self.finished.push(SessionResult {
             id: sess.id,
             priority: sess.priority,
@@ -361,10 +475,10 @@ impl<P: GamePosition + Zobrist> SessionScheduler<P> {
 }
 
 /// One windowed fixed-depth search — the body of every slice. Generic over
-/// the trace handle; the optional shared ordering tables are erased here so
-/// the caller needs no type-level branching.
+/// the trace and metrics handles; the optional shared ordering tables are
+/// erased here so the caller needs no type-level branching.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn slice_search<P: GamePosition + Zobrist, R: TraceAccess>(
+pub(crate) fn slice_search<P: GamePosition + Zobrist, R: TraceAccess, M: MetricsAccess>(
     pos: &P,
     depth: u32,
     window: Window,
@@ -375,14 +489,25 @@ pub(crate) fn slice_search<P: GamePosition + Zobrist, R: TraceAccess>(
     ctl: &SearchControl,
     tr: R,
     ord: Option<&OrderingTables>,
+    mx: M,
 ) -> Result<(Value, SearchStats), AbortReason> {
     match ord {
-        Some(o) => {
-            run_er_threads_window_ord(pos, depth, window, threads, cfg, exec, table, ctl, tr, o)
-        }
-        None => {
-            run_er_threads_window_ord(pos, depth, window, threads, cfg, exec, table, ctl, tr, ())
-        }
+        Some(o) => run_er_threads_window_ord_metrics(
+            pos, depth, window, threads, cfg, exec, table, ctl, tr, o, mx,
+        ),
+        None => run_er_threads_window_ord_metrics(
+            pos,
+            depth,
+            window,
+            threads,
+            cfg,
+            exec,
+            table,
+            ctl,
+            tr,
+            (),
+            mx,
+        ),
     }
     .map(|r| (r.value, r.stats))
     .map_err(|e| e.reason)
@@ -559,5 +684,65 @@ mod tests {
         assert_eq!(traces.len(), 3);
         let refs: Vec<(u32, &TraceData)> = traces.iter().map(|(id, d)| (*id, d)).collect();
         trace::lint::check(&trace::chrome_json_sessions(&refs)).expect("valid merged trace");
+    }
+
+    #[test]
+    fn attached_metrics_record_the_serve_and_stay_transparent() {
+        let cfg = SchedulerConfig {
+            max_active: 2,
+            max_queued: 1,
+            threads: 1,
+            ..SchedulerConfig::default()
+        };
+        // Baseline run without metrics: the observed run must return
+        // bit-identical values (transparency extends to observability).
+        let bare = serve_batch((0..4).map(|i| random_req(i, 3)).collect(), cfg);
+
+        let mut s = SessionScheduler::new(cfg);
+        let m = Arc::new(metrics::EngineMetrics::new(1));
+        s.attach_metrics(Arc::clone(&m));
+        s.snapshot_metrics_every(2);
+        let observed = serve_batch_on(&mut s, (0..4).map(|i| random_req(i, 3)).collect());
+        for (a, b) in bare.iter().zip(&observed) {
+            match (a, b) {
+                (Response::Done(x), Response::Done(y)) => assert_eq!(x.value, y.value),
+                (Response::Shed(x), Response::Shed(y)) => assert_eq!(x, y),
+                _ => panic!("metrics changed an admission outcome"),
+            }
+        }
+        // The serve landed in the registry: searches ran, every admitted
+        // session's first slice observed its queue wait, admission shed
+        // the 4th request, and the idle scheduler holds no sessions.
+        assert!(m.search_nodes_total.value() > 0);
+        assert!(m.search_runs_total.value() > 0);
+        assert_eq!(m.server_queue_wait_ns.snapshot().count, 3);
+        assert!(m.server_slice_ns.snapshot().count >= 3);
+        assert_eq!(m.server_shed_queue_full_total.value(), 1);
+        assert_eq!(m.server_active_sessions.value(), 0);
+        for g in &m.server_queue_depth {
+            assert_eq!(g.value(), 0, "drained queues read empty");
+        }
+        // Periodic snapshots were taken and every page is lint-clean.
+        let snaps = s.take_metric_snapshots();
+        assert!(!snaps.is_empty(), "slices >= 2 with snapshot_every = 2");
+        for page in &snaps {
+            metrics::lint::check(page).unwrap_or_else(|e| panic!("lint failed: {e}"));
+        }
+        assert!(s.take_metric_snapshots().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn deadline_degradation_is_counted() {
+        let mut s = SessionScheduler::new(SchedulerConfig {
+            threads: 1,
+            ..SchedulerConfig::default()
+        });
+        let m = Arc::new(metrics::EngineMetrics::new(1));
+        s.attach_metrics(Arc::clone(&m));
+        let req = random_req(42, 8).with_budget(Duration::ZERO);
+        s.submit(req).unwrap();
+        let results = s.run_until_idle();
+        assert_eq!(results[0].stopped, Some(AbortReason::DeadlineHit));
+        assert_eq!(m.server_deadline_degraded_total.value(), 1);
     }
 }

@@ -12,8 +12,9 @@
 //! position checkers [moves ...]
 //! go [movetime <ms>] [depth <d>] [infinite]
 //!    [wtime <ms>] [btime <ms>] [winc <ms>] [binc <ms>]
-//!                             -> info depth ... / bestmove ...
+//!                             -> info depth ... / info string nps ... / bestmove ...
 //! stop                        (finish the running search now)
+//! metrics                     -> the Prometheus exposition page
 //! quit                        (exit the loop)
 //! ```
 //!
@@ -32,7 +33,12 @@
 //! 20 ms.
 //!
 //! Successive `go` commands share one transposition table (replaced by
-//! `ucinewgame`), so analysing a line of play reuses prior work.
+//! `ucinewgame`), so analysing a line of play reuses prior work. They
+//! also share one [`EngineMetrics`] set, which every search records
+//! into: each `go` reports an `info string nps ...` line (derived from
+//! the same counters the registry exposes, not a separate tally) right
+//! before `bestmove`, and the `metrics` command dumps the whole set as
+//! a Prometheus exposition page.
 //! `bestmove` comes from an explicit root split: the parallel region
 //! stores no root table entry, so each depth searches every root child
 //! under the negamax window and the driver owns the best index itself
@@ -45,6 +51,7 @@ use std::time::Duration;
 
 use er_parallel::{AspirationConfig, IdStepper, SearchControl, ThreadsConfig};
 use gametree::{GamePosition, SearchStats, Value};
+use metrics::EngineMetrics;
 use search_serial::alphabeta;
 use tt::TranspositionTable;
 
@@ -130,6 +137,7 @@ struct Running<'scope> {
 pub fn run<R: BufRead, W: Write + Send>(input: R, out: W, cfg: UciConfig) -> std::io::Result<()> {
     let out = Mutex::new(out);
     let mut table = Arc::new(TranspositionTable::with_bits(cfg.tt_bits));
+    let metrics = Arc::new(EngineMetrics::new(cfg.threads.max(1)));
     let mut pos = AnyPos::othello_startpos();
     // Plies played from the start position — the side-to-move parity the
     // clock fields of `go` are matched against.
@@ -175,8 +183,9 @@ pub fn run<R: BufRead, W: Write + Send>(input: R, out: W, cfg: UciConfig) -> std
                         None => SearchControl::unlimited(),
                     });
                     let (ctl2, table2, out2) = (Arc::clone(&ctl), Arc::clone(&table), &out);
+                    let m2 = Arc::clone(&metrics);
                     let handle =
-                        scope.spawn(move || search(&pos, &spec, &table2, cfg, &ctl2, out2));
+                        scope.spawn(move || search(&pos, &spec, &table2, cfg, &ctl2, out2, &m2));
                     running = Some(Running {
                         handle,
                         ctl,
@@ -187,6 +196,15 @@ pub fn run<R: BufRead, W: Write + Send>(input: R, out: W, cfg: UciConfig) -> std
                     // Cancel and wait for `bestmove`; a stray stop with no
                     // search running is a harmless no-op, as in UCI.
                     finish(&mut running, true)?;
+                }
+                Some("metrics") => {
+                    // Join the running search first so the page reflects a
+                    // settled counter set, then dump the exposition text
+                    // (multi-line, lint-clean — see metrics::lint).
+                    finish(&mut running, false)?;
+                    let mut o = out.lock().unwrap();
+                    write!(o, "{}", metrics.expose())?;
+                    o.flush()?;
                 }
                 Some("quit") => break,
                 Some(other) => say(&format!("info string error: unknown command '{other}'"))?,
@@ -284,8 +302,13 @@ fn search<W: Write + Send>(
     cfg: UciConfig,
     ctl: &SearchControl,
     out: &Mutex<W>,
+    m: &EngineMetrics,
 ) -> std::io::Result<()> {
     let max_depth = spec.depth.unwrap_or(cfg.default_depth);
+    // Baselines for this move's `info string nps` report: the line is a
+    // delta of the shared registry counters, not a private tally.
+    let nodes0 = m.search_nodes_total.value();
+    let ns0 = m.search_elapsed_ns_total.value();
     let kids = pos.children();
     let mut stepper = IdStepper::new(pos.evaluate(), cfg.asp);
     let mut best_index: Option<usize> = None;
@@ -319,6 +342,7 @@ fn search<W: Write + Send>(
                     c,
                     (),
                     None,
+                    m,
                 )?;
                 stats.merge(&s);
                 let v = -v;
@@ -353,6 +377,16 @@ fn search<W: Write + Send>(
     }
     let best = best_move_label(pos, best_index);
     let mut o = out.lock().unwrap();
+    let (nodes, ns) = (
+        m.search_nodes_total.value() - nodes0,
+        m.search_elapsed_ns_total.value() - ns0,
+    );
+    let nps = if ns == 0 {
+        0
+    } else {
+        (nodes as f64 * 1e9 / ns as f64) as u64
+    };
+    writeln!(o, "info string nps {nps} nodes {nodes} elapsed_ns {ns}")?;
     writeln!(o, "bestmove {best}")?;
     o.flush()
 }
@@ -518,6 +552,30 @@ mod tests {
             .expect("bestmove line");
         let p = AnyPos::othello_startpos();
         assert!(p.parse_move(best).is_some(), "'{best}' must be legal");
+    }
+
+    #[test]
+    fn metrics_command_dumps_a_lint_clean_page_and_go_reports_nps() {
+        let out = run_session("position startpos\ngo depth 3\nmetrics\nquit\n");
+        // Every completed `go` derives an nps line from the registry
+        // counters, right before its bestmove.
+        let nps = out
+            .lines()
+            .find(|l| l.starts_with("info string nps "))
+            .expect("nps info line");
+        let fields: Vec<&str> = nps.split_whitespace().collect();
+        assert_eq!(fields[4], "nodes");
+        let nodes: u64 = fields[5].parse().expect("numeric node count");
+        assert!(nodes > 0, "a depth-3 search examines nodes");
+        let before = out.find("bestmove").expect("bestmove line");
+        assert!(out.find("info string nps").unwrap() < before);
+        // `metrics` dumps the exposition page (the tail of the session
+        // output), and the page passes the format linter.
+        let page = &out[out.find("# HELP").expect("exposition page")..];
+        metrics::lint::check(page).unwrap_or_else(|e| panic!("lint failed: {e}\n{page}"));
+        assert!(page.contains("search_nodes_total"));
+        assert!(page.contains(&format!("search_nodes_total {nodes}")));
+        assert!(page.contains("search_runs_total"));
     }
 
     #[test]

@@ -5,10 +5,11 @@ use std::time::{Duration, Instant};
 
 use engine_server::{AnyPos, GameClock, TimeControl, TimeManager};
 use er_parallel::{
-    run_er_threads_window_ord, AspirationConfig, ErParallelConfig, IdStepper, SearchControl,
-    ThreadsConfig,
+    run_er_threads_window_ord_metrics, AspirationConfig, ErParallelConfig, IdStepper,
+    SearchControl, ThreadsConfig,
 };
 use gametree::{GamePosition, Value};
+use metrics::EngineMetrics;
 use search_serial::{alphabeta, alphabeta_ctl, OrderingTables};
 use tt::{TranspositionTable, TtStats};
 
@@ -78,6 +79,11 @@ pub struct Player {
     tm: TimeManager,
     asp: AspirationConfig,
     moves_made: u32,
+    /// Shared metric set this player records into, when observed
+    /// (per-move depth/spend histograms plus the threaded back-end's
+    /// search counters). `None` keeps every decision byte-identical to
+    /// an unobserved player's.
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl Player {
@@ -92,7 +98,15 @@ impl Player {
             tm: TimeManager::default(),
             asp: AspirationConfig::narrow(40),
             moves_made: 0,
+            metrics: None,
         }
+    }
+
+    /// Observes this player: every move records into `m` (shared freely
+    /// across players — the histograms and counters merge).
+    pub fn with_metrics(mut self, m: Arc<EngineMetrics>) -> Player {
+        self.metrics = Some(m);
+        self
     }
 
     /// The spec's display name.
@@ -141,6 +155,14 @@ impl Player {
         choice.elapsed = started.elapsed();
         choice.tt = self.table.stats().since(&tt_before);
         self.moves_made += 1;
+        if let Some(m) = &self.metrics {
+            m.match_move_depth.record(0, choice.depth as u64);
+            m.match_move_spend_ns
+                .record(0, choice.elapsed.as_nanos() as u64);
+            m.tt_probes_total.add(0, choice.tt.probes);
+            m.tt_hits_total.add(0, choice.tt.hits);
+            m.tt_stores_total.add(0, choice.tt.stores);
+        }
         Some(choice)
     }
 
@@ -154,6 +176,7 @@ impl Player {
         let unlimited = SearchControl::unlimited();
         let cfg = er_cfg(pos);
         let table = Arc::clone(&self.table);
+        let mx = self.metrics.as_deref();
         let ord = &self.ord;
         let kids = pos.children();
         let mut stepper = IdStepper::new(pos.evaluate(), self.asp);
@@ -178,7 +201,7 @@ impl Player {
                     order[..=at].rotate_right(1);
                 }
                 for &i in &order {
-                    let r = run_er_threads_window_ord(
+                    let r = run_er_threads_window_ord_metrics(
                         &kids[i],
                         d - 1,
                         window.negate(),
@@ -189,6 +212,7 @@ impl Player {
                         c,
                         (),
                         ord,
+                        mx,
                     )
                     .map_err(|e| e.reason)?;
                     nodes += r.stats.nodes();

@@ -33,4 +33,4 @@ mod runner;
 
 pub use engine::{EngineSpec, MoveChoice, Player};
 pub use game::{play_game, GameOutcome, GameRecord, MoveRecord, TerminalKind};
-pub use runner::{openings, run_match, Family, MatchConfig, MatchResult};
+pub use runner::{openings, run_match, run_match_with, Family, MatchConfig, MatchResult};

@@ -1,7 +1,10 @@
 //! Self-play matches: paired openings, color swap, W/D/L accounting.
 
+use std::sync::Arc;
+
 use engine_server::{AnyPos, TimeControl};
 use gametree::GamePosition;
+use metrics::EngineMetrics;
 
 use crate::engine::{EngineSpec, Player};
 use crate::game::{play_game, GameRecord};
@@ -112,6 +115,20 @@ pub fn openings(family: Family, pairs: usize) -> Vec<AnyPos> {
 /// swap: opening *i* is played twice, A first then B first, so
 /// first-mover advantage cancels out of the totals.
 pub fn run_match(family: Family, a: EngineSpec, b: EngineSpec, cfg: &MatchConfig) -> MatchResult {
+    run_match_with(family, a, b, cfg, None)
+}
+
+/// [`run_match`] with an optional shared metric set: every player of
+/// every game records into it (per-move depth/spend histograms, search
+/// and TT counters), so one registry observes the whole match. `None`
+/// plays exactly as [`run_match`] does.
+pub fn run_match_with(
+    family: Family,
+    a: EngineSpec,
+    b: EngineSpec,
+    cfg: &MatchConfig,
+    metrics: Option<Arc<EngineMetrics>>,
+) -> MatchResult {
     let pairs = cfg.games.div_ceil(2).max(1);
     let mut result = MatchResult {
         family,
@@ -122,7 +139,13 @@ pub fn run_match(family: Family, a: EngineSpec, b: EngineSpec, cfg: &MatchConfig
         wdl_a: (0, 0, 0),
         games: Vec::with_capacity(pairs * 2),
     };
-    let fresh = |spec: EngineSpec| Player::new(spec, cfg.tc, cfg.tt_bits, cfg.max_depth);
+    let fresh = |spec: EngineSpec| {
+        let p = Player::new(spec, cfg.tc, cfg.tt_bits, cfg.max_depth);
+        match &metrics {
+            Some(m) => p.with_metrics(Arc::clone(m)),
+            None => p,
+        }
+    };
     for opening in openings(family, pairs) {
         for a_first in [true, false] {
             // Fresh players per game: each game's warmth is its own
@@ -180,6 +203,41 @@ mod tests {
                 assert!(!o.moves().is_empty(), "openings must be playable");
             }
         }
+    }
+
+    #[test]
+    fn observed_match_records_every_move_and_keeps_the_score() {
+        // The clock is deliberately generous: a depth-2 checkers search
+        // finishes in microseconds, so every move completes the full
+        // depth cap and the move sequence depends only on the opening —
+        // a tight clock would make depth (hence the game) timing-noise
+        // dependent and this identity assert flaky under test load.
+        let cfg = MatchConfig {
+            games: 2,
+            tc: TimeControl::from_millis(5000, 50),
+            tt_bits: 8,
+            max_depth: 2,
+        };
+        let (a, b) = (EngineSpec::ErThreads { threads: 1 }, EngineSpec::SerialId);
+        let bare = run_match(Family::Checkers, a, b, &cfg);
+        let m = Arc::new(EngineMetrics::new(1));
+        let seen = run_match_with(Family::Checkers, a, b, &cfg, Some(Arc::clone(&m)));
+        // Deterministic openings + deterministic depth caps: the game
+        // records agree move for move (budgets are wall-clock, so only
+        // the move sequence is asserted, not elapsed times).
+        assert_eq!(seen.games.len(), bare.games.len());
+        for (x, y) in bare.games.iter().zip(&seen.games) {
+            let mx: Vec<&str> = x.moves.iter().map(|r| r.label.as_str()).collect();
+            let my: Vec<&str> = y.moves.iter().map(|r| r.label.as_str()).collect();
+            assert_eq!(mx, my, "observation must not steer the game");
+        }
+        // One depth/spend observation per played move, search counters
+        // from the threaded player, and a lint-clean exposition page.
+        let total_moves: u64 = seen.games.iter().map(|g| g.moves.len() as u64).sum();
+        assert_eq!(m.match_move_depth.snapshot().count, total_moves);
+        assert_eq!(m.match_move_spend_ns.snapshot().count, total_moves);
+        assert!(m.search_runs_total.value() > 0, "er1 played half the seats");
+        metrics::lint::check(&m.expose()).expect("lint-clean page");
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Prometheus text-exposition format linter, in the spirit of
+//! `trace::lint`: a dependency-free validator run over every snapshot
+//! the bench harness emits, so a malformed scrape page fails the build
+//! rather than a dashboard.
+//!
+//! [`check`] validates the subset of the 0.0.4 text format this
+//! workspace emits, plus the semantic rules scrapers rely on:
+//!
+//! * every line is a `# HELP`, `# TYPE`, or sample line;
+//! * metric and label names match `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+//! * label values are double-quoted with `\\` / `\"` escapes;
+//! * sample values parse as floats (or `+Inf` on `le` labels);
+//! * `# TYPE` appears at most once per family, before its samples;
+//! * every sample belongs to a declared family (histogram samples to a
+//!   `histogram`-typed one, via their `_bucket`/`_sum`/`_count` suffix);
+//! * histogram families are complete — a `+Inf` bucket, `_sum` and
+//!   `_count` per label set, with cumulative bucket counts monotone in
+//!   `le` and the `+Inf` bucket equal to `_count`;
+//! * the exposition is newline-terminated.
+//!
+//! Errors carry the 1-based line number and a short reason.
+
+use std::collections::BTreeMap;
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parsed `name="value"` pairs from one series' label block.
+type LabelPairs = Vec<(String, String)>;
+
+/// Splits `name{labels}` into (name, labels-without-braces). The label
+/// block is validated for quote/escape structure here so callers can
+/// split on `,` safely afterwards... except values may contain commas,
+/// so we parse properly.
+fn split_series(s: &str) -> Result<(&str, LabelPairs), String> {
+    let Some(brace) = s.find('{') else {
+        return Ok((s, Vec::new()));
+    };
+    let name = &s[..brace];
+    let rest = &s[brace + 1..];
+    let Some(end) = rest.rfind('}') else {
+        return Err("unterminated label block".into());
+    };
+    if !rest[end + 1..].is_empty() {
+        return Err("text after label block".into());
+    }
+    let mut labels = Vec::new();
+    let body = &rest[..end];
+    let mut chars = body.char_indices().peekable();
+    while chars.peek().is_some() {
+        // label name up to '='
+        let start = chars.peek().unwrap().0;
+        let eq = loop {
+            match chars.next() {
+                Some((i, '=')) => break i,
+                Some(_) => continue,
+                None => return Err("label pair missing '='".into()),
+            }
+        };
+        let key = &body[start..eq];
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("label {key:?} value must be double-quoted")),
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, c @ ('\\' | '"' | 'n'))) => value.push(c),
+                    _ => return Err("bad escape in label value".into()),
+                },
+                Some((_, '"')) => break,
+                Some((_, c)) => value.push(c),
+                None => return Err("unterminated label value".into()),
+            }
+        }
+        labels.push((key.to_string(), value));
+        match chars.next() {
+            None => break,
+            Some((_, ',')) => continue,
+            Some((_, c)) => return Err(format!("expected ',' between labels, found {c:?}")),
+        }
+    }
+    Ok((name, labels))
+}
+
+/// The family a sample line belongs to: strips a histogram-series
+/// suffix when the base family is known to be a histogram.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Per-(family, labels) histogram bookkeeping.
+#[derive(Default)]
+struct HistCheck {
+    /// (le, cumulative) pairs in emission order.
+    buckets: Vec<(f64, u64)>,
+    sum: Option<f64>,
+    count: Option<u64>,
+}
+
+/// Validates `text` as Prometheus exposition output. Returns the first
+/// violation as `Err("line N: reason")`.
+pub fn check(text: &str) -> Result<(), String> {
+    if text.is_empty() {
+        return Err("line 1: empty exposition".into());
+    }
+    if !text.ends_with('\n') {
+        return Err("final line: missing trailing newline".into());
+    }
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut sampled: Vec<String> = Vec::new();
+    // (family, label-key minus `le`) -> histogram completeness state.
+    let mut hists: BTreeMap<(String, String), HistCheck> = BTreeMap::new();
+    let err = |n: usize, msg: String| Err(format!("line {n}: {msg}"));
+
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        if line.is_empty() {
+            return err(n, "blank line".into());
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            let tail = parts.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if !valid_name(name) {
+                        return err(n, format!("HELP names invalid metric {name:?}"));
+                    }
+                    if tail.is_empty() {
+                        return err(n, format!("HELP for {name} has no text"));
+                    }
+                }
+                "TYPE" => {
+                    if !valid_name(name) {
+                        return err(n, format!("TYPE names invalid metric {name:?}"));
+                    }
+                    if !matches!(
+                        tail,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return err(n, format!("unknown TYPE {tail:?} for {name}"));
+                    }
+                    if types.insert(name.to_string(), tail.to_string()).is_some() {
+                        return err(n, format!("duplicate TYPE for {name}"));
+                    }
+                    if sampled.iter().any(|s| s == name) {
+                        return err(n, format!("TYPE for {name} after its samples"));
+                    }
+                }
+                _ => return err(n, format!("unknown comment keyword {keyword:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return err(n, "comment must start with '# '".into());
+        }
+        // Sample line: `series value` (no timestamps in this workspace).
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            return err(n, "sample line has no value".into());
+        };
+        let (name, labels) = match split_series(series) {
+            Ok(x) => x,
+            Err(e) => return err(n, e),
+        };
+        if !valid_name(name) {
+            return err(n, format!("invalid metric name {name:?}"));
+        }
+        for (k, _) in &labels {
+            if !valid_name(k) {
+                return err(n, format!("invalid label name {k:?}"));
+            }
+        }
+        let is_inf = value == "+Inf";
+        if !is_inf && value.parse::<f64>().is_err() {
+            return err(n, format!("unparseable sample value {value:?}"));
+        }
+        let family = family_of(name, &types);
+        if !types.contains_key(family) {
+            return err(n, format!("sample for undeclared family {family:?}"));
+        }
+        sampled.push(family.to_string());
+        if types[family] == "histogram" {
+            let others: Vec<String> = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let entry = hists
+                .entry((family.to_string(), others.join(",")))
+                .or_default();
+            if let Some(base) = name.strip_suffix("_bucket") {
+                debug_assert_eq!(base, family);
+                let Some((_, le)) = labels.iter().find(|(k, _)| k == "le") else {
+                    return err(n, format!("{name} bucket missing le label"));
+                };
+                let le_v = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    match le.parse::<f64>() {
+                        Ok(v) => v,
+                        Err(_) => return err(n, format!("unparseable le bound {le:?}")),
+                    }
+                };
+                let cum = match value.parse::<u64>() {
+                    Ok(v) => v,
+                    Err(_) => return err(n, format!("bucket count {value:?} not an integer")),
+                };
+                if let Some(&(prev_le, prev_cum)) = entry.buckets.last() {
+                    if le_v <= prev_le {
+                        return err(n, format!("le bounds not increasing at {le:?}"));
+                    }
+                    if cum < prev_cum {
+                        return err(n, format!("cumulative bucket count fell at le={le:?}"));
+                    }
+                }
+                entry.buckets.push((le_v, cum));
+            } else if name.ends_with("_sum") {
+                entry.sum = Some(value.parse::<f64>().unwrap_or(f64::NAN));
+            } else if name.ends_with("_count") {
+                let c = match value.parse::<u64>() {
+                    Ok(v) => v,
+                    Err(_) => return err(n, format!("_count {value:?} not an integer")),
+                };
+                entry.count = Some(c);
+            } else {
+                return err(n, format!("bare sample {name} for histogram {family}"));
+            }
+        }
+    }
+
+    for ((family, labels), h) in &hists {
+        let ctx = if labels.is_empty() {
+            family.clone()
+        } else {
+            format!("{family}{{{labels}}}")
+        };
+        let Some(&(last_le, last_cum)) = h.buckets.last() else {
+            return Err(format!("final line: histogram {ctx} has no buckets"));
+        };
+        if last_le != f64::INFINITY {
+            return Err(format!("final line: histogram {ctx} missing +Inf bucket"));
+        }
+        let Some(count) = h.count else {
+            return Err(format!("final line: histogram {ctx} missing _count"));
+        };
+        if h.sum.is_none() {
+            return Err(format!("final line: histogram {ctx} missing _sum"));
+        }
+        if last_cum != count {
+            return Err(format!(
+                "final line: histogram {ctx} +Inf bucket {last_cum} != _count {count}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{expose_text, MetricsRegistry};
+
+    fn sample_page() -> String {
+        let reg = MetricsRegistry::new(2);
+        let c = reg.counter("search_nodes_total", "Nodes examined.");
+        let g = reg.gauge_with("queue_depth", &[("class", "batch")], "Queued sessions.");
+        let h = reg.histogram("lock_wait_ns", "Heap lock wait.");
+        c.add(0, 1234);
+        g.set(3);
+        for v in [1u64, 5, 5, 900, 70_000] {
+            h.record(0, v);
+        }
+        expose_text(&reg.snapshot())
+    }
+
+    #[test]
+    fn emitted_exposition_is_clean() {
+        let page = sample_page();
+        check(&page).unwrap_or_else(|e| panic!("lint failed: {e}\n{page}"));
+    }
+
+    #[test]
+    fn empty_registry_exposes_nothing_but_lints_as_empty() {
+        let reg = MetricsRegistry::new(1);
+        let text = expose_text(&reg.snapshot());
+        assert!(text.is_empty());
+        assert!(check(&text).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn missing_newline_is_flagged() {
+        let page = sample_page();
+        let e = check(page.trim_end()).unwrap_err();
+        assert!(e.contains("trailing newline"), "{e}");
+    }
+
+    #[test]
+    fn undeclared_family_is_flagged() {
+        let mut page = sample_page();
+        page.push_str("mystery_total 5\n");
+        let e = check(&page).unwrap_err();
+        assert!(e.contains("undeclared family"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_type_is_flagged() {
+        let mut page = sample_page();
+        page.push_str("# TYPE search_nodes_total counter\n");
+        let e = check(&page).unwrap_err();
+        assert!(e.contains("duplicate TYPE"), "{e}");
+    }
+
+    #[test]
+    fn non_monotone_histogram_is_flagged() {
+        let text = "# HELP h H.\n# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\nh_bucket{le=\"3\"} 4\n\
+                    h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n";
+        let e = check(text).unwrap_err();
+        assert!(e.contains("cumulative bucket count fell"), "{e}");
+    }
+
+    #[test]
+    fn histogram_without_inf_bucket_is_flagged() {
+        let text = "# HELP h H.\n# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\nh_sum 9\nh_count 5\n";
+        let e = check(text).unwrap_err();
+        assert!(e.contains("missing +Inf"), "{e}");
+    }
+
+    #[test]
+    fn inf_bucket_must_equal_count() {
+        let text = "# HELP h H.\n# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n";
+        let e = check(text).unwrap_err();
+        assert!(e.contains("!= _count"), "{e}");
+    }
+
+    #[test]
+    fn bad_label_quoting_is_flagged() {
+        let text = "# HELP g G.\n# TYPE g gauge\ng{class=batch} 1\n";
+        let e = check(text).unwrap_err();
+        assert!(e.contains("double-quoted"), "{e}");
+    }
+
+    #[test]
+    fn label_values_may_contain_commas_and_escapes() {
+        let text = "# HELP g G.\n# TYPE g gauge\ng{who=\"a,b\",note=\"say \\\"hi\\\"\"} 1\n";
+        check(text).unwrap();
+    }
+}

@@ -1,0 +1,352 @@
+//! Static-registration metric registry, snapshots, and the
+//! dependency-free Prometheus text-exposition writer.
+//!
+//! Registration is a cold-path operation (one mutex hold at startup per
+//! metric); the returned `Arc` handles are what the hot paths touch,
+//! lock-free. [`MetricsRegistry::snapshot`] freezes every registered
+//! series into a [`MetricsSnapshot`], and [`expose_text`] renders a
+//! snapshot in the Prometheus text exposition format (version 0.0.4:
+//! `# HELP` / `# TYPE` headers, `_bucket{le="..."}` / `_sum` / `_count`
+//! histogram series, a final newline). [`crate::lint::check`] validates
+//! the output the same way `trace::lint` validates the Chrome traces.
+
+use std::sync::{Arc, Mutex};
+
+use crate::core::{Counter, Gauge, HistSnapshot, Histogram, HIST_BUCKETS};
+
+/// What a registered series is, holding the live handle.
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    /// `scale` divides the raw integer cell on exposition (ratio gauges
+    /// store millionths; see [`Gauge::set_ratio`]).
+    ScaledGauge(Arc<Gauge>, f64),
+    Histogram(Arc<Histogram>),
+}
+
+/// One registered metric: name, optional label set (pre-rendered, e.g.
+/// `class="interactive"`), help text, and the live series.
+struct Entry {
+    name: String,
+    labels: String,
+    help: String,
+    series: Series,
+}
+
+/// A registry of named metrics.
+///
+/// Series with the same name but different labels form one family and
+/// share help text (the first registration's). Names must match the
+/// Prometheus grammar `[a-zA-Z_:][a-zA-Z0-9_:]*`; registration panics
+/// otherwise — a misnamed metric is a programming error, not a runtime
+/// condition.
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+    /// Stripe count handed to counters/histograms created through this
+    /// registry (one per expected worker, rounded up).
+    shards: usize,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl MetricsRegistry {
+    /// A registry whose counters and histograms stripe across `shards`
+    /// worker shards.
+    pub fn new(shards: usize) -> MetricsRegistry {
+        MetricsRegistry {
+            entries: Mutex::new(Vec::new()),
+            shards: shards.max(1),
+        }
+    }
+
+    fn push(&self, name: &str, labels: &[(&str, &str)], help: &str, series: Series) {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name {k:?}");
+        }
+        let mut g = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        g.push(Entry {
+            name: name.to_string(),
+            labels: render_labels(labels),
+            help: help.to_string(),
+            series,
+        });
+    }
+
+    /// Registers and returns a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Registers and returns a labeled counter series.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        let c = Arc::new(Counter::new(self.shards));
+        self.push(name, labels, help, Series::Counter(c.clone()));
+        c
+    }
+
+    /// Registers and returns a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Registers and returns a labeled gauge series.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.push(name, labels, help, Series::Gauge(g.clone()));
+        g
+    }
+
+    /// Registers and returns a ratio gauge: set with
+    /// [`Gauge::set_ratio`], exposed divided back to a fraction.
+    pub fn ratio_gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.push(name, &[], help, Series::ScaledGauge(g.clone(), 1e6));
+        g
+    }
+
+    /// Registers and returns a histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new(self.shards));
+        self.push(name, &[], help, Series::Histogram(h.clone()));
+        h
+    }
+
+    /// Freezes every registered series into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        MetricsSnapshot {
+            series: g
+                .iter()
+                .map(|e| SeriesSnapshot {
+                    name: e.name.clone(),
+                    labels: e.labels.clone(),
+                    help: e.help.clone(),
+                    value: match &e.series {
+                        Series::Counter(c) => SeriesValue::Counter(c.value()),
+                        Series::Gauge(v) => SeriesValue::Gauge(v.value() as f64),
+                        Series::ScaledGauge(v, scale) => {
+                            SeriesValue::Gauge(v.value() as f64 / scale)
+                        }
+                        Series::Histogram(h) => SeriesValue::Histogram(Box::new(h.snapshot())),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One series' frozen value.
+#[derive(Clone, Debug)]
+pub enum SeriesValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading (already scaled).
+    Gauge(f64),
+    /// A merged histogram (boxed: a snapshot carries its full bucket
+    /// array, which would dominate the enum's size inline).
+    Histogram(Box<HistSnapshot>),
+}
+
+/// One frozen series: identity plus value.
+#[derive(Clone, Debug)]
+pub struct SeriesSnapshot {
+    /// Metric family name.
+    pub name: String,
+    /// Pre-rendered label pairs (may be empty).
+    pub labels: String,
+    /// Family help text.
+    pub help: String,
+    /// The frozen reading.
+    pub value: SeriesValue,
+}
+
+/// An immutable point-in-time view of a whole registry.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Every series, in registration order.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The reading of the first series named `name`, if it is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.series.iter().find(|s| s.name == name).and_then(|s| {
+            if let SeriesValue::Counter(v) = s.value {
+                Some(v)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The merged histogram of the first series named `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.series.iter().find(|s| s.name == name).and_then(|s| {
+            if let SeriesValue::Histogram(h) = &s.value {
+                Some(&**h)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Formats a float the way Prometheus expects (no exponent for the
+/// common cases, `+Inf`-safe — callers never pass non-finite values).
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn type_of(v: &SeriesValue) -> &'static str {
+    match v {
+        SeriesValue::Counter(_) => "counter",
+        SeriesValue::Gauge(_) => "gauge",
+        SeriesValue::Histogram(_) => "histogram",
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Families (series sharing a name) get one `# HELP` / `# TYPE` pair at
+/// their first appearance; histograms expand into cumulative
+/// `_bucket{le="..."}` series up to the highest occupied bucket, plus
+/// the mandatory `+Inf` bucket, `_sum` and `_count`. The output always
+/// ends in a newline and passes [`crate::lint::check`].
+pub fn expose_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for s in &snap.series {
+        if !seen.contains(&s.name.as_str()) {
+            seen.push(&s.name);
+            out.push_str(&format!("# HELP {} {}\n", s.name, s.help));
+            out.push_str(&format!("# TYPE {} {}\n", s.name, type_of(&s.value)));
+        }
+        let braces = |extra: &str| -> String {
+            match (s.labels.is_empty(), extra.is_empty()) {
+                (true, true) => String::new(),
+                (true, false) => format!("{{{extra}}}"),
+                (false, true) => format!("{{{}}}", s.labels),
+                (false, false) => format!("{{{},{extra}}}", s.labels),
+            }
+        };
+        match &s.value {
+            SeriesValue::Counter(v) => {
+                out.push_str(&format!("{}{} {v}\n", s.name, braces("")));
+            }
+            SeriesValue::Gauge(v) => {
+                out.push_str(&format!("{}{} {}\n", s.name, braces(""), fmt_value(*v)));
+            }
+            SeriesValue::Histogram(h) => {
+                let top = (0..HIST_BUCKETS)
+                    .rev()
+                    .find(|&i| h.buckets[i] > 0)
+                    .map(|i| i + 1)
+                    .unwrap_or(1);
+                let mut cum = 0u64;
+                for i in 0..top {
+                    cum += h.buckets[i];
+                    // Bucket i covers [2^i, 2^(i+1)); its le bound is the
+                    // largest value it can hold.
+                    let le = if i + 1 >= 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << (i + 1)) - 1
+                    };
+                    out.push_str(&format!(
+                        "{}_bucket{} {cum}\n",
+                        s.name,
+                        braces(&format!("le=\"{le}\""))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    s.name,
+                    braces("le=\"+Inf\""),
+                    h.count
+                ));
+                out.push_str(&format!("{}_sum{} {}\n", s.name, braces(""), h.sum));
+                out.push_str(&format!("{}_count{} {}\n", s.name, braces(""), h.count));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_values() {
+        let reg = MetricsRegistry::new(4);
+        let c = reg.counter("jobs_total", "Jobs executed.");
+        let g = reg.gauge("active_sessions", "Sessions in flight.");
+        let h = reg.histogram("wait_ns", "Lock wait nanoseconds.");
+        c.add(0, 41);
+        c.inc(3);
+        g.set(5);
+        h.record(1, 100);
+        h.record(2, 200);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("jobs_total"), Some(42));
+        assert_eq!(snap.histogram("wait_ns").unwrap().count, 2);
+        assert_eq!(snap.histogram("wait_ns").unwrap().sum, 300);
+    }
+
+    #[test]
+    fn exposition_renders_all_series_kinds() {
+        let reg = MetricsRegistry::new(1);
+        let c = reg.counter("probes_total", "Table probes.");
+        let q = reg.gauge_with(
+            "queue_depth",
+            &[("class", "interactive")],
+            "Queued sessions.",
+        );
+        reg.gauge_with("queue_depth", &[("class", "batch")], "Queued sessions.");
+        let r = reg.ratio_gauge("occupancy", "Sampled fill rate.");
+        let h = reg.histogram("latency_ns", "Slice latency.");
+        c.add(0, 3);
+        q.set(2);
+        r.set_ratio(0.25);
+        h.record(0, 5);
+        let text = expose_text(&reg.snapshot());
+        assert!(text.contains("# TYPE probes_total counter"));
+        assert!(text.contains("probes_total 3"));
+        assert!(text.contains("queue_depth{class=\"interactive\"} 2"));
+        assert!(text.contains("queue_depth{class=\"batch\"} 0"));
+        assert!(text.contains("occupancy 0.25"));
+        assert!(text.contains("latency_ns_bucket{le=\"7\"} 1"));
+        assert!(text.contains("latency_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("latency_ns_sum 5"));
+        assert!(text.contains("latency_ns_count 1"));
+        // One HELP/TYPE pair per family, not per series.
+        assert_eq!(text.matches("# TYPE queue_depth gauge").count(), 1);
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_are_rejected_at_registration() {
+        MetricsRegistry::new(1).counter("3bad name", "nope");
+    }
+}

@@ -1,0 +1,141 @@
+//! Histogram correctness properties (ISSUE 10 satellite): shard-merge
+//! associativity, clamped quantile bounds, and overwrite-free
+//! concurrent recording — the algebra the metrics layer's numbers rest
+//! on. Run in release mode in CI, where the relaxed-atomic recording
+//! path has no debug-assert serialization to hide races behind.
+
+use metrics::{HistSnapshot, Histogram};
+use proptest::prelude::*;
+
+/// Builds a snapshot from raw samples through a single-shard histogram.
+fn snap_of(samples: &[u64]) -> HistSnapshot {
+    let h = Histogram::new(1);
+    for &v in samples {
+        h.record(0, v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// (A ∪ B) ∪ C = A ∪ (B ∪ C) = C ∪ (B ∪ A): shards merge into the
+    /// same snapshot no matter how the merge tree is shaped, which is
+    /// what lets per-worker shards (and per-process snapshots) combine
+    /// freely.
+    #[test]
+    fn shard_merge_is_associative_and_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..60),
+        b in prop::collection::vec(any::<u64>(), 0..60),
+        c in prop::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right = sb.clone();
+        right.merge(&sc);
+        let mut right_assoc = sa.clone();
+        right_assoc.merge(&right);
+
+        let mut reversed = sc.clone();
+        reversed.merge(&sb);
+        reversed.merge(&sa);
+
+        prop_assert_eq!(&left, &right_assoc);
+        prop_assert_eq!(&left, &reversed);
+
+        // Merging equals recording everything into one shard.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &snap_of(&all));
+    }
+
+    /// Quantile estimates never leave the recorded range and are
+    /// monotone in q: min <= p50 <= p90 <= p99 <= max.
+    #[test]
+    fn quantile_bounds_hold(
+        samples in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let s = snap_of(&samples);
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+        let (p50, p90, p99) = (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99));
+        prop_assert!(lo <= p50, "min {lo} > p50 {p50}");
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        prop_assert!(p99 <= hi, "p99 {p99} > max {hi}");
+        // The extremes are exact, not estimates.
+        prop_assert_eq!(s.quantile(0.0), lo);
+        prop_assert_eq!(s.quantile(1.0), hi);
+    }
+
+    /// The count/sum moments a snapshot carries match the samples that
+    /// went in, shard assignment notwithstanding.
+    #[test]
+    fn moments_are_exact_across_shards(
+        samples in prop::collection::vec(0u64..1_000_000, 0..200),
+        shards in 1usize..9,
+    ) {
+        let h = Histogram::new(shards);
+        for (i, &v) in samples.iter().enumerate() {
+            h.record(i, v); // scatter across shards
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert_eq!(s.sum, samples.iter().sum::<u64>());
+    }
+}
+
+/// Eight threads hammer one histogram concurrently; every sample must
+/// survive — relaxed-atomic RMWs may race benignly but never overwrite.
+/// Debug builds hide lost-update bugs behind their slowness, so CI runs
+/// this suite with `--release`.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let h = Histogram::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic per-thread stream with a known sum.
+                    h.record(t, t as u64 + i);
+                }
+            });
+        }
+    });
+    let s = h.snapshot();
+    assert_eq!(s.count, THREADS as u64 * PER_THREAD);
+    let expect_sum: u64 = (0..THREADS as u64)
+        .map(|t| (0..PER_THREAD).map(|i| t + i).sum::<u64>())
+        .sum();
+    assert_eq!(s.sum, expect_sum);
+    assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    assert_eq!(s.min, 0);
+    assert_eq!(s.max, THREADS as u64 - 1 + PER_THREAD - 1);
+}
+
+/// Same property through the striped counter: 8 threads, exact total.
+#[test]
+fn concurrent_counter_is_exact() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 100_000;
+    let c = metrics::Counter::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let c = &c;
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc(t);
+                }
+            });
+        }
+    });
+    assert_eq!(c.value(), THREADS as u64 * PER_THREAD);
+}

@@ -65,6 +65,7 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use gametree::{GamePosition, SearchStats, Value, Window};
+use metrics::MetricsAccess;
 use problem_heap::{ws_deque, PublishSlab, ThreadCounters, WsStealer};
 use trace::{EventKind, TraceAccess, Traced, Tracer, WorkerTrace};
 use tt::{TranspositionTable, TtAccess, TtStats, Zobrist};
@@ -319,6 +320,7 @@ pub fn run_er_threads_exec<P: GamePosition>(
         &SearchControl::unlimited(),
         (),
         (),
+        (),
     )
 }
 
@@ -343,6 +345,7 @@ pub fn run_er_threads_ctl<P: GamePosition>(
         exec,
         (),
         ctl,
+        (),
         (),
         (),
     )
@@ -373,6 +376,7 @@ pub fn run_er_threads_trace<P: GamePosition>(
         ctl,
         tracer,
         (),
+        (),
     )
 }
 
@@ -402,6 +406,7 @@ pub fn run_er_threads_trace_tt<P: GamePosition + Zobrist>(
         table,
         ctl,
         tracer,
+        (),
         (),
     )?;
     r.tt = Some(table.stats().since(&before));
@@ -471,6 +476,7 @@ pub fn run_er_threads_ctl_tt<P: GamePosition + Zobrist>(
         exec,
         table,
         ctl,
+        (),
         (),
         (),
     )?;
@@ -575,11 +581,18 @@ where
     R: TraceAccess,
     O: OrdAccess + Send + Sync,
 {
-    run_er_threads_gen(pos, depth, window, threads, cfg, exec, tt, ctl, tr, ord)
+    run_er_threads_gen(pos, depth, window, threads, cfg, exec, tt, ctl, tr, ord, ())
 }
 
+/// [`run_er_threads_window_ord`] with a live metrics handle
+/// (DESIGN.md §16): per-acquisition lock waits land in the engine's
+/// lock-wait histogram as they happen, and a completed run folds its
+/// merged node/job/steal totals into the counters once at the end. With
+/// `mx = ()` every recording call compiles away and this *is*
+/// [`run_er_threads_window_ord`]; the root value is bit-identical either
+/// way (`repro obs` asserts it).
 #[allow(clippy::too_many_arguments)]
-fn run_er_threads_gen<P, T, R, O>(
+pub fn run_er_threads_window_ord_metrics<P, T, R, O, M>(
     pos: &P,
     depth: u32,
     window: Window,
@@ -590,12 +603,38 @@ fn run_er_threads_gen<P, T, R, O>(
     ctl: &SearchControl,
     tr: R,
     ord: O,
+    mx: M,
 ) -> Result<ErThreadsResult, SearchAborted>
 where
     P: GamePosition,
     T: TtAccess<P> + Send + Sync,
     R: TraceAccess,
     O: OrdAccess + Send + Sync,
+    M: MetricsAccess,
+{
+    run_er_threads_gen(pos, depth, window, threads, cfg, exec, tt, ctl, tr, ord, mx)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_er_threads_gen<P, T, R, O, M>(
+    pos: &P,
+    depth: u32,
+    window: Window,
+    threads: usize,
+    cfg: &ErParallelConfig,
+    exec: ThreadsConfig,
+    tt: T,
+    ctl: &SearchControl,
+    tr: R,
+    ord: O,
+    mx: M,
+) -> Result<ErThreadsResult, SearchAborted>
+where
+    P: GamePosition,
+    T: TtAccess<P> + Send + Sync,
+    R: TraceAccess,
+    O: OrdAccess + Send + Sync,
+    M: MetricsAccess,
 {
     assert!(threads > 0);
     let (fixed_batch, adaptive) = match exec.batch {
@@ -682,6 +721,7 @@ where
                         cx.counters.lock_acquisitions += 1;
                         cx.counters.lock_wait_nanos += waited;
                         wtr.span_at(EventKind::LockWait, waiting, waited, 0);
+                        mx.observe_lock_wait(me, waited);
                         for (id, outcome) in cx.ready.drain(..) {
                             cx.counters.outcomes_applied += 1;
                             if g.worker.apply(id, outcome) {
@@ -905,6 +945,22 @@ where
     // A run that completed its root wins any race with a late trip: the
     // value is exact, so report it.
     if let Some(value) = g.worker.root_value {
+        if M::ENABLED {
+            // One fold per run, off the hot path: the totals are already
+            // merged per thread, so metrics-on cannot perturb the search
+            // (only this cold coordinator tail differs from metrics-off).
+            let mut total = ThreadCounters::default();
+            for c in &per_thread {
+                total.merge(c);
+            }
+            mx.record_search(
+                g.worker.totals.nodes(),
+                total.jobs_executed,
+                total.steal_attempts,
+                total.steal_hits,
+                elapsed.as_nanos() as u64,
+            );
+        }
         return Ok(ErThreadsResult {
             value,
             stats: g.worker.totals,

@@ -32,6 +32,6 @@ pub use er::{
     run_er_threads_id, run_er_threads_id_asp, run_er_threads_id_asp_trace_tt,
     run_er_threads_id_asp_tt, run_er_threads_id_trace, run_er_threads_id_trace_tt,
     run_er_threads_id_tt, run_er_threads_trace, run_er_threads_trace_tt, run_er_threads_window_ord,
-    AspirationConfig, DepthResult, ErIdResult, ErParallelConfig, ErRunResult, IdStepper,
-    Speculation,
+    run_er_threads_window_ord_metrics, AspirationConfig, DepthResult, ErIdResult, ErParallelConfig,
+    ErRunResult, IdStepper, Speculation,
 };
